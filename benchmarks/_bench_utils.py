@@ -1,0 +1,28 @@
+"""Shared benchmark helpers.
+
+Every bench regenerates one table or figure of the paper: it runs the
+experiment driver from :mod:`repro.experiments`, writes the resulting
+rows/series to ``benchmarks/results/<name>.txt`` (pytest captures
+stdout, so files are the durable record), and times a representative
+operation with pytest-benchmark.  ``EXPERIMENTS.md`` summarizes the
+paper-vs-measured comparison from these files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, lines: "list[str] | str") -> pathlib.Path:
+    """Persist a reproduction table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if isinstance(lines, list):
+        lines = "\n".join(lines)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(lines + "\n")
+    # Also print, for runs with capture disabled (-s).
+    print(f"\n===== {name} =====")
+    print(lines)
+    return path

@@ -1,0 +1,61 @@
+"""Ablation: median vs mean aggregation of the t density estimates.
+
+The paper selects the *median* of the per-transform density estimates
+(Section IV-B).  The mean lets one badly misaligned grid drag boundary
+estimates around, so median should give equal-or-better precision.
+"""
+
+from _bench_utils import write_result
+from repro.core.histogram_predictor import HistogramPredictor
+from repro.core.lsh_predictor import LshPredictor
+from repro.experiments.setup import evaluate_offline, offline_truth
+from repro.tpch import plan_space_for
+from repro.workload import sample_labeled_pool
+
+
+def test_ablation_median_vs_mean(benchmark):
+    def run():
+        rows = []
+        for template in ("Q1", "Q5"):
+            space = plan_space_for(template)
+            pool = sample_labeled_pool(space, 3200, seed=7)
+            test, truth = offline_truth(space, 600, seed=11)
+            for aggregation in ("median", "mean"):
+                grid = LshPredictor(
+                    pool, transforms=5, resolution=8,
+                    confidence_threshold=0.7, aggregation=aggregation, seed=1,
+                )
+                hist = HistogramPredictor(
+                    pool, transforms=5, max_buckets=40, radius=0.05,
+                    confidence_threshold=0.7, aggregation=aggregation, seed=1,
+                )
+                for name, predictor in (("lsh", grid), ("histograms", hist)):
+                    metrics = evaluate_offline(predictor, test, truth)
+                    rows.append((template, name, aggregation, metrics))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation — median vs mean aggregation of per-transform densities",
+        "",
+        f"{'template':>8s} {'structure':>10s} {'aggregation':>11s} "
+        f"{'precision':>10s} {'recall':>8s}",
+    ]
+    table = {}
+    for template, name, aggregation, metrics in rows:
+        table[(template, name, aggregation)] = metrics
+        lines.append(
+            f"{template:>8s} {name:>10s} {aggregation:>11s} "
+            f"{metrics.precision:10.3f} {metrics.recall:8.3f}"
+        )
+    write_result("ablation_median", lines)
+
+    # Mean aggregation produces fractional counts that depress recall
+    # severely; median keeps far better recall at high precision.  The
+    # dominance claim: median recall >= mean recall everywhere, with
+    # precision staying high.
+    for (template, name, aggregation), metrics in table.items():
+        if aggregation == "median":
+            mean_metrics = table[(template, name, "mean")]
+            assert metrics.recall >= mean_metrics.recall - 1e-9
+            assert metrics.precision > 0.75

@@ -1,0 +1,48 @@
+"""Ablation: the noise-elimination threshold.
+
+Section IV-C fixes the threshold at "a constant factor of the total
+number of plan space points" without reporting the factor.  This sweep
+maps the dial on the online variant: recall is the casualty of an
+aggressive threshold, while a disabled check leaves the z-order false
+positives unfiltered.
+"""
+
+from _bench_utils import write_result
+from repro.experiments.online_perf import run_noise_sweep
+
+
+def test_ablation_noise_threshold(benchmark):
+    runs = benchmark.pedantic(
+        run_noise_sweep,
+        kwargs=dict(
+            template="Q1",
+            fractions=(None, 0.001, 0.002, 0.005, 0.02, 0.05),
+            workload_size=800,
+            repeats=3,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Ablation — noise-elimination threshold (Q1, r_d = 0.02,",
+        "800 instances, 3 workloads)",
+        "",
+        f"{'threshold':>10s} {'precision':>10s} {'recall':>8s} "
+        f"{'invocations':>12s}",
+    ]
+    for run in runs:
+        lines.append(
+            f"{run.variant:>10s} {run.precision:10.3f} {run.recall:8.3f} "
+            f"{run.optimizer_invocations:12d}"
+        )
+    write_result("ablation_noise", lines)
+
+    by_variant = {run.variant: run for run in runs}
+    # An aggressive threshold must cost recall relative to the default.
+    assert by_variant["nu=0.05"].recall < by_variant["nu=0.002"].recall
+    # The default threshold costs little recall against no filtering.
+    assert by_variant["nu=0.002"].recall > by_variant["off"].recall - 0.1
+    # Precision stays high across the sweep on this clean space.
+    for run in runs:
+        assert run.precision > 0.9

@@ -1,0 +1,86 @@
+"""Extension: positive feedback with checks and balances.
+
+The paper's future work (Section VII): inserting trusted predictions
+back into the sample pool shortens the training period and improves
+recall, but risks a feedback spiral that destroys precision.  This
+bench compares three configurations over the same trajectory workloads:
+
+* ``off``       — the paper's published algorithm (no positive feedback);
+* ``guarded``   — confidence gate + discounted weight + mass cap;
+* ``unguarded`` — every trusted prediction inserted at full weight.
+"""
+
+import numpy as np
+
+from _bench_utils import write_result
+from repro.config import PPCConfig
+from repro.core.framework import TemplateSession
+from repro.tpch import plan_space_for
+from repro.workload import RandomTrajectoryWorkload
+
+
+def _run(config: PPCConfig, workloads, space) -> tuple[float, float, float]:
+    precisions, recalls, invocations = [], [], []
+    for seed, workload in enumerate(workloads):
+        session = TemplateSession(space, config, seed=seed)
+        for point in workload:
+            session.execute(point)
+        metrics = session.ground_truth_metrics()
+        precisions.append(metrics.precision)
+        recalls.append(metrics.recall)
+        invocations.append(session.optimizer_invocations)
+    return (
+        float(np.mean(precisions)),
+        float(np.mean(recalls)),
+        float(np.mean(invocations)),
+    )
+
+
+def test_ext_positive_feedback(benchmark):
+    def run():
+        space = plan_space_for("Q1")
+        workloads = [
+            RandomTrajectoryWorkload(2, spread=0.02, seed=seed).generate(800)
+            for seed in (21, 22, 23)
+        ]
+        base = dict(confidence_threshold=0.8, drift_response=False)
+        configs = {
+            "off": PPCConfig(**base),
+            "guarded": PPCConfig(**base, positive_feedback=True),
+            "unguarded": PPCConfig(
+                **base,
+                positive_feedback=True,
+                positive_feedback_min_confidence=0.0,
+                positive_feedback_weight=1.0,
+                positive_feedback_mass_cap=1e9,
+            ),
+        }
+        return {
+            name: _run(config, workloads, space)
+            for name, config in configs.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Extension — positive feedback (Q1, r_d = 0.02, 800 instances,",
+        "3 workloads)",
+        "",
+        f"{'variant':>10s} {'precision':>10s} {'recall':>8s} "
+        f"{'invocations':>12s}",
+    ]
+    for name, (precision, recall, invocations) in results.items():
+        lines.append(
+            f"{name:>10s} {precision:10.3f} {recall:8.3f} {invocations:12.0f}"
+        )
+    write_result("ext_positive_feedback", lines)
+
+    off = results["off"]
+    guarded = results["guarded"]
+    unguarded = results["unguarded"]
+    # Guarded feedback must preserve precision while not hurting recall.
+    assert guarded[0] > off[0] - 0.03
+    assert guarded[1] >= off[1] - 0.03
+    # The unguarded spiral amplifies wrong evidence: it is the variant
+    # that loses precision — exactly the risk the paper warns about.
+    assert unguarded[0] < guarded[0] + 0.005
+    assert unguarded[0] <= off[0]

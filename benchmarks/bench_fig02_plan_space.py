@@ -1,0 +1,33 @@
+"""Figure 2: the plan space of Q1.
+
+Rasterizes Q1's plan diagram (each glyph = one plan), reports per-plan
+area fractions, and times the vectorized oracle labeling that every
+other experiment builds on.
+"""
+
+import numpy as np
+
+from _bench_utils import write_result
+from repro.experiments.diagrams import plan_diagram
+from repro.tpch import plan_space_for
+from repro.workload import sample_points
+
+
+def test_fig02_plan_diagram(benchmark):
+    diagram = plan_diagram("Q1", resolution=48)
+    lines = [
+        "Figure 2 — plan space of Q1 (48x48 raster, one glyph per plan)",
+        "",
+        diagram.render(),
+        "",
+        "plan area fractions:",
+    ]
+    for plan, fraction in sorted(diagram.plan_fractions.items()):
+        lines.append(f"  P{plan}: {fraction:6.1%}")
+    write_result("fig02_plan_space", lines)
+
+    space = plan_space_for("Q1")
+    points = sample_points(2, 1000, seed=0)
+    benchmark(space.label, points)
+
+    assert len(diagram.plan_fractions) >= 3

@@ -1,0 +1,52 @@
+"""Figure 3: k-means predict vs single-linkage predict vs density predict.
+
+Reproduces the Section III quantitative comparison: precision (and
+recall) per radius for k-means (c = 40), single linkage, and density at
+gamma in {0.5, 0.75, 0.95}.  Paper shape: density predict achieves the
+highest precision, with gamma trading recall for precision; k-means is
+the weakest and degrades as the radius grows.
+"""
+
+from _bench_utils import write_result
+from repro.clustering import DensityPredictor
+from repro.experiments.comparison import run_clustering_comparison
+from repro.tpch import plan_space_for
+from repro.workload import sample_labeled_pool, sample_points
+
+
+def test_fig03_clustering_comparison(benchmark):
+    rows = run_clustering_comparison(
+        template="Q1",
+        repeats=5,
+        sample_size=1000,
+        test_size=1000,
+        radii=(0.025, 0.05, 0.1, 0.15, 0.2),
+        seed=7,
+    )
+    lines = [
+        "Figure 3 — precision/recall of candidate clustering methods (Q1,",
+        "|X| = 1000, 1000 test points, 5 repeats, c = 40)",
+        "",
+        f"{'algorithm':20s} {'d':>6s} {'precision':>10s} {'recall':>8s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:20s} {row.radius:6.3f} "
+            f"{row.precision:10.3f} {row.recall:8.3f}"
+        )
+    write_result("fig03_clustering_comparison", lines)
+
+    by_algorithm: dict[str, list[float]] = {}
+    for row in rows:
+        by_algorithm.setdefault(row.algorithm, []).append(row.precision)
+    mean = {k: sum(v) / len(v) for k, v in by_algorithm.items()}
+    # Paper shape: density (high gamma) > single-linkage and > k-means.
+    assert mean["density(g=0.95)"] >= mean["k-means(c=40)"]
+    assert mean["density(g=0.95)"] >= mean["single-linkage"] - 0.02
+
+    # Time one density prediction over the standard pool.
+    space = plan_space_for("Q1")
+    pool = sample_labeled_pool(space, 1000, seed=1)
+    predictor = DensityPredictor(pool, radius=0.1)
+    point = sample_points(2, 1, seed=2)[0]
+    benchmark(predictor.predict, point)

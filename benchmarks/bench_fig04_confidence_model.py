@@ -1,0 +1,40 @@
+"""Figure 4: the chord-based confidence model.
+
+Tabulates the ratio -> sin(theta) curve of Section IV-A and times a
+confidence decision.
+"""
+
+import numpy as np
+
+from _bench_utils import write_result
+from repro.core.confidence import ConfidenceModel, confidence_from_ratio
+
+
+def test_fig04_confidence_curve(benchmark):
+    ratios = (1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0)
+    lines = [
+        "Figure 4 — confidence model: count ratio c_max/others -> sin(theta)",
+        "",
+        f"{'ratio':>8s} {'confidence':>11s}",
+    ]
+    values = []
+    for ratio in ratios:
+        value = confidence_from_ratio(ratio)
+        values.append(value)
+        lines.append(f"{ratio:8.1f} {value:11.4f}")
+    lines += [
+        "",
+        "pure neighborhoods (chi = 0.9): confidence = 1 - 0.1^alpha",
+        f"{'alpha':>8s} {'confidence':>11s}",
+    ]
+    model = ConfidenceModel()
+    for alpha in (1, 2, 3, 5, 10):
+        lines.append(f"{alpha:8d} {model.confidence(alpha, 0.0):11.4f}")
+    write_result("fig04_confidence_model", lines)
+
+    assert values == sorted(values)
+    assert values[0] < 1e-6
+    assert values[-1] > 0.98
+
+    counts = np.array([3.0, 40.0, 1.0, 0.0])
+    benchmark(model.decide, counts, 0.8)

@@ -1,0 +1,40 @@
+"""Figure 7: the random-trajectories workload.
+
+Characterizes one generated workload — consecutive-step distances vs
+the spread parameter r_d and plan coverage along the way — and times
+workload generation.
+"""
+
+import numpy as np
+
+from _bench_utils import write_result
+from repro.tpch import plan_space_for
+from repro.workload import RandomTrajectoryWorkload
+
+
+def test_fig07_trajectory_workload(benchmark):
+    space = plan_space_for("Q1")
+    lines = [
+        "Figure 7 — random-trajectories workloads over Q1 (1000 instances,",
+        "10 trajectories)",
+        "",
+        f"{'r_d':>6s} {'median step':>12s} {'plans visited':>14s}",
+    ]
+    medians = []
+    for spread in (0.01, 0.02, 0.04, 0.08):
+        workload = RandomTrajectoryWorkload(
+            2, spread=spread, seed=7
+        ).generate(1000)
+        steps = np.linalg.norm(np.diff(workload, axis=0), axis=1)
+        visited = len(np.unique(space.plan_at(workload)))
+        medians.append(float(np.median(steps)))
+        lines.append(
+            f"{spread:6.2f} {np.median(steps):12.4f} {visited:14d}"
+        )
+    write_result("fig07_trajectories", lines)
+
+    # Larger r_d -> larger jitter between consecutive instances.
+    assert medians == sorted(medians)
+
+    generator = RandomTrajectoryWorkload(2, spread=0.02, seed=7)
+    benchmark(generator.generate, 1000)

@@ -1,0 +1,66 @@
+"""Figure 8: BASELINE vs NAIVE vs APPROXIMATE-LSH.
+
+Reproduces the approximation ladder on the two extremes the paper
+highlights — Q1 (2 parameters, NAIVE survives) and Q7 (6 parameters,
+NAIVE collapses while APPROXIMATE-LSH stays close to BASELINE) —
+across sample sizes |X| in {200 .. 6400}.  Times one LSH prediction.
+"""
+
+import numpy as np
+
+from _bench_utils import write_result
+from repro.core.lsh_predictor import LshPredictor
+from repro.experiments.approximation import run_approximation_ladder
+from repro.tpch import plan_space_for
+from repro.workload import sample_labeled_pool, sample_points
+
+
+def _render(template: str, results) -> list[str]:
+    lines = [
+        f"-- {template} --",
+        f"{'|X|':>6s} {'algorithm':18s} {'precision':>10s} {'recall':>8s} "
+        f"{'bytes':>10s}",
+    ]
+    for row in results:
+        lines.append(
+            f"{row.sample_size:6d} {row.algorithm:18s} "
+            f"{row.precision:10.3f} {row.recall:8.3f} {row.space_bytes:10,d}"
+        )
+    return lines
+
+
+def test_fig08_approximation_ladder(benchmark):
+    q1 = run_approximation_ladder(template="Q1", seed=7)
+    q7 = run_approximation_ladder(
+        template="Q7",
+        sample_sizes=(200, 400, 800, 1600, 3200),
+        test_size=600,
+        seed=7,
+    )
+    lines = [
+        "Figure 8 — precision/recall of BASELINE vs NAIVE vs",
+        "APPROXIMATE-LSH (gamma = 0.7, d = 0.05, t = 5)",
+        "",
+    ]
+    lines += _render("Q1", q1)
+    lines.append("")
+    lines += _render("Q7", q7)
+    write_result("fig08_approximation", lines)
+
+    def mean_precision(rows, algorithm):
+        cells = [r.precision for r in rows if r.algorithm == algorithm]
+        return float(np.mean(cells))
+
+    # Paper shape: on the high-dimensional template NAIVE's precision is
+    # clearly below APPROXIMATE-LSH, which stays close to BASELINE.
+    assert mean_precision(q7, "NAIVE") < mean_precision(q7, "APPROXIMATE-LSH")
+    assert (
+        mean_precision(q7, "APPROXIMATE-LSH")
+        > mean_precision(q7, "BASELINE") - 0.15
+    )
+
+    space = plan_space_for("Q1")
+    pool = sample_labeled_pool(space, 1600, seed=7)
+    predictor = LshPredictor(pool, transforms=5, resolution=8, seed=1)
+    point = sample_points(2, 1, seed=3)[0]
+    benchmark(predictor.predict, point)

@@ -1,0 +1,52 @@
+"""Figure 9: APPROXIMATE-LSH vs APPROXIMATE-LSH-HISTOGRAMS on Q5.
+
+Paper shape: moving the grid synopses into boundary-optimizing database
+histograms improves precision (better-aligned buckets) at some cost in
+recall (z-order fragmentation + the confidence check), with a large
+space saving.  Times one histogram prediction.
+"""
+
+import numpy as np
+
+from _bench_utils import write_result
+from repro.core.histogram_predictor import HistogramPredictor
+from repro.experiments.approximation import run_histogram_comparison
+from repro.tpch import plan_space_for
+from repro.workload import sample_labeled_pool, sample_points
+
+
+def test_fig09_histogram_comparison(benchmark):
+    results = run_histogram_comparison(template="Q5", test_size=600, seed=7)
+    lines = [
+        "Figure 9 — APPROXIMATE-LSH vs APPROXIMATE-LSH-HISTOGRAMS (Q5,",
+        "gamma = 0.7, d = 0.05, t = 5, b_h = 40)",
+        "",
+        f"{'|X|':>6s} {'algorithm':28s} {'precision':>10s} {'recall':>8s} "
+        f"{'bytes':>10s}",
+    ]
+    for row in results:
+        lines.append(
+            f"{row.sample_size:6d} {row.algorithm:28s} "
+            f"{row.precision:10.3f} {row.recall:8.3f} {row.space_bytes:10,d}"
+        )
+    write_result("fig09_histograms", lines)
+
+    def mean(rows, algorithm, attr):
+        cells = [
+            getattr(r, attr) for r in rows if r.algorithm == algorithm
+        ]
+        return float(np.mean(cells))
+
+    hist = "APPROXIMATE-LSH-HISTOGRAMS"
+    grid = "APPROXIMATE-LSH"
+    # Precision at least comparable, space strictly smaller.
+    assert mean(results, hist, "precision") >= mean(results, grid, "precision") - 0.03
+    assert mean(results, hist, "space_bytes") < mean(results, grid, "space_bytes")
+
+    space = plan_space_for("Q5")
+    pool = sample_labeled_pool(space, 1600, seed=7)
+    predictor = HistogramPredictor(
+        pool, transforms=5, max_buckets=40, radius=0.05, seed=1
+    )
+    point = sample_points(space.dimensions, 1, seed=3)[0]
+    benchmark(predictor.predict, point)

@@ -1,0 +1,72 @@
+"""Figure 10: effect of the transform count t and the bucket budget b_h.
+
+(a) precision vs t on templates of increasing dimensionality — the
+paper observes precision gains from more transforms, larger at higher
+dimensions; (b) recall vs b_h with precision roughly flat — the space
+dial of APPROXIMATE-LSH-HISTOGRAMS.
+"""
+
+import numpy as np
+
+from _bench_utils import write_result
+from repro.experiments.approximation import run_bucket_sweep, run_transform_sweep
+
+
+def test_fig10a_transform_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_transform_sweep,
+        kwargs=dict(
+            templates=("Q1", "Q5"),
+            transform_counts=(3, 5, 7, 9, 11),
+            sample_size=3200,
+            test_size=600,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Figure 10(a) — precision vs number of transforms t",
+        "(gamma = 0.7, |X| = 3200, b_h = 40)",
+        "",
+        f"{'template':>8s} {'t':>4s} {'precision':>10s} {'recall':>8s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.template:>8s} {row.value:4.0f} "
+            f"{row.precision:10.3f} {row.recall:8.3f}"
+        )
+    write_result("fig10a_transform_sweep", lines)
+
+    for template in ("Q1", "Q5"):
+        cells = [r for r in rows if r.template == template]
+        first, last = cells[0], cells[-1]
+        assert last.precision >= first.precision - 0.03
+
+
+def test_fig10b_bucket_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_bucket_sweep,
+        kwargs=dict(
+            template="Q1",
+            bucket_counts=(10, 20, 40, 80, 160),
+            sample_size=3200,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Figure 10(b) — recall vs histogram bucket budget b_h (Q1,",
+        "gamma = 0.7, t = 5; precision should stay flat)",
+        "",
+        f"{'b_h':>5s} {'precision':>10s} {'recall':>8s}",
+    ]
+    for row in rows:
+        lines.append(f"{row.value:5.0f} {row.precision:10.3f} {row.recall:8.3f}")
+    write_result("fig10b_bucket_sweep", lines)
+
+    recalls = [row.recall for row in rows]
+    precisions = [row.precision for row in rows]
+    assert recalls[-1] >= recalls[0]
+    assert float(np.ptp(precisions)) < 0.12

@@ -1,0 +1,62 @@
+"""Figure 12: noise elimination and negative feedback.
+
+Runs the same trajectory workloads through the full online variant and
+through ablated variants (no noise elimination / no negative feedback /
+neither), plus the random-invocation probability sweep.  Paper shape:
+without noise elimination precision degrades as points accumulate;
+negative feedback improves precision (and possibly recall); higher
+invocation probability buys a little precision.
+"""
+
+from _bench_utils import write_result
+from repro.experiments.online_perf import (
+    run_feedback_ablation,
+    run_invocation_sweep,
+)
+
+
+def test_fig12_feedback_and_noise(benchmark):
+    runs = benchmark.pedantic(
+        run_feedback_ablation,
+        kwargs=dict(
+            template="Q1", spread=0.02, workload_size=1000, repeats=5, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Figure 12 — effect of noise elimination and negative feedback",
+        "(Q1, r_d = 0.02, 1000 instances, 5 workloads)",
+        "",
+        f"{'variant':24s} {'precision':>10s} {'recall':>8s} "
+        f"{'invocations':>12s}",
+    ]
+    by_variant = {}
+    for run in runs:
+        by_variant[run.variant] = run
+        lines.append(
+            f"{run.variant:24s} {run.precision:10.3f} {run.recall:8.3f} "
+            f"{run.optimizer_invocations:12d}"
+        )
+
+    sweep = run_invocation_sweep(
+        template="Q1", probabilities=(0.0, 0.1, 0.2, 0.3), workload_size=800,
+        repeats=2, seed=11,
+    )
+    lines += [
+        "",
+        "random optimizer invocations: precision vs mean probability",
+        f"{'p':>5s} {'precision':>10s} {'recall':>8s} {'invocations':>12s}",
+    ]
+    for run in sweep:
+        lines.append(
+            f"{run.variant[2:]:>5s} {run.precision:10.3f} {run.recall:8.3f} "
+            f"{run.optimizer_invocations:12d}"
+        )
+    write_result("fig12_feedback", lines)
+
+    # Paper shape: the full variant is at least as precise as running
+    # with neither safeguard, and feedback does not hurt recall much.
+    assert by_variant["full"].precision >= by_variant["neither"].precision - 0.02
+    # More exploration -> more invocations.
+    assert sweep[-1].optimizer_invocations > sweep[0].optimizer_invocations

@@ -1,0 +1,53 @@
+"""Figure 13: end-to-end runtime of PPC vs no caching vs IDEAL.
+
+Replays a tight trajectory workload (r_d = 0.01, d = 0.01, gamma = 0.8,
+noise elimination on) through the runtime simulator.  Paper shape:
+PPC lands between NO-CACHING and the hypothetical IDEAL predictor, and
+the longer the workload runs the wider the gap to NO-CACHING grows.
+"""
+
+from _bench_utils import write_result
+from repro.experiments.runtime_perf import run_runtime_comparison
+
+
+def test_fig13_runtime(benchmark):
+    rows, breakdowns = benchmark.pedantic(
+        run_runtime_comparison,
+        kwargs=dict(
+            templates=("Q0", "Q1", "Q8"), workload_size=1000, spread=0.01,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Figure 13 — simulated runtime (1000 instances, r_d = 0.01,",
+        "d = 0.01, b_h = 40, t = 5, gamma = 0.8, noise elimination on)",
+        "",
+        f"{'template':>8s} {'regime':>10s} {'total ms':>12s} "
+        f"{'optimize ms':>12s} {'execute ms':>12s} {'overhead ms':>12s} "
+        f"{'invocations':>12s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.template:>8s} {row.regime:>10s} {row.total_ms:12,.0f} "
+            f"{row.optimization_ms:12,.0f} {row.execution_ms:12,.0f} "
+            f"{row.overhead_ms:12,.0f} {row.optimizer_invocations:12d}"
+        )
+    # Cumulative curves at selected checkpoints for Q1.
+    lines += ["", "Q1 cumulative time (ms) at instance checkpoints:"]
+    checkpoints = (100, 250, 500, 750, 999)
+    header = "  " + " ".join(f"{c:>10d}" for c in checkpoints)
+    lines.append("  regime    " + header)
+    for regime, breakdown in breakdowns["Q1"].items():
+        series = breakdown.cumulative_ms
+        values = " ".join(f"{series[c]:10,.0f}" for c in checkpoints)
+        lines.append(f"  {regime:10s}  {values}")
+    write_result("fig13_runtime", lines)
+
+    for template in ("Q0", "Q1", "Q8"):
+        by_regime = {
+            r.regime: r for r in rows if r.template == template
+        }
+        assert by_regime["IDEAL"].total_ms <= by_regime["PPC"].total_ms
+        assert by_regime["PPC"].total_ms < by_regime["NO-CACHING"].total_ms

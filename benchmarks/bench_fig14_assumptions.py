@@ -1,0 +1,49 @@
+"""Figure 14 (Appendix B): validating the predictability assumptions.
+
+P(same plan | distance <= d), reported at the 95 % lower bound, over
+Q0-Q5 as d varies — plus the 90th-percentile relative cost deviation of
+same-plan pairs (Assumption 2).  Paper shape: high probability at small
+d, decaying slowly with distance.
+"""
+
+from _bench_utils import write_result
+from repro.experiments.assumptions import run_assumption_validation
+
+
+def test_fig14_assumption_validation(benchmark):
+    rows = benchmark.pedantic(
+        run_assumption_validation,
+        kwargs=dict(
+            templates=("Q0", "Q1", "Q2", "Q3", "Q4", "Q5"),
+            distances=(0.01, 0.02, 0.05, 0.1, 0.2),
+            test_points=60,
+            neighbors_per_point=100,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Figure 14 — plan choice predictability: P(same plan | dist <= d),",
+        "95% lower bound, and same-plan cost deviation (p90) over Q0-Q5",
+        "",
+        f"{'template':>8s} {'d':>6s} {'P(same)':>8s} {'95% LB':>8s} "
+        f"{'cost dev p90':>13s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.template:>8s} {row.distance:6.2f} "
+            f"{row.same_plan_probability:8.3f} "
+            f"{row.same_plan_lower_bound_95:8.3f} "
+            f"{row.cost_epsilon_p90:13.3f}"
+        )
+    write_result("fig14_assumptions", lines)
+
+    for template in ("Q0", "Q1", "Q2", "Q3", "Q4", "Q5"):
+        cells = [r for r in rows if r.template == template]
+        # Assumption 1 holds at small distances and decays with d.
+        assert cells[0].same_plan_probability > 0.85, template
+        assert (
+            cells[0].same_plan_probability
+            >= cells[-1].same_plan_probability - 1e-9
+        )

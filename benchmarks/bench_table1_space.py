@@ -1,0 +1,46 @@
+"""Table I: complexity and space consumption of the four algorithms.
+
+Instantiates BASELINE, NAIVE, APPROXIMATE-LSH and
+APPROXIMATE-LSH-HISTOGRAMS at |X| = 3200 over Q1 and reports the
+measured footprints under the paper's byte-accounting model; times the
+construction of the histogram structure.
+"""
+
+from _bench_utils import write_result
+from repro.core.histogram_predictor import HistogramPredictor
+from repro.experiments.tables import run_space_accounting
+from repro.tpch import plan_space_for
+from repro.workload import sample_labeled_pool
+
+
+def test_table1_space_accounting(benchmark):
+    rows = run_space_accounting(template="Q1", sample_size=3200, seed=7)
+    lines = [
+        "Table I — prediction complexity and space (Q1, |X| = 3200,",
+        "t = 5, b_g = 8 per axis, b_h = 40)",
+        "",
+        f"{'algorithm':28s} {'complexity':>26s} {'space formula':>18s} "
+        f"{'measured bytes':>15s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:28s} {row.prediction_complexity:>26s} "
+            f"{row.space_formula:>18s} {row.measured_bytes:15,d}"
+        )
+    write_result("table1_space", lines)
+
+    by_name = {r.algorithm: r.measured_bytes for r in rows}
+    # BASELINE grows with |X|; the synopsis structures do not, and the
+    # histograms are the most compact of the LSH family.
+    assert by_name["APPROXIMATE-LSH-HISTOGRAMS"] < by_name["APPROXIMATE-LSH"]
+
+    space = plan_space_for("Q1")
+    pool = sample_labeled_pool(space, 3200, seed=7)
+    benchmark(
+        HistogramPredictor,
+        pool,
+        plan_count=space.plan_count,
+        transforms=5,
+        max_buckets=40,
+        seed=1,
+    )

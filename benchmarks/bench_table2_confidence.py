@@ -1,0 +1,37 @@
+"""Table II: precision as the confidence threshold gamma increases.
+
+Q1, |X| = 3200, b_h = 40, t = 5, averaged over d in {0.05, 0.1, 0.15,
+0.2}.  Paper shape: precision rises with gamma; recall is the price.
+"""
+
+from _bench_utils import write_result
+from repro.experiments.approximation import run_confidence_sweep
+
+
+def test_table2_confidence_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_confidence_sweep,
+        kwargs=dict(
+            template="Q1",
+            gammas=(0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
+            sample_size=3200,
+            seed=7,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Table II — precision/recall vs confidence threshold (Q1,",
+        "|X| = 3200, b_h = 40, t = 5, averaged over d in {0.05..0.2})",
+        "",
+        f"{'gamma':>6s} {'precision':>10s} {'recall':>8s}",
+    ]
+    for row in rows:
+        lines.append(f"{row.value:6.2f} {row.precision:10.3f} {row.recall:8.3f}")
+    write_result("table2_confidence", lines)
+
+    precisions = [row.precision for row in rows]
+    recalls = [row.recall for row in rows]
+    # Precision non-decreasing (within jitter), recall non-increasing.
+    assert precisions[-1] >= precisions[0] - 0.02
+    assert recalls[-1] <= recalls[0] + 0.02

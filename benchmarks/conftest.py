@@ -1,0 +1,10 @@
+"""Pytest configuration for the benchmark suite.
+
+Ensures the benchmarks directory is importable so every bench can use
+the shared helpers in ``_bench_utils``.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,77 @@
+"""repro — Parametric Plan Caching Using Density-Based Clustering.
+
+A from-scratch reproduction of Aluç, DeHaan and Bowman (ICDE 2012):
+an online density-based plan-space clustering framework for parametric
+plan caching, built on locality-sensitive hashing and database
+histograms, together with the full substrate it needs — a cost-based
+query optimizer over a modified TPC-H catalog, workload generators, and
+an end-to-end runtime simulator.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PPCFramework, plan_space_for
+    from repro.workload import RandomTrajectoryWorkload
+
+    space = plan_space_for("Q1")
+    framework = PPCFramework()
+    framework.register(space)
+    workload = RandomTrajectoryWorkload(space.dimensions, spread=0.02, seed=7)
+    for point in workload.generate(500):
+        framework.execute("Q1", point)
+    session = framework.session("Q1")
+    print(session.ground_truth_metrics())
+"""
+
+from repro.config import PPCConfig
+from repro.core import (
+    BaselinePredictor,
+    ConfidenceModel,
+    CostFeedbackDetector,
+    ExecutionRecord,
+    HistogramPredictor,
+    LshPredictor,
+    NaivePredictor,
+    OnlinePredictor,
+    PerformanceMonitor,
+    PlanCache,
+    PlanPredictor,
+    PPCFramework,
+    Prediction,
+    SamplePool,
+    TemplateSession,
+)
+from repro.exceptions import ReproError
+from repro.optimizer import Optimizer, PlanSpace, QueryTemplate
+from repro.service import PlanCachingService
+from repro.tpch import build_catalog, build_statistics, plan_space_for
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PPCConfig",
+    "BaselinePredictor",
+    "ConfidenceModel",
+    "CostFeedbackDetector",
+    "ExecutionRecord",
+    "HistogramPredictor",
+    "LshPredictor",
+    "NaivePredictor",
+    "OnlinePredictor",
+    "PerformanceMonitor",
+    "PlanCache",
+    "PlanPredictor",
+    "PPCFramework",
+    "Prediction",
+    "SamplePool",
+    "TemplateSession",
+    "ReproError",
+    "Optimizer",
+    "PlanSpace",
+    "QueryTemplate",
+    "PlanCachingService",
+    "build_catalog",
+    "build_statistics",
+    "plan_space_for",
+    "__version__",
+]

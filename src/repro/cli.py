@@ -1,0 +1,333 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small utilities for poking at the reproduction without writing code:
+
+* ``templates`` — Table III: the nine query templates and plan counts;
+* ``diagram Q1`` — ASCII plan diagram of a two-parameter template;
+* ``predict Q1 0.3 0.7`` — the optimizer's choice and the per-plan
+  costs at one plan-space point;
+* ``session Q1 --instances 500`` — run an online plan-caching session
+  over a trajectory workload and report the outcome;
+* ``assumptions Q1`` — validate plan choice predictability on a template.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import PPCConfig, PPCFramework
+from repro.experiments.assumptions import run_assumption_validation
+from repro.experiments.diagrams import plan_diagram
+from repro.tpch import TEMPLATE_NAMES, plan_space_for, query_template
+from repro.workload import RandomTrajectoryWorkload, sample_points
+
+
+def _cmd_templates(args: argparse.Namespace) -> int:
+    print(f"{'name':>4s} {'degree':>7s} {'plans':>6s}  sql")
+    for name in TEMPLATE_NAMES:
+        template = query_template(name)
+        space = plan_space_for(name)
+        probes = sample_points(space.dimensions, args.probes, seed=0)
+        plans = len(set(space.plan_at(probes).tolist()))
+        print(
+            f"{name:>4s} {template.parameter_degree:7d} {plans:6d}  "
+            f"{template.sql()}"
+        )
+    return 0
+
+
+def _cmd_diagram(args: argparse.Namespace) -> int:
+    template = query_template(args.template)
+    if template.parameter_degree != 2:
+        print(
+            f"{args.template} has degree {template.parameter_degree}; "
+            "diagrams need a 2-parameter template (Q0, Q1, Q2)",
+            file=sys.stderr,
+        )
+        return 1
+    diagram = plan_diagram(args.template, resolution=args.resolution)
+    print(diagram.render())
+    print()
+    for plan, fraction in sorted(
+        diagram.plan_fractions.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"P{plan}: {fraction:6.1%}")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    space = plan_space_for(args.template)
+    if len(args.coords) != space.dimensions:
+        print(
+            f"{args.template} needs {space.dimensions} coordinates",
+            file=sys.stderr,
+        )
+        return 1
+    point = np.array(args.coords)[None, :]
+    ids, costs = space.label(point)
+    print(f"optimal plan : P{int(ids[0])}  (cost {costs[0]:,.1f})")
+    print(space.plan(int(ids[0])).describe())
+    print("\nall candidates:")
+    matrix = space.cost_matrix(point)[:, 0]
+    for plan_id in np.argsort(matrix):
+        print(f"  P{int(plan_id)}: {matrix[plan_id]:12,.1f}")
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    space = plan_space_for(args.template)
+    framework = PPCFramework(
+        PPCConfig(confidence_threshold=args.gamma), seed=args.seed
+    )
+    framework.register(space)
+    workload = RandomTrajectoryWorkload(
+        space.dimensions, spread=args.spread, seed=args.seed
+    ).generate(args.instances)
+    for point in workload:
+        framework.execute(args.template, point)
+    session = framework.session(args.template)
+    metrics = session.ground_truth_metrics()
+    print(f"instances            : {args.instances}")
+    print(f"optimizer invocations: {session.optimizer_invocations}")
+    print(f"precision            : {metrics.precision:.3f}")
+    print(f"recall               : {metrics.recall:.3f}")
+    print(f"synopsis bytes       : {session.online.space_bytes():,d}")
+    return 0
+
+
+#: Experiment registry: name -> (import path, callable, kwargs for a
+#: quick run).  ``repro experiment <name>`` runs one and prints its
+#: result rows as an aligned table.
+EXPERIMENTS: dict[str, tuple[str, str, dict]] = {
+    "fig03": (
+        "repro.experiments.comparison",
+        "run_clustering_comparison",
+        {"repeats": 3, "sample_size": 600, "test_size": 600},
+    ),
+    "fig08": (
+        "repro.experiments.approximation",
+        "run_approximation_ladder",
+        {"sample_sizes": (400, 1600), "test_size": 500},
+    ),
+    "fig09": (
+        "repro.experiments.approximation",
+        "run_histogram_comparison",
+        {"sample_sizes": (400, 1600), "test_size": 500},
+    ),
+    "table2": (
+        "repro.experiments.approximation",
+        "run_confidence_sweep",
+        {"sample_size": 1600, "test_size": 500},
+    ),
+    "fig10a": (
+        "repro.experiments.approximation",
+        "run_transform_sweep",
+        {"templates": ("Q1",), "sample_size": 1600, "test_size": 500},
+    ),
+    "fig10b": (
+        "repro.experiments.approximation",
+        "run_bucket_sweep",
+        {"sample_size": 1600, "test_size": 500},
+    ),
+    "fig11": (
+        "repro.experiments.online_perf",
+        "run_online_performance",
+        {"templates": ("Q1",), "spreads": (0.01, 0.04), "radii": (0.1,)},
+    ),
+    "fig12": (
+        "repro.experiments.online_perf",
+        "run_feedback_ablation",
+        {"workload_size": 600, "repeats": 2},
+    ),
+    "fig13": (
+        "repro.experiments.runtime_perf",
+        "run_runtime_comparison",
+        {"templates": ("Q1",), "workload_size": 500},
+    ),
+    "fig14": (
+        "repro.experiments.assumptions",
+        "run_assumption_validation",
+        {"templates": ("Q1",), "test_points": 40, "neighbors_per_point": 60},
+    ),
+    "table1": ("repro.experiments.tables", "run_space_accounting", {}),
+    "table3": (
+        "repro.experiments.tables",
+        "run_template_inventory",
+        {"probe_points": 500},
+    ),
+    "drift": (
+        "repro.experiments.drift",
+        "run_estimator_accuracy",
+        {"sample_size": 1000, "test_size": 1000},
+    ),
+    "noise": (
+        "repro.experiments.online_perf",
+        "run_noise_sweep",
+        {"workload_size": 500, "repeats": 2},
+    ),
+    "invocations": (
+        "repro.experiments.online_perf",
+        "run_invocation_sweep",
+        {"workload_size": 500, "repeats": 2},
+    ),
+}
+
+
+def _render_rows(result) -> None:
+    """Print experiment output as an aligned table.
+
+    Handles the drivers' return shapes: a list of dataclasses, a single
+    dataclass, or a (rows, extra) tuple.
+    """
+    import dataclasses
+
+    if isinstance(result, tuple):
+        result = result[0]
+    rows = result if isinstance(result, list) else [result]
+    if not rows:
+        print("(no rows)")
+        return
+    if not dataclasses.is_dataclass(rows[0]):
+        for row in rows:
+            print(row)
+        return
+    records = []
+    for row in rows:
+        record = {}
+        for field in dataclasses.fields(row):
+            value = getattr(row, field.name)
+            if hasattr(value, "precision") and hasattr(value, "recall"):
+                record["precision"] = f"{value.precision:.3f}"
+                record["recall"] = f"{value.recall:.3f}"
+            elif isinstance(value, float):
+                record[field.name] = f"{value:.3f}"
+            elif isinstance(value, (list, np.ndarray, dict)):
+                continue  # skip bulky series columns
+            else:
+                record[field.name] = str(value)
+        records.append(record)
+    columns = list(records[0])
+    widths = {
+        c: max(len(c), *(len(r.get(c, "")) for r in records)) for c in columns
+    }
+    print("  ".join(c.rjust(widths[c]) for c in columns))
+    for record in records:
+        print(
+            "  ".join(record.get(c, "").rjust(widths[c]) for c in columns)
+        )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name, function_name, kwargs = EXPERIMENTS[args.name]
+    module = importlib.import_module(module_name)
+    print(f"running {module_name}.{function_name} (reduced parameters; "
+          "see benchmarks/ for the full configuration)")
+    result = getattr(module, function_name)(**kwargs)
+    _render_rows(result)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.optimizer.diagnostics import profile_plan_space
+
+    space = plan_space_for(args.template)
+    profile = profile_plan_space(space, samples=args.samples)
+    print(profile.summary())
+    print()
+    print(f"{'plan':>5s} {'area':>7s}")
+    ranked = sorted(profile.area_fractions.items(), key=lambda kv: -kv[1])
+    for plan, fraction in ranked:
+        print(f"P{plan:<4d} {fraction:7.1%}")
+    return 0
+
+
+def _cmd_assumptions(args: argparse.Namespace) -> int:
+    rows = run_assumption_validation(
+        templates=(args.template,),
+        distances=(0.01, 0.02, 0.05, 0.1, 0.2),
+        test_points=args.points,
+        neighbors_per_point=args.neighbors,
+    )
+    print(f"{'d':>6s} {'P(same plan)':>13s} {'95% LB':>8s}")
+    for row in rows:
+        print(
+            f"{row.distance:6.2f} {row.same_plan_probability:13.3f} "
+            f"{row.same_plan_lower_bound_95:8.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parametric plan caching (ICDE 2012) reproduction tools",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    templates = commands.add_parser(
+        "templates", help="list the Q0-Q8 templates (Table III)"
+    )
+    templates.add_argument("--probes", type=int, default=1000)
+    templates.set_defaults(handler=_cmd_templates)
+
+    diagram = commands.add_parser(
+        "diagram", help="ASCII plan diagram of a 2-parameter template"
+    )
+    diagram.add_argument("template", choices=list(TEMPLATE_NAMES))
+    diagram.add_argument("--resolution", type=int, default=40)
+    diagram.set_defaults(handler=_cmd_diagram)
+
+    predict = commands.add_parser(
+        "predict", help="optimize one plan-space point"
+    )
+    predict.add_argument("template", choices=list(TEMPLATE_NAMES))
+    predict.add_argument("coords", type=float, nargs="+")
+    predict.set_defaults(handler=_cmd_predict)
+
+    session = commands.add_parser(
+        "session", help="run an online plan-caching session"
+    )
+    session.add_argument("template", choices=list(TEMPLATE_NAMES))
+    session.add_argument("--instances", type=int, default=500)
+    session.add_argument("--spread", type=float, default=0.02)
+    session.add_argument("--gamma", type=float, default=0.8)
+    session.add_argument("--seed", type=int, default=0)
+    session.set_defaults(handler=_cmd_session)
+
+    profile = commands.add_parser(
+        "profile", help="structural profile of a template's plan space"
+    )
+    profile.add_argument("template", choices=list(TEMPLATE_NAMES))
+    profile.add_argument("--samples", type=int, default=3000)
+    profile.set_defaults(handler=_cmd_profile)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one paper experiment at reduced scale"
+    )
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    assumptions = commands.add_parser(
+        "assumptions", help="validate plan choice predictability"
+    )
+    assumptions.add_argument("template", choices=list(TEMPLATE_NAMES))
+    assumptions.add_argument("--points", type=int, default=50)
+    assumptions.add_argument("--neighbors", type=int, default=100)
+    assumptions.set_defaults(handler=_cmd_assumptions)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

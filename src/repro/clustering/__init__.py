@@ -1,0 +1,24 @@
+"""Candidate clustering methods for plan prediction (Section III).
+
+Three clustering families, each extended with the sanity checks that
+trade recall for precision:
+
+* :class:`~repro.clustering.kmeans.KMeansPredictor` — per-plan k-means,
+  nearest-centroid prediction within a radius.
+* :class:`~repro.clustering.single_linkage.SingleLinkagePredictor` —
+  nearest labeled point within a radius.
+* :class:`~repro.clustering.density.DensityPredictor` — the density
+  predict algorithm with the confidence threshold (identical to
+  Algorithm 1, and the method the paper builds its framework on).
+"""
+
+from repro.clustering.density import DensityPredictor
+from repro.clustering.kmeans import KMeansPredictor, lloyd_kmeans
+from repro.clustering.single_linkage import SingleLinkagePredictor
+
+__all__ = [
+    "DensityPredictor",
+    "KMeansPredictor",
+    "lloyd_kmeans",
+    "SingleLinkagePredictor",
+]

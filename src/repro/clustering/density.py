@@ -1,0 +1,30 @@
+"""DENSITY PREDICT (Section III-A, algorithm c).
+
+Counts the sample points of each plan within radius ``d`` and returns
+the majority plan iff the confidence sanity check passes — this is
+precisely Algorithm 1 (BASELINE), so the class simply specializes
+:class:`~repro.core.baseline.BaselinePredictor` under its Section III
+name.  The qualitative comparison keeps it as a distinct entry point so
+experiments read like the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.baseline import BaselinePredictor
+from repro.core.point import SamplePool
+
+
+class DensityPredictor(BaselinePredictor):
+    """Density-based plan prediction with the confidence threshold."""
+
+    def __init__(
+        self,
+        pool: SamplePool,
+        radius: float = 0.1,
+        confidence_threshold: float = 0.75,
+    ) -> None:
+        super().__init__(
+            pool,
+            radius=radius,
+            confidence_threshold=confidence_threshold,
+        )

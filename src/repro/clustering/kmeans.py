@@ -1,0 +1,108 @@
+"""K-MEANS PREDICT (Section III-A, algorithm a).
+
+Sample points are grouped by plan label and each group is clustered
+independently into ``c`` clusters with Lloyd's algorithm.  Prediction
+returns the plan label of the nearest centroid, or NULL when the
+nearest centroid lies beyond the user-specified radius ``d`` — the
+distance-based sanity check.
+
+Centroid clustering assumes roughly spherical clusters, which plan
+optimality regions are not; the quantitative comparison (Figure 3)
+shows exactly that weakness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.point import SamplePool
+from repro.core.predictor import PlanPredictor, Prediction
+from repro.exceptions import ConfigurationError, PredictionError
+from repro.rng import as_generator
+
+
+def lloyd_kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: "int | np.random.Generator | None" = None,
+    max_iterations: int = 50,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plain Lloyd's algorithm.
+
+    Returns ``(centroids (k', dims), assignment (n,))`` where
+    ``k' <= k`` (duplicate/empty centroids are dropped).  Initialization
+    picks ``k`` distinct input points at random.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ConfigurationError("k-means needs a non-empty 2-D point array")
+    if k < 1:
+        raise ConfigurationError("k must be >= 1")
+    rng = as_generator(seed)
+    k = min(k, points.shape[0])
+    choice = rng.choice(points.shape[0], size=k, replace=False)
+    centroids = points[choice].copy()
+
+    assignment = np.zeros(points.shape[0], dtype=np.int64)
+    for __ in range(max_iterations):
+        distances = np.linalg.norm(
+            points[:, None, :] - centroids[None, :, :], axis=2
+        )
+        new_assignment = np.argmin(distances, axis=1)
+        if (new_assignment == assignment).all() and __ > 0:
+            break
+        assignment = new_assignment
+        for index in range(centroids.shape[0]):
+            members = points[assignment == index]
+            if members.shape[0]:
+                centroids[index] = members.mean(axis=0)
+
+    # Drop centroids that own no points.
+    occupied = np.unique(assignment)
+    centroids = centroids[occupied]
+    remap = {old: new for new, old in enumerate(occupied)}
+    assignment = np.array([remap[a] for a in assignment], dtype=np.int64)
+    return centroids, assignment
+
+
+class KMeansPredictor(PlanPredictor):
+    """Per-plan k-means clustering with a radius sanity check."""
+
+    def __init__(
+        self,
+        pool: SamplePool,
+        clusters_per_plan: int = 40,
+        radius: float = 0.1,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        if len(pool) == 0:
+            raise PredictionError("k-means predict needs a non-empty pool")
+        if radius <= 0.0:
+            raise PredictionError("radius must be > 0")
+        self.dimensions = pool.dimensions
+        self.radius = radius
+        rng = as_generator(seed)
+
+        coords = pool.coords
+        plan_ids = pool.plan_ids
+        centroid_list = []
+        label_list = []
+        for plan in np.unique(plan_ids):
+            members = coords[plan_ids == plan]
+            centroids, __ = lloyd_kmeans(members, clusters_per_plan, rng)
+            centroid_list.append(centroids)
+            label_list.append(np.full(centroids.shape[0], plan))
+        self._centroids = np.vstack(centroid_list)
+        self._labels = np.concatenate(label_list)
+
+    def predict(self, x: np.ndarray) -> "Prediction | None":
+        x = self._check_point(x)
+        distances = np.linalg.norm(self._centroids - x, axis=1)
+        nearest = int(np.argmin(distances))
+        if distances[nearest] > self.radius:
+            return None
+        return Prediction(int(self._labels[nearest]), confidence=1.0)
+
+    def space_bytes(self) -> int:
+        """Centroid coordinates (float32) plus one plan label each."""
+        return self._centroids.shape[0] * (4 * self.dimensions + 4)

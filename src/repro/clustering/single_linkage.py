@@ -1,0 +1,44 @@
+"""SINGLE LINKAGE PREDICT (Section III-A, algorithm b).
+
+Prediction returns the plan label of the nearest sample point, or NULL
+when the nearest point lies beyond radius ``d``.  Handles arbitrary
+cluster shapes but is blind to *where inside* a cluster the test point
+falls — a point just across a plan boundary confidently inherits the
+wrong label, which is why the density method's frequency-based check
+wins on precision (Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.point import SamplePool
+from repro.core.predictor import PlanPredictor, Prediction
+from repro.exceptions import PredictionError
+
+
+class SingleLinkagePredictor(PlanPredictor):
+    """Nearest-neighbor plan prediction with a radius sanity check."""
+
+    def __init__(self, pool: SamplePool, radius: float = 0.1) -> None:
+        if len(pool) == 0:
+            raise PredictionError(
+                "single-linkage predict needs a non-empty pool"
+            )
+        if radius <= 0.0:
+            raise PredictionError("radius must be > 0")
+        self.dimensions = pool.dimensions
+        self.radius = radius
+        self._coords = pool.coords
+        self._plan_ids = pool.plan_ids
+
+    def predict(self, x: np.ndarray) -> "Prediction | None":
+        x = self._check_point(x)
+        distances = np.linalg.norm(self._coords - x, axis=1)
+        nearest = int(np.argmin(distances))
+        if distances[nearest] > self.radius:
+            return None
+        return Prediction(int(self._plan_ids[nearest]), confidence=1.0)
+
+    def space_bytes(self) -> int:
+        return self._coords.shape[0] * (4 * self.dimensions + 4)

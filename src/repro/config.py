@@ -1,0 +1,55 @@
+"""Configuration dataclasses for the PPC framework.
+
+Defaults follow the paper's reference configuration where one is given:
+``t = 5`` transforms, ``b_h = 40`` histogram buckets, confidence
+threshold ``gamma = 0.8`` online (0.7 offline), 5 % mean optimizer
+invocation probability, cost error bound ``epsilon = 0.25``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PPCConfig:
+    """Knobs of one template's online plan-caching session."""
+
+    transforms: int = 5
+    resolution: int = 16
+    max_buckets: int = 40
+    radius: float = 0.05
+    confidence_threshold: float = 0.8
+    noise_fraction: "float | None" = 0.002
+    mean_invocation_probability: float = 0.05
+    negative_feedback: bool = True
+    cost_epsilon: float = 0.25
+    #: Positive feedback (the paper's future-work extension): insert
+    #: trusted predictions as discounted, capped sample points.
+    positive_feedback: bool = False
+    positive_feedback_min_confidence: float = 0.97
+    positive_feedback_weight: float = 0.25
+    positive_feedback_mass_cap: float = 0.5
+    monitor_window: int = 100
+    drift_threshold: float = 0.5
+    drift_min_observations: int = 30
+    drift_response: bool = True
+    cache_capacity: int = 32
+
+    def __post_init__(self) -> None:
+        if self.transforms < 1:
+            raise ConfigurationError("transforms must be >= 1")
+        if self.max_buckets < 1:
+            raise ConfigurationError("max_buckets must be >= 1")
+        if self.radius <= 0.0:
+            raise ConfigurationError("radius must be > 0")
+        if not 0.0 <= self.confidence_threshold <= 1.0:
+            raise ConfigurationError("confidence threshold must be in [0, 1]")
+        if not 0.0 <= self.mean_invocation_probability <= 1.0:
+            raise ConfigurationError(
+                "mean invocation probability must be in [0, 1]"
+            )
+        if self.cache_capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")

@@ -1,0 +1,82 @@
+"""Plan cache with caching-potential eviction.
+
+The PPC framework stores actual plan objects in a bounded cache; the
+clustering structures only ever reference plan identifiers.  When the
+cache is full, the evicted victim is the plan with the lowest *caching
+potential*: the product of its sliding precision estimate (plans whose
+predictions keep failing are poor cache citizens — Section IV-E) and a
+recency preference (least-recently-used among equals).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.monitor import PerformanceMonitor
+from repro.exceptions import ConfigurationError
+from repro.optimizer.plans import PhysicalPlan
+
+
+class PlanCache:
+    """Bounded plan store keyed by plan id."""
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        monitor: "PerformanceMonitor | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.monitor = monitor
+        self._plans: OrderedDict[int, PhysicalPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, plan_id: int) -> bool:
+        return plan_id in self._plans
+
+    def get(self, plan_id: int) -> "PhysicalPlan | None":
+        """Fetch a plan, refreshing its recency."""
+        plan = self._plans.get(plan_id)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(plan_id)
+        self.hits += 1
+        return plan
+
+    def put(self, plan_id: int, plan: PhysicalPlan) -> None:
+        """Insert (or refresh) a plan, evicting if over capacity."""
+        if plan_id in self._plans:
+            self._plans.move_to_end(plan_id)
+            self._plans[plan_id] = plan
+            return
+        if len(self._plans) >= self.capacity:
+            self._evict()
+        self._plans[plan_id] = plan
+
+    def _evict(self) -> None:
+        victim = min(self._plans, key=self._caching_potential)
+        del self._plans[victim]
+        self.evictions += 1
+
+    def _caching_potential(self, plan_id: int) -> tuple[float, int]:
+        """Lower = evicted first: precision estimate, then LRU order."""
+        precision = (
+            self.monitor.plan_precision(plan_id) if self.monitor else 1.0
+        )
+        recency = list(self._plans).index(plan_id)
+        return (precision, recency)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

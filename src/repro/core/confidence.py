@@ -1,0 +1,184 @@
+"""The chord-based confidence model of Section IV-A.
+
+Around a test point, the density predictor counts labeled sample
+points per plan within radius ``d``.  When the counts are mixed, the
+paper models the neighborhood as a circle split by a straight plan
+boundary (a chord): the majority plan ``P_max`` occupies one side, all
+other plans the other side (Figure 4(b)).  The sample-count ratio
+``c_max / sum(others)`` determines where that chord must lie, the chord
+position determines the angle ``theta``, and the prediction confidence
+is ``sin(theta)``:
+
+* ratio <= 1 — the test point may be outside ``P_max``'s region:
+  confidence 0;
+* ratio -> infinity — the chord is pushed to the circle's far edge:
+  confidence -> 1.
+
+A pure neighborhood (no foreign samples) follows the probabilistic
+model of Figure 4(a) instead: each sample point independently asserts
+that its neighbors share its plan with probability ``chi`` (the plan
+choice predictability constant, 0.9 in the paper's example), so the
+confidence after ``alpha`` agreeing samples is ``1 - (1 - chi)^alpha``
+— the paper's "larger alpha implies greater confidence".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Plan choice predictability constant chi of Assumption 1; drives the
+#: confidence of pure (single-plan) neighborhoods.
+DEFAULT_CHI = 0.9
+
+#: Resolution of the precomputed ratio -> confidence interpolation table.
+_TABLE_SIZE = 512
+
+
+def segment_fraction(phi: float) -> float:
+    """Area fraction of a circular segment with half-angle ``phi``.
+
+    The segment cut off by a chord whose half-angle (as seen from the
+    centre) is ``phi`` has area ``r^2 (phi - sin(phi) cos(phi))``; as a
+    fraction of the disc, that is ``(phi - sin(phi) cos(phi)) / pi``.
+    """
+    return (phi - math.sin(phi) * math.cos(phi)) / math.pi
+
+
+def confidence_angle(ratio: float) -> float:
+    """Solve for the chord half-angle given the count ratio.
+
+    The minority side must occupy area fraction ``1 / (1 + ratio)``;
+    bisection finds the half-angle ``phi`` producing that fraction.
+    Returns ``theta = pi/2 - phi``, the angle whose sine is the
+    confidence.
+    """
+    if ratio < 1.0:
+        return 0.0
+    target = 1.0 / (1.0 + ratio)
+    lo, hi = 0.0, math.pi / 2.0
+    for __ in range(60):
+        mid = (lo + hi) / 2.0
+        if segment_fraction(mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    phi = (lo + hi) / 2.0
+    return math.pi / 2.0 - phi
+
+
+def confidence_from_ratio(ratio: float) -> float:
+    """Exact confidence ``sin(theta(ratio))``."""
+    return math.sin(confidence_angle(ratio))
+
+
+class ConfidenceModel:
+    """Fast vectorized confidence evaluation with a precomputed table."""
+
+    def __init__(self, chi: float = DEFAULT_CHI) -> None:
+        if not 0.0 < chi < 1.0:
+            raise ConfigurationError("chi must lie strictly inside (0, 1)")
+        self.chi = chi
+        # Tabulate confidence against log-spaced ratios in [1, 1e6]; the
+        # curve saturates near 1 well before the upper end.
+        self._ratios = np.logspace(0.0, 6.0, _TABLE_SIZE)
+        self._confidences = np.array(
+            [confidence_from_ratio(r) for r in self._ratios]
+        )
+
+    def confidence(self, max_count: float, other_count: float) -> float:
+        """Confidence that the majority plan is optimal at the test point.
+
+        ``max_count`` is the sample count (or density) of the most
+        frequent plan inside the ball, ``other_count`` the total of all
+        remaining plans.  Pure neighborhoods use the probabilistic
+        ``1 - (1 - chi)^alpha`` model; mixed neighborhoods use the chord
+        model on the count ratio.  Returns 0 when the majority does not
+        strictly dominate.
+        """
+        if max_count <= 0.0:
+            return 0.0
+        others = max(other_count, 0.0)
+        if others == 0.0:
+            return 1.0 - (1.0 - self.chi) ** max_count
+        ratio = max_count / others
+        if ratio < 1.0:
+            return 0.0
+        if ratio >= self._ratios[-1]:
+            return 1.0
+        return float(np.interp(ratio, self._ratios, self._confidences))
+
+    def decide(
+        self,
+        counts: "np.ndarray | list[float]",
+        threshold: float,
+    ) -> "tuple[int | None, float]":
+        """Pick the majority plan if its confidence exceeds ``threshold``.
+
+        ``counts`` holds per-plan sample counts (index = plan id).
+        Returns ``(plan_id, confidence)``, with ``plan_id = None`` for a
+        NULL prediction.  This is lines 6-16 of Algorithm 1.
+        """
+        counts = np.asarray(counts, dtype=float)
+        if counts.size == 0 or counts.max() <= 0.0:
+            return None, 0.0
+        winner = int(np.argmax(counts))
+        max_count = float(counts[winner])
+        other_count = float(counts.sum() - max_count)
+        value = self.confidence(max_count, other_count)
+        if value > threshold:
+            return winner, value
+        return None, value
+
+    def decide_batch(
+        self,
+        counts: np.ndarray,
+        threshold: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`decide` over a ``(points, plans)`` matrix.
+
+        Returns ``(winners, confidences)`` where ``winners`` is ``-1``
+        for NULL predictions.
+        """
+        counts = np.asarray(counts, dtype=float)
+        if counts.ndim != 2:
+            raise ConfigurationError("decide_batch expects a 2-D matrix")
+        winners = np.argmax(counts, axis=1)
+        max_counts = counts[np.arange(counts.shape[0]), winners]
+        others = counts.sum(axis=1) - max_counts
+
+        confidences = np.zeros(counts.shape[0])
+        pure = (others <= 0.0) & (max_counts > 0.0)
+        confidences[pure] = 1.0 - (1.0 - self.chi) ** max_counts[pure]
+        mixed = (others > 0.0) & (max_counts >= others)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(others > 0.0, max_counts / np.maximum(others, 1e-300), 0.0)
+        confidences[mixed] = np.interp(
+            ratios[mixed], self._ratios, self._confidences
+        )
+        answered = confidences > threshold
+        winners = np.where(answered & (max_counts > 0.0), winners, -1)
+        return winners, confidences
+
+
+class FrequencyConfidenceModel(ConfidenceModel):
+    """Ablation baseline: raw relative frequency instead of the chord model.
+
+    Confidence is simply ``c_max / total`` — the majority plan's share
+    of the neighborhood.  Compared to the chord model this is far less
+    discriminating near boundaries (a 70/30 split already scores 0.7),
+    which the confidence-model ablation bench quantifies.
+    """
+
+    def confidence(self, max_count: float, other_count: float) -> float:
+        if max_count <= 0.0:
+            return 0.0
+        others = max(other_count, 0.0)
+        if others == 0.0:
+            return 1.0 - (1.0 - self.chi) ** max_count
+        if max_count < others:
+            return 0.0
+        return max_count / (max_count + others)

@@ -1,0 +1,59 @@
+"""Cost-based misprediction detection (negative feedback, Section IV-E).
+
+The sample pool contains only truly optimal points (no positive
+feedback), so the histogram cost synopses estimate the *optimal*
+execution cost near any point.  By the plan cost predictability
+assumption, a correct prediction's observed cost must lie within a
+relative error bound ``epsilon`` of that estimate; a larger deviation
+is taken — by the contrapositive — as evidence of a false prediction.
+The paper fixes ``epsilon = 0.25`` and reports the resulting binary
+estimator is about 72 % accurate.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+#: The paper's cost error bound.
+DEFAULT_EPSILON = 0.25
+
+
+class CostFeedbackDetector:
+    """Binary classifier: was a prediction erroneous, judging by cost?
+
+    By default the check is one-sided: executing a *wrong* plan can only
+    cost more than the optimal-cost estimate, never less, so a cheaper-
+    than-estimated execution signals estimate smearing rather than a
+    misprediction.  ``one_sided=False`` restores the symmetric bound for
+    ablation.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = DEFAULT_EPSILON,
+        one_sided: bool = True,
+    ) -> None:
+        if epsilon <= 0.0:
+            raise ConfigurationError("epsilon must be > 0")
+        self.epsilon = epsilon
+        self.one_sided = one_sided
+
+    def is_erroneous(
+        self,
+        estimated_cost: "float | None",
+        observed_cost: float,
+    ) -> bool:
+        """True when the observed cost falls outside the error bound.
+
+        With no cost estimate available (empty neighborhood) the
+        detector abstains, i.e. reports "not erroneous".
+        """
+        if estimated_cost is None or estimated_cost <= 0.0:
+            return False
+        if observed_cost <= 0.0:
+            return False
+        ratio = observed_cost / estimated_cost
+        bound = 1.0 + self.epsilon
+        if ratio > bound:
+            return True
+        return not self.one_sided and ratio < 1.0 / bound

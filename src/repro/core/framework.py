@@ -1,0 +1,263 @@
+"""The parametric plan-caching framework: the Figure-1 workflow.
+
+A :class:`TemplateSession` owns everything the RDBMS keeps per query
+template: the online predictor (clustered plan-space synopses), the
+performance monitor, and the plan cache.  ``execute`` runs one query
+instance through the full decision flow:
+
+1. predict the plan from the clustered plan space;
+2. decide whether to invoke the optimizer anyway (NULL prediction,
+   random exploration, or plan missing from the cache);
+3. execute; afterwards compare the observed cost against the synopsis
+   estimate and — on a suspected misprediction — invoke the optimizer
+   and feed the corrective point back (negative feedback);
+4. update precision/recall estimators, trigger the drift response when
+   estimated precision collapses.
+
+The plan-space oracle plays two roles, exactly as in the paper's
+prototype: it is the black-box optimizer the session invokes, and it
+supplies the experimenter's ground truth recorded in every
+:class:`ExecutionRecord` (the session itself never peeks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import PPCConfig
+from repro.core.cache import PlanCache
+from repro.core.monitor import PerformanceMonitor
+from repro.core.online import OnlinePredictor
+from repro.core.positive_feedback import PositiveFeedbackPolicy
+from repro.metrics.classification import PrecisionRecall, summarize
+from repro.metrics.classification import PredictionOutcome
+from repro.optimizer.plan_space import PlanSpace
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """Everything that happened for one query instance."""
+
+    template: str
+    point: np.ndarray
+    predicted: "int | None"
+    confidence: float
+    optimizer_invoked: bool
+    invocation_reason: str
+    executed_plan: int
+    execution_cost: float
+    optimal_plan: int
+    optimal_cost: float
+    drift_triggered: bool
+
+    @property
+    def correct(self) -> bool:
+        """Ground-truth correctness of the prediction (experimenter view)."""
+        return self.predicted is not None and self.predicted == self.optimal_plan
+
+    @property
+    def suboptimality(self) -> float:
+        """Cost of what ran relative to the optimum (>= 1)."""
+        if self.optimal_cost <= 0.0:
+            return 1.0
+        return self.execution_cost / self.optimal_cost
+
+
+class TemplateSession:
+    """Per-template plan-caching state and decision flow."""
+
+    def __init__(
+        self,
+        plan_space: PlanSpace,
+        config: "PPCConfig | None" = None,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.plan_space = plan_space
+        self.config = config or PPCConfig()
+        self.monitor = PerformanceMonitor(
+            window=self.config.monitor_window,
+            drift_threshold=self.config.drift_threshold,
+            min_observations=self.config.drift_min_observations,
+        )
+        self.cache = PlanCache(self.config.cache_capacity, self.monitor)
+        policy = None
+        if self.config.positive_feedback:
+            policy = PositiveFeedbackPolicy(
+                min_confidence=self.config.positive_feedback_min_confidence,
+                weight=self.config.positive_feedback_weight,
+                mass_cap_ratio=self.config.positive_feedback_mass_cap,
+            )
+        self.online = OnlinePredictor(
+            dimensions=plan_space.dimensions,
+            plan_count=plan_space.plan_count,
+            transforms=self.config.transforms,
+            resolution=self.config.resolution,
+            max_buckets=self.config.max_buckets,
+            radius=self.config.radius,
+            confidence_threshold=self.config.confidence_threshold,
+            noise_fraction=self.config.noise_fraction,
+            mean_invocation_probability=self.config.mean_invocation_probability,
+            negative_feedback=self.config.negative_feedback,
+            cost_epsilon=self.config.cost_epsilon,
+            positive_feedback=policy,
+            seed=seed,
+        )
+        self.optimizer_invocations = 0
+        self.drift_events = 0
+        self.records: list[ExecutionRecord] = []
+
+    # ------------------------------------------------------------------
+    # The decision flow
+    # ------------------------------------------------------------------
+    def _invoke_optimizer(self, x: np.ndarray) -> tuple[int, float]:
+        """Black-box optimizer call: learn the true plan and cost at x."""
+        self.optimizer_invocations += 1
+        ids, costs = self.plan_space.label(x[None, :])
+        plan_id, cost = int(ids[0]), float(costs[0])
+        self.online.observe(x, plan_id, cost)
+        self.cache.put(plan_id, self.plan_space.plan(plan_id))
+        return plan_id, cost
+
+    def execute(self, x: np.ndarray) -> ExecutionRecord:
+        """Run one query instance through the PPC workflow."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        # Experimenter-side ground truth; the session only learns it if
+        # and when it invokes the optimizer below.
+        true_ids, true_costs = self.plan_space.label(x[None, :])
+        optimal_plan, optimal_cost = int(true_ids[0]), float(true_costs[0])
+
+        prediction = self.online.predict(x)
+        reason = ""
+        if prediction is None:
+            reason = "null_prediction"
+        elif self.online.should_invoke_optimizer(prediction):
+            reason = "exploration"
+        elif prediction.plan_id not in self.cache:
+            reason = "cache_miss"
+
+        if reason:
+            executed_plan, execution_cost = self._invoke_optimizer(x)
+            if prediction is None:
+                self.monitor.record_null()
+            else:
+                self.monitor.record_prediction(
+                    prediction.plan_id, prediction.plan_id == executed_plan
+                )
+        else:
+            executed_plan = prediction.plan_id
+            self.cache.get(executed_plan)
+            execution_cost = float(
+                self.plan_space.cost_at(x[None, :], executed_plan)[0]
+            )
+            if self.online.suspect_error(prediction, execution_cost):
+                reason = "negative_feedback"
+                true_plan, __ = self._invoke_optimizer(x)
+                self.monitor.record_prediction(
+                    prediction.plan_id, prediction.plan_id == true_plan
+                )
+            else:
+                # No ground truth available: the cost estimator believes
+                # the prediction, and the estimators record that belief.
+                self.monitor.record_prediction(prediction.plan_id, True)
+                # Trusted execution: optionally offer the point as
+                # positive feedback (discounted + capped by the policy).
+                self.online.observe_unverified(
+                    x, prediction, execution_cost
+                )
+
+        drift = False
+        if self.config.drift_response and self.monitor.drift_detected():
+            drift = True
+            self.drift_events += 1
+            self.online.drop()
+            self.monitor.reset()
+            self.cache.clear()
+
+        record = ExecutionRecord(
+            template=self.plan_space.template.name,
+            point=x,
+            predicted=None if prediction is None else prediction.plan_id,
+            confidence=0.0 if prediction is None else prediction.confidence,
+            optimizer_invoked=bool(reason) and reason != "",
+            invocation_reason=reason,
+            executed_plan=executed_plan,
+            execution_cost=execution_cost,
+            optimal_plan=optimal_plan,
+            optimal_cost=optimal_cost,
+            drift_triggered=drift,
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Experimenter-side accounting
+    # ------------------------------------------------------------------
+    def ground_truth_metrics(self) -> PrecisionRecall:
+        """True precision/recall of all predictions so far."""
+        return summarize(
+            PredictionOutcome(r.predicted, r.optimal_plan)
+            for r in self.records
+        )
+
+
+class PPCFramework:
+    """Multi-template facade: one session per query template.
+
+    With ``memory_budget_bytes`` set, a
+    :class:`~repro.core.governor.MemoryGovernor` keeps the combined
+    synopsis footprint of all sessions under the budget, reclaiming
+    from the coldest templates first (enforced every
+    ``governor_interval`` executions).
+    """
+
+    def __init__(
+        self,
+        config: "PPCConfig | None" = None,
+        seed: "int | np.random.Generator | None" = 0,
+        memory_budget_bytes: "int | None" = None,
+        governor_interval: int = 32,
+    ) -> None:
+        self.config = config or PPCConfig()
+        self._seed = seed
+        self.sessions: dict[str, TemplateSession] = {}
+        self.governor = None
+        if memory_budget_bytes is not None:
+            from repro.core.governor import MemoryGovernor
+
+            self.governor = MemoryGovernor(memory_budget_bytes)
+        self.governor_interval = governor_interval
+        self._executions = 0
+
+    def register(self, plan_space: PlanSpace) -> TemplateSession:
+        """Start plan caching for a template."""
+        session = TemplateSession(plan_space, self.config, self._seed)
+        self.sessions[plan_space.template.name] = session
+        if self.governor is not None:
+            self.governor.register(session)
+        return session
+
+    def session(self, template_name: str) -> TemplateSession:
+        return self.sessions[template_name]
+
+    def execute(self, template_name: str, x: np.ndarray) -> ExecutionRecord:
+        """Run one instance of a registered template."""
+        record = self.sessions[template_name].execute(x)
+        if self.governor is not None:
+            self.governor.touch(template_name)
+            self._executions += 1
+            if self._executions % self.governor_interval == 0:
+                self.governor.enforce()
+        return record
+
+    @property
+    def optimizer_invocations(self) -> int:
+        return sum(s.optimizer_invocations for s in self.sessions.values())
+
+    @property
+    def space_bytes(self) -> int:
+        """Combined synopsis footprint of all sessions."""
+        return sum(
+            s.online.space_bytes() for s in self.sessions.values()
+        )

@@ -1,0 +1,132 @@
+"""Multi-template memory governor.
+
+The paper notes plan caching "must operate on a very limited space
+budget" but evaluates templates in isolation.  A real deployment runs
+many templates against one budget, so this module adds the missing
+governor: it watches the total synopsis footprint across registered
+sessions and, when over budget, reclaims space from the *coldest*
+templates first — shrinking their histogram bucket budgets step by
+step (the recall-only dial of Figure 10(b)) and, at the floor, dropping
+the template's synopses entirely (it will relearn lazily if the
+workload returns).
+
+Heat combines recency and usefulness: a template that predicted
+recently and successfully is the last to lose buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.framework import TemplateSession
+
+#: A histogram is never shrunk below this bucket budget.
+MIN_BUCKETS = 5
+
+
+@dataclass
+class _Registration:
+    session: "TemplateSession"
+    last_used: int = 0
+    executions: int = 0
+
+    def heat(self, clock: int) -> float:
+        """Higher = keep; combines recency, recall and usage."""
+        staleness = clock - self.last_used
+        usefulness = self.session.monitor.recall_estimate
+        return usefulness + 1.0 / (1.0 + staleness) + 0.001 * self.executions
+
+
+@dataclass
+class GovernorAction:
+    """One reclamation step, for observability."""
+
+    template: str
+    action: str  # "shrink" or "drop"
+    new_buckets: "int | None" = None
+
+
+class MemoryGovernor:
+    """Holds the sum of all sessions' synopsis bytes under a budget."""
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes < 1:
+            raise ConfigurationError("budget must be positive")
+        self.budget_bytes = budget_bytes
+        self._registrations: dict[str, _Registration] = {}
+        self._clock = 0
+        self.actions: list[GovernorAction] = []
+
+    # ------------------------------------------------------------------
+    # Registration and usage tracking
+    # ------------------------------------------------------------------
+    def register(self, session: "TemplateSession") -> None:
+        name = session.plan_space.template.name
+        self._registrations[name] = _Registration(session)
+
+    def touch(self, template_name: str) -> None:
+        """Record that a template just executed an instance."""
+        self._clock += 1
+        registration = self._registrations[template_name]
+        registration.last_used = self._clock
+        registration.executions += 1
+
+    # ------------------------------------------------------------------
+    # Accounting and enforcement
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(
+            r.session.online.space_bytes()
+            for r in self._registrations.values()
+        )
+
+    def over_budget(self) -> bool:
+        return self.total_bytes > self.budget_bytes
+
+    def enforce(self) -> list[GovernorAction]:
+        """Reclaim space until within budget; returns the actions taken."""
+        taken: list[GovernorAction] = []
+        guard = 0
+        while self.over_budget() and guard < 1000:
+            guard += 1
+            victim = self._coldest_shrinkable()
+            if victim is None:
+                break
+            action = self._reclaim(victim)
+            taken.append(action)
+            self.actions.append(action)
+        return taken
+
+    def _coldest_shrinkable(self) -> "_Registration | None":
+        candidates = [
+            r
+            for r in self._registrations.values()
+            if r.session.online.space_bytes() > 0
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: r.heat(self._clock))
+
+    def _reclaim(self, registration: _Registration) -> GovernorAction:
+        session = registration.session
+        name = session.plan_space.template.name
+        predictor = session.online.predictor
+        current = predictor.max_buckets
+        if current > MIN_BUCKETS:
+            new_buckets = max(MIN_BUCKETS, current // 2)
+            predictor.max_buckets = new_buckets
+            for row in predictor._histograms:
+                for histogram in row:
+                    if hasattr(histogram, "shrink"):
+                        histogram.shrink(new_buckets)
+            return GovernorAction(name, "shrink", new_buckets)
+        # At the floor: drop the template's synopses entirely.
+        session.online.drop()
+        session.monitor.reset()
+        session.cache.clear()
+        return GovernorAction(name, "drop")

@@ -1,0 +1,135 @@
+"""Online precision/recall estimation and drift detection (Section IV-E).
+
+Three families of sliding estimators are maintained:
+
+* ``prec_k[P_i]`` — precision of the last ``k`` predictions of each
+  plan, used to rank plans by caching potential (eviction policy);
+* ``prec_k[Q]`` — precision of the last ``k`` NULL-free predictions of
+  the template;
+* ``beta(Q)`` — the NULL-free fraction of the last ``k`` predictions,
+  which links recall to precision: ``rec_k = beta * prec_k``.
+
+When the template-level precision estimate sinks below a threshold
+(while enough evidence has accumulated), the monitor raises a drift
+alarm; the framework reacts by dropping the template's histograms and
+re-accumulating from scratch — the paper's response to a substantial
+plan-space change.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.windows import SlidingRatio
+
+
+class PerformanceMonitor:
+    """Sliding precision/recall estimators for one query template."""
+
+    def __init__(
+        self,
+        window: int = 100,
+        drift_threshold: float = 0.5,
+        min_observations: int = 30,
+        recall_collapse_fraction: float = 0.25,
+        recall_activation: float = 0.4,
+    ) -> None:
+        if not 0.0 <= drift_threshold <= 1.0:
+            raise ConfigurationError("drift threshold must be in [0, 1]")
+        if not 0.0 < recall_collapse_fraction < 1.0:
+            raise ConfigurationError(
+                "recall collapse fraction must be in (0, 1)"
+            )
+        self.window = window
+        self.drift_threshold = drift_threshold
+        self.min_observations = min_observations
+        self.recall_collapse_fraction = recall_collapse_fraction
+        self.recall_activation = recall_activation
+        self._template_precision = SlidingRatio(window)
+        self._answer_rate = SlidingRatio(window)
+        self._plan_precision: dict[int, SlidingRatio] = defaultdict(
+            lambda: SlidingRatio(window)
+        )
+        self._peak_recall = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_null(self) -> None:
+        """A NULL prediction: affects recall (via beta) but not precision."""
+        self._answer_rate.push(False)
+        self._update_peak_recall()
+
+    def record_prediction(self, plan_id: int, correct: bool) -> None:
+        """A NULL-free prediction whose correctness has been assessed
+        (by ground truth when the optimizer was invoked anyway, or by
+        the cost-feedback estimator otherwise)."""
+        self._answer_rate.push(True)
+        self._template_precision.push(correct)
+        self._plan_precision[plan_id].push(correct)
+        self._update_peak_recall()
+
+    def _update_peak_recall(self) -> None:
+        if self._answer_rate.count >= self.min_observations:
+            self._peak_recall = max(self._peak_recall, self.recall_estimate)
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+    @property
+    def precision_estimate(self) -> float:
+        """``prec_k`` over the template's recent NULL-free predictions."""
+        return self._template_precision.ratio
+
+    @property
+    def answer_rate(self) -> float:
+        """``beta``: NULL-free fraction of recent predictions."""
+        return self._answer_rate.ratio if self._answer_rate.count else 0.0
+
+    @property
+    def recall_estimate(self) -> float:
+        """``rec_k = beta * prec_k`` (Section IV-E)."""
+        return self.answer_rate * self.precision_estimate
+
+    def plan_precision(self, plan_id: int) -> float:
+        """``prec_k`` of one plan (1.0 with no evidence yet)."""
+        if plan_id not in self._plan_precision:
+            return 1.0
+        return self._plan_precision[plan_id].ratio
+
+    # ------------------------------------------------------------------
+    # Drift
+    # ------------------------------------------------------------------
+    def drift_detected(self) -> bool:
+        """True when the estimators show a substantial plan-space change.
+
+        Two signatures, both from the Section IV-E estimators:
+
+        * *precision collapse* — enough recent NULL-free predictions
+          were assessed wrong;
+        * *recall collapse* — the template used to be answerable
+          (peak ``rec_k`` above the activation level) but the recent
+          window has almost entirely gone NULL.  This is what a
+          scrambled plan space actually looks like: mixed neighborhood
+          evidence makes the confidence check suppress predictions, so
+          precision barely updates while recall falls off a cliff.
+        """
+        precision_collapse = (
+            self._template_precision.count >= self.min_observations
+            and self.precision_estimate < self.drift_threshold
+        )
+        recall_collapse = (
+            self._peak_recall >= self.recall_activation
+            and self._answer_rate.count >= self.window
+            and self.recall_estimate
+            < self.recall_collapse_fraction * self._peak_recall
+        )
+        return precision_collapse or recall_collapse
+
+    def reset(self) -> None:
+        """Forget all estimates (after histograms are dropped)."""
+        self._template_precision.reset()
+        self._answer_rate.reset()
+        self._plan_precision.clear()
+        self._peak_recall = 0.0

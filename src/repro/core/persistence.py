@@ -1,0 +1,152 @@
+"""Predictor persistence: save and restore the clustering state.
+
+A plan cache earns its keep across sessions: the synopses learned
+during one day's workload should survive a server restart.  This
+module serializes an :class:`~repro.core.histogram_predictor.HistogramPredictor`
+(the production structure — a few kilobytes of histogram buckets plus
+the random transform parameters) to a plain JSON-compatible dict and
+restores it exactly: the reloaded predictor returns bit-identical
+predictions, because the random projections, translations, bucket
+contents and counters are all captured.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.histogram_predictor import HistogramPredictor
+from repro.core.point import SamplePool
+from repro.exceptions import ConfigurationError
+from repro.histograms import IncrementalHistogram
+from repro.histograms.base import Bucket
+from repro.lsh.grid import Grid
+from repro.lsh.transforms import PlanSpaceTransform
+
+#: Format marker for forward compatibility.
+STATE_VERSION = 1
+
+
+def predictor_to_state(predictor: HistogramPredictor) -> dict:
+    """Capture a histogram predictor as a JSON-compatible dict."""
+    transforms = []
+    for transform in predictor.ensemble:
+        transforms.append(
+            {
+                "input_dims": transform.input_dims,
+                "output_dims": transform.output_dims,
+                "resolution": transform.resolution,
+                "directions": transform.directions.tolist(),
+                "translations": transform.translations.tolist(),
+            }
+        )
+    histograms = [
+        [
+            {
+                "max_buckets": getattr(
+                    histogram, "max_buckets", predictor.max_buckets
+                ),
+                "buckets": [
+                    [b.lo, b.hi, b.count, b.cost_sum]
+                    for b in histogram.buckets
+                ],
+            }
+            for histogram in row
+        ]
+        for row in predictor._histograms
+    ]
+    return {
+        "version": STATE_VERSION,
+        "dimensions": predictor.dimensions,
+        "plan_count": predictor.plan_count,
+        "resolution": predictor.grids[0].resolution,
+        "max_buckets": predictor.max_buckets,
+        "radius": predictor.radius,
+        "confidence_threshold": predictor.confidence_threshold,
+        "noise_fraction": predictor.noise_fraction,
+        "aggregation": predictor.aggregation,
+        "axis_weights": (
+            None
+            if predictor.axis_weights is None
+            else predictor.axis_weights.tolist()
+        ),
+        "total_points": predictor.total_points,
+        "transforms": transforms,
+        "histograms": histograms,
+    }
+
+
+def predictor_from_state(state: dict) -> HistogramPredictor:
+    """Reconstruct a predictor saved by :func:`predictor_to_state`."""
+    if state.get("version") != STATE_VERSION:
+        raise ConfigurationError(
+            f"unsupported predictor state version {state.get('version')!r}"
+        )
+    predictor = HistogramPredictor(
+        SamplePool(state["dimensions"]),
+        plan_count=state["plan_count"],
+        transforms=len(state["transforms"]),
+        resolution=state["resolution"],
+        max_buckets=state["max_buckets"],
+        radius=state["radius"],
+        confidence_threshold=state["confidence_threshold"],
+        noise_fraction=state["noise_fraction"],
+        histogram_kind="incremental",
+        output_dims=state["transforms"][0]["output_dims"],
+        aggregation=state["aggregation"],
+        axis_weights=(
+            None
+            if state["axis_weights"] is None
+            else np.array(state["axis_weights"])
+        ),
+        seed=0,
+    )
+    # Replace the randomly initialized transforms with the saved ones,
+    # and rebuild the grids (their bounds depend on the translations).
+    predictor.ensemble.transforms = [
+        PlanSpaceTransform.from_arrays(
+            spec["input_dims"],
+            spec["output_dims"],
+            spec["resolution"],
+            np.array(spec["directions"]),
+            np.array(spec["translations"]),
+        )
+        for spec in state["transforms"]
+    ]
+    predictor.grids = [
+        Grid(*transform.output_bounds, state["resolution"])
+        for transform in predictor.ensemble
+    ]
+    # Restore histogram contents.
+    restored: list[list[IncrementalHistogram]] = []
+    for row in state["histograms"]:
+        new_row = []
+        for spec in row:
+            histogram = IncrementalHistogram(max_buckets=spec["max_buckets"])
+            histogram.buckets = [
+                Bucket(lo, hi, count, cost_sum)
+                for lo, hi, count, cost_sum in spec["buckets"]
+            ]
+            histogram._los = [b.lo for b in histogram.buckets]
+            histogram._mutated()
+            new_row.append(histogram)
+        restored.append(new_row)
+    predictor._histograms = restored
+    predictor.total_points = state["total_points"]
+    return predictor
+
+
+def save_predictor(
+    predictor: HistogramPredictor, path: "str | pathlib.Path"
+) -> pathlib.Path:
+    """Write a predictor's state as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(predictor_to_state(predictor)))
+    return path
+
+
+def load_predictor(path: "str | pathlib.Path") -> HistogramPredictor:
+    """Restore a predictor saved with :func:`save_predictor`."""
+    return predictor_from_state(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,91 @@
+"""Plan-space sample points and pools.
+
+A labeled plan-space point records where in ``[0, 1]^r`` a query
+instance landed, which plan the optimizer chose there, and what that
+plan's execution cost was (Definition 3's workload-history tuple,
+projected onto one template).  A :class:`SamplePool` is the growable
+columnar store of such points that offline predictors are fitted from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LabeledPoint:
+    """One plan-space point with its optimal plan and execution cost."""
+
+    coords: np.ndarray
+    plan_id: int
+    cost: float
+
+
+class SamplePool:
+    """Columnar, append-only pool of labeled plan-space points."""
+
+    def __init__(self, dimensions: int) -> None:
+        if dimensions < 1:
+            raise ConfigurationError("dimensions must be >= 1")
+        self.dimensions = dimensions
+        self._coords: list[np.ndarray] = []
+        self._plan_ids: list[int] = []
+        self._costs: list[float] = []
+
+    @classmethod
+    def from_arrays(
+        cls,
+        coords: np.ndarray,
+        plan_ids: np.ndarray,
+        costs: "np.ndarray | None" = None,
+    ) -> "SamplePool":
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim != 2:
+            raise ConfigurationError("coords must be a 2-D array")
+        plan_ids = np.asarray(plan_ids)
+        if costs is None:
+            costs = np.zeros(coords.shape[0])
+        costs = np.asarray(costs, dtype=float)
+        if not (coords.shape[0] == plan_ids.shape[0] == costs.shape[0]):
+            raise ConfigurationError("coords, plan_ids and costs must align")
+        pool = cls(coords.shape[1])
+        for i in range(coords.shape[0]):
+            pool.add(coords[i], int(plan_ids[i]), float(costs[i]))
+        return pool
+
+    def add(self, coords: np.ndarray, plan_id: int, cost: float = 0.0) -> None:
+        coords = np.asarray(coords, dtype=float).reshape(-1)
+        if coords.shape[0] != self.dimensions:
+            raise ConfigurationError(
+                f"expected {self.dimensions}-dimensional point"
+            )
+        self._coords.append(coords)
+        self._plan_ids.append(int(plan_id))
+        self._costs.append(float(cost))
+
+    def __len__(self) -> int:
+        return len(self._coords)
+
+    @property
+    def coords(self) -> np.ndarray:
+        if not self._coords:
+            return np.empty((0, self.dimensions))
+        return np.vstack(self._coords)
+
+    @property
+    def plan_ids(self) -> np.ndarray:
+        return np.asarray(self._plan_ids, dtype=np.int64)
+
+    @property
+    def costs(self) -> np.ndarray:
+        return np.asarray(self._costs, dtype=float)
+
+    def points(self) -> list[LabeledPoint]:
+        return [
+            LabeledPoint(c, p, v)
+            for c, p, v in zip(self._coords, self._plan_ids, self._costs)
+        ]

@@ -1,0 +1,59 @@
+"""Common predictor interface.
+
+Every plan-prediction algorithm — the Section III comparators, the four
+approximation levels of Section IV, and the online variant — answers
+the same question: *given a plan-space point, which plan would the
+optimizer choose, or NULL if unsure* (the output model of Section
+II-B).  :class:`PlanPredictor` fixes that interface so experiments can
+treat algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A non-NULL prediction: the plan, the confidence behind it, and —
+    when the predictor tracks costs — the expected execution cost of
+    the plan at the predicted point (used by negative feedback)."""
+
+    plan_id: int
+    confidence: float
+    estimated_cost: "float | None" = None
+
+
+class PlanPredictor(ABC):
+    """Interface shared by every plan-prediction algorithm."""
+
+    #: Dimensionality ``r`` of the plan space the predictor serves.
+    dimensions: int
+
+    @abstractmethod
+    def predict(self, x: np.ndarray) -> "Prediction | None":
+        """Predict the optimizer's plan at ``x`` (``None`` = NULL)."""
+
+    def predict_batch(self, points: np.ndarray) -> list["Prediction | None"]:
+        """Predict for many points; subclasses may vectorize."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            points = points[None, :]
+        return [self.predict(points[i]) for i in range(points.shape[0])]
+
+    @abstractmethod
+    def space_bytes(self) -> int:
+        """Memory footprint under the paper's space-accounting model
+        (Table I)."""
+
+    def _check_point(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.shape[0] != self.dimensions:
+            raise ValueError(
+                f"expected a {self.dimensions}-dimensional point, "
+                f"got {x.shape[0]}"
+            )
+        return x

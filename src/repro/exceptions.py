@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still distinguishing the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or combination of parameters was supplied."""
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, column, index) is missing or malformed."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce a plan for a query instance."""
+
+
+class HistogramError(ReproError):
+    """A histogram operation received out-of-domain input."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for an impossible workload."""
+
+
+class PredictionError(ReproError):
+    """A predictor was used incorrectly (e.g. before any samples exist)."""

@@ -1,0 +1,24 @@
+"""Experiment drivers for every table and figure of the paper.
+
+Each module implements one experiment family and returns plain data
+structures (lists of result rows); the scripts in ``benchmarks/`` print
+them in the paper's format and ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison.
+
+===========  ========================================================
+Module       Reproduces
+===========  ========================================================
+assumptions  Figure 14 — plan choice predictability validation
+comparison   Figure 3 — k-means vs single-linkage vs density predict
+approximation  Figures 8-10, Table II — the approximation ladder
+online_perf  Figures 11-12 — online precision/recall, feedback ablations
+runtime_perf Figure 13 — end-to-end runtime simulation
+drift        Section V-D — estimator accuracy and drift alarms
+tables       Tables I and III — space accounting and template inventory
+diagrams     Figures 2, 5, 6, 7 — plan diagrams and transform views
+===========  ========================================================
+"""
+
+from repro.experiments import setup
+
+__all__ = ["setup"]

@@ -1,0 +1,266 @@
+"""Figures 8-10 and Table II: the approximation ladder of Section V-A.
+
+* :func:`run_approximation_ladder` (Figure 8) — BASELINE vs NAIVE vs
+  APPROXIMATE-LSH precision/recall as the sample size ``|X|`` grows,
+  under a comparable space regime.
+* :func:`run_histogram_comparison` (Figure 9) — APPROXIMATE-LSH vs
+  APPROXIMATE-LSH-HISTOGRAMS.
+* :func:`run_confidence_sweep` (Table II) — precision/recall as the
+  confidence threshold gamma increases.
+* :func:`run_transform_sweep` (Figure 10a) — effect of the number of
+  randomized transformations ``t``.
+* :func:`run_bucket_sweep` (Figure 10b) — effect of the histogram
+  bucket budget ``b_h`` (recall grows, precision stays flat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baseline import BaselinePredictor
+from repro.core.histogram_predictor import HistogramPredictor
+from repro.core.lsh_predictor import LshPredictor
+from repro.core.naive import NaivePredictor
+from repro.geometry import equivalent_radius
+from repro.experiments.setup import (
+    DEFAULT_BUCKETS,
+    DEFAULT_TRANSFORMS,
+    OFFLINE_GAMMA,
+    OFFLINE_RADIUS,
+    SAMPLE_SIZES,
+    OfflineResult,
+    evaluate_offline,
+    offline_truth,
+)
+from repro.rng import as_generator
+from repro.tpch import plan_space_for
+from repro.workload import sample_labeled_pool
+
+
+def _grid_resolution(dimensions: int) -> int:
+    """Buckets per axis for a ~4096-cell grid, capped at 8 per axis.
+
+    Table I charges APPROXIMATE-LSH ``t`` times NAIVE's space (one grid
+    per transform at the *same* resolution), so both use this value.
+    """
+    budget_cells = 4096
+    return min(8, max(2, int(budget_cells ** (1.0 / dimensions))))
+
+
+def run_approximation_ladder(
+    template: str = "Q1",
+    sample_sizes: tuple[int, ...] = SAMPLE_SIZES,
+    transforms: int = DEFAULT_TRANSFORMS,
+    radius: float = OFFLINE_RADIUS,
+    gamma: float = OFFLINE_GAMMA,
+    test_size: int = 1000,
+    seed: int = 7,
+) -> list[OfflineResult]:
+    """Figure 8: the three-algorithm ladder across sample sizes."""
+    plan_space = plan_space_for(template)
+    rng = as_generator(seed)
+    test, truth = offline_truth(plan_space, test_size, seed=11)
+    dims = plan_space.dimensions
+    # Radius enclosing the same sample mass as `radius` does in 2-D;
+    # without this scaling a 6-D ball of radius 0.05 is simply empty.
+    scaled_radius = equivalent_radius(radius, dims)
+    resolution = _grid_resolution(dims)
+
+    results = []
+    for size in sample_sizes:
+        pool = sample_labeled_pool(plan_space, size, seed=rng)
+        algorithms = {
+            "BASELINE": BaselinePredictor(pool, scaled_radius, gamma),
+            # The single grid bucket containing the query point — the
+            # structure whose misalignment the LSH ensemble fixes.
+            "NAIVE": NaivePredictor(
+                pool,
+                plan_count=plan_space.plan_count,
+                resolution=resolution,
+                radius=scaled_radius,
+                confidence_threshold=gamma,
+                include_neighbors=False,
+            ),
+            "APPROXIMATE-LSH": LshPredictor(
+                pool,
+                plan_count=plan_space.plan_count,
+                transforms=transforms,
+                resolution=resolution,
+                confidence_threshold=gamma,
+                seed=rng,
+            ),
+        }
+        for name, predictor in algorithms.items():
+            metrics = evaluate_offline(predictor, test, truth)
+            results.append(
+                OfflineResult(
+                    template, name, size, metrics, predictor.space_bytes()
+                )
+            )
+    return results
+
+
+def run_histogram_comparison(
+    template: str = "Q5",
+    sample_sizes: tuple[int, ...] = SAMPLE_SIZES,
+    transforms: int = DEFAULT_TRANSFORMS,
+    max_buckets: int = DEFAULT_BUCKETS,
+    radius: float = OFFLINE_RADIUS,
+    gamma: float = OFFLINE_GAMMA,
+    test_size: int = 1000,
+    seed: int = 7,
+) -> list[OfflineResult]:
+    """Figure 9: APPROXIMATE-LSH vs APPROXIMATE-LSH-HISTOGRAMS."""
+    plan_space = plan_space_for(template)
+    rng = as_generator(seed)
+    test, truth = offline_truth(plan_space, test_size, seed=11)
+    scaled_radius = equivalent_radius(radius, plan_space.dimensions)
+    resolution = _grid_resolution(plan_space.dimensions)
+
+    results = []
+    for size in sample_sizes:
+        pool = sample_labeled_pool(plan_space, size, seed=rng)
+        algorithms = {
+            "APPROXIMATE-LSH": LshPredictor(
+                pool,
+                plan_count=plan_space.plan_count,
+                transforms=transforms,
+                resolution=resolution,
+                confidence_threshold=gamma,
+                seed=rng,
+            ),
+            "APPROXIMATE-LSH-HISTOGRAMS": HistogramPredictor(
+                pool,
+                plan_count=plan_space.plan_count,
+                transforms=transforms,
+                resolution=16,
+                max_buckets=max_buckets,
+                radius=scaled_radius,
+                confidence_threshold=gamma,
+                seed=rng,
+            ),
+        }
+        for name, predictor in algorithms.items():
+            metrics = evaluate_offline(predictor, test, truth)
+            results.append(
+                OfflineResult(
+                    template, name, size, metrics, predictor.space_bytes()
+                )
+            )
+    return results
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One cell of a parameter sweep."""
+
+    template: str
+    parameter: str
+    value: float
+    precision: float
+    recall: float
+
+
+def run_confidence_sweep(
+    template: str = "Q1",
+    gammas: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
+    sample_size: int = 3200,
+    transforms: int = DEFAULT_TRANSFORMS,
+    max_buckets: int = DEFAULT_BUCKETS,
+    radii: tuple[float, ...] = (0.05, 0.1, 0.15, 0.2),
+    test_size: int = 1000,
+    seed: int = 7,
+) -> list[SweepRow]:
+    """Table II: precision/recall averaged over radii, per gamma."""
+    plan_space = plan_space_for(template)
+    rng = as_generator(seed)
+    pool = sample_labeled_pool(plan_space, sample_size, seed=rng)
+    test, truth = offline_truth(plan_space, test_size, seed=11)
+
+    rows = []
+    for gamma in gammas:
+        cells = []
+        for radius in radii:
+            predictor = HistogramPredictor(
+                pool,
+                plan_count=plan_space.plan_count,
+                transforms=transforms,
+                max_buckets=max_buckets,
+                radius=equivalent_radius(radius, plan_space.dimensions),
+                confidence_threshold=gamma,
+                seed=as_generator(seed + 1),
+            )
+            cells.append(evaluate_offline(predictor, test, truth))
+        precision = float(np.mean([c.precision for c in cells]))
+        recall = float(np.mean([c.recall for c in cells]))
+        rows.append(SweepRow(template, "gamma", gamma, precision, recall))
+    return rows
+
+
+def run_transform_sweep(
+    templates: tuple[str, ...] = ("Q1", "Q5", "Q7"),
+    transform_counts: tuple[int, ...] = (3, 5, 7, 9, 11),
+    sample_size: int = 3200,
+    max_buckets: int = DEFAULT_BUCKETS,
+    radius: float = OFFLINE_RADIUS,
+    gamma: float = OFFLINE_GAMMA,
+    test_size: int = 1000,
+    seed: int = 7,
+) -> list[SweepRow]:
+    """Figure 10(a): precision as ``t`` grows (larger gains at higher r)."""
+    rows = []
+    for template in templates:
+        plan_space = plan_space_for(template)
+        pool = sample_labeled_pool(plan_space, sample_size, seed=seed)
+        test, truth = offline_truth(plan_space, test_size, seed=11)
+        for count in transform_counts:
+            predictor = HistogramPredictor(
+                pool,
+                plan_count=plan_space.plan_count,
+                transforms=count,
+                max_buckets=max_buckets,
+                radius=equivalent_radius(radius, plan_space.dimensions),
+                confidence_threshold=gamma,
+                seed=as_generator(seed + count),
+            )
+            metrics = evaluate_offline(predictor, test, truth)
+            rows.append(
+                SweepRow(
+                    template, "t", count, metrics.precision, metrics.recall
+                )
+            )
+    return rows
+
+
+def run_bucket_sweep(
+    template: str = "Q1",
+    bucket_counts: tuple[int, ...] = (10, 20, 40, 80, 160),
+    sample_size: int = 3200,
+    transforms: int = DEFAULT_TRANSFORMS,
+    radius: float = OFFLINE_RADIUS,
+    gamma: float = OFFLINE_GAMMA,
+    test_size: int = 1000,
+    seed: int = 7,
+) -> list[SweepRow]:
+    """Figure 10(b): recall grows with ``b_h``; precision stays flat."""
+    plan_space = plan_space_for(template)
+    pool = sample_labeled_pool(plan_space, sample_size, seed=seed)
+    test, truth = offline_truth(plan_space, test_size, seed=11)
+    rows = []
+    for buckets in bucket_counts:
+        predictor = HistogramPredictor(
+            pool,
+            plan_count=plan_space.plan_count,
+            transforms=transforms,
+            max_buckets=buckets,
+            radius=equivalent_radius(radius, plan_space.dimensions),
+            confidence_threshold=gamma,
+            seed=as_generator(seed),
+        )
+        metrics = evaluate_offline(predictor, test, truth)
+        rows.append(
+            SweepRow(template, "b_h", buckets, metrics.precision, metrics.recall)
+        )
+    return rows

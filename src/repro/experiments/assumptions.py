@@ -1,0 +1,96 @@
+"""Figure 14 (Appendix B): experimental validation of the assumptions.
+
+* Assumption 1 (plan choice predictability): pair test points with
+  neighbors at distance at most ``d``; the probability that a pair
+  shares the optimal plan — reported as the lower bound of the 95 %
+  confidence interval — should stay high for small ``d`` and decay
+  slowly as ``d`` grows.
+* Assumption 2 (plan cost predictability): among same-plan pairs, the
+  relative cost difference should be bounded by a small ``epsilon``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import as_generator
+from repro.tpch import plan_space_for
+from repro.workload import sample_points
+
+
+@dataclass(frozen=True)
+class AssumptionRow:
+    """Validation numbers for one (template, d) cell."""
+
+    template: str
+    distance: float
+    same_plan_probability: float
+    same_plan_lower_bound_95: float
+    cost_epsilon_p90: float
+
+
+def _neighbor_at_distance(
+    point: np.ndarray, max_distance: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A uniform point of the ball around ``point``, clipped to the cube."""
+    direction = rng.standard_normal(point.shape[0])
+    direction /= np.linalg.norm(direction)
+    radius = max_distance * rng.random() ** (1.0 / point.shape[0])
+    return np.clip(point + radius * direction, 0.0, 1.0)
+
+
+def run_assumption_validation(
+    templates: tuple[str, ...] = ("Q0", "Q1", "Q2", "Q3", "Q4", "Q5"),
+    distances: tuple[float, ...] = (0.01, 0.02, 0.05, 0.1, 0.2),
+    test_points: int = 200,
+    neighbors_per_point: int = 200,
+    seed: int = 7,
+) -> list[AssumptionRow]:
+    """The Appendix B experiment over Q0-Q5."""
+    rows = []
+    for template in templates:
+        plan_space = plan_space_for(template)
+        rng = as_generator(seed)
+        anchors = sample_points(plan_space.dimensions, test_points, seed=rng)
+        anchor_ids, anchor_costs = plan_space.label(anchors)
+        for distance in distances:
+            same = 0
+            total = 0
+            epsilons = []
+            for i in range(test_points):
+                neighbors = np.vstack(
+                    [
+                        _neighbor_at_distance(anchors[i], distance, rng)
+                        for __ in range(neighbors_per_point)
+                    ]
+                )
+                ids, costs = plan_space.label(neighbors)
+                matches = ids == anchor_ids[i]
+                same += int(matches.sum())
+                total += neighbors_per_point
+                if matches.any() and anchor_costs[i] > 0:
+                    ratio = costs[matches] / anchor_costs[i]
+                    epsilons.append(
+                        float(np.abs(ratio - 1.0).max(initial=0.0))
+                    )
+            probability = same / total
+            # Normal-approximation lower bound of the 95 % CI.
+            stderr = math.sqrt(
+                max(probability * (1.0 - probability), 1e-12) / total
+            )
+            lower = max(0.0, probability - 1.96 * stderr)
+            rows.append(
+                AssumptionRow(
+                    template=template,
+                    distance=distance,
+                    same_plan_probability=probability,
+                    same_plan_lower_bound_95=lower,
+                    cost_epsilon_p90=(
+                        float(np.percentile(epsilons, 90)) if epsilons else 0.0
+                    ),
+                )
+            )
+    return rows

@@ -1,0 +1,87 @@
+"""Figure 3: quantitative comparison of candidate clustering methods.
+
+K-means predict (c = 40), single-linkage predict, and density predict
+(gamma in {0.5, 0.75, 0.95}) are each fitted on ``|X| = 1000`` sampled
+plan-space points and asked to predict 1000 test points; the experiment
+is repeated (20 times in the paper) and mean precision/recall per
+radius ``d`` is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clustering import (
+    DensityPredictor,
+    KMeansPredictor,
+    SingleLinkagePredictor,
+)
+from repro.experiments.setup import evaluate_offline
+from repro.rng import as_generator
+from repro.tpch import plan_space_for
+from repro.workload import sample_labeled_pool, sample_points
+
+DEFAULT_RADII = (0.025, 0.05, 0.1, 0.15, 0.2)
+DEFAULT_GAMMAS = (0.5, 0.75, 0.95)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Mean precision/recall of one algorithm at one radius."""
+
+    algorithm: str
+    radius: float
+    precision: float
+    recall: float
+
+
+def run_clustering_comparison(
+    template: str = "Q1",
+    radii: tuple[float, ...] = DEFAULT_RADII,
+    gammas: tuple[float, ...] = DEFAULT_GAMMAS,
+    repeats: int = 5,
+    sample_size: int = 1000,
+    test_size: int = 1000,
+    clusters_per_plan: int = 40,
+    seed: int = 7,
+) -> list[ComparisonRow]:
+    """Run the Section III comparison; returns one row per cell."""
+    plan_space = plan_space_for(template)
+    rng = as_generator(seed)
+
+    accumulators: dict[tuple[str, float], list[tuple[float, float]]] = {}
+
+    for __ in range(repeats):
+        pool = sample_labeled_pool(plan_space, sample_size, seed=rng)
+        test = sample_points(plan_space.dimensions, test_size, seed=rng)
+        truth = plan_space.plan_at(test)
+
+        for radius in radii:
+            candidates = {
+                f"k-means(c={clusters_per_plan})": KMeansPredictor(
+                    pool, clusters_per_plan, radius, seed=rng
+                ),
+                "single-linkage": SingleLinkagePredictor(pool, radius),
+            }
+            for gamma in gammas:
+                candidates[f"density(g={gamma})"] = DensityPredictor(
+                    pool, radius, confidence_threshold=gamma
+                )
+            for name, predictor in candidates.items():
+                metrics = evaluate_offline(predictor, test, truth)
+                accumulators.setdefault((name, radius), []).append(
+                    (metrics.precision, metrics.recall)
+                )
+
+    rows = []
+    for (name, radius), values in sorted(accumulators.items()):
+        precisions = np.array([v[0] for v in values])
+        recalls = np.array([v[1] for v in values])
+        rows.append(
+            ComparisonRow(
+                name, radius, float(precisions.mean()), float(recalls.mean())
+            )
+        )
+    return rows

@@ -1,0 +1,82 @@
+"""Figure 13: end-to-end runtime of plan caching vs no caching vs IDEAL.
+
+Replays a tight trajectory workload (``r_d = 0.01``, ``d = 0.01``,
+``b_h = 40``, ``t = 5``, ``gamma = 0.8``, noise elimination on) through
+the runtime simulator and reports cumulative time for the three
+regimes, plus the activity breakdown for PPC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PPCConfig
+from repro.simulation import RuntimeBreakdown, RuntimeSimulator, TimingModel
+from repro.tpch import plan_space_for
+from repro.workload import RandomTrajectoryWorkload
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """Total simulated time of one regime on one template."""
+
+    template: str
+    regime: str
+    total_ms: float
+    optimization_ms: float
+    execution_ms: float
+    overhead_ms: float
+    optimizer_invocations: int
+
+
+def figure13_config(radius: float = 0.01) -> PPCConfig:
+    """The Figure 13 configuration."""
+    return PPCConfig(
+        transforms=5,
+        max_buckets=40,
+        radius=radius,
+        confidence_threshold=0.8,
+        noise_fraction=0.002,
+        mean_invocation_probability=0.05,
+        negative_feedback=True,
+        drift_response=False,
+    )
+
+
+def run_runtime_comparison(
+    templates: tuple[str, ...] = ("Q0", "Q1", "Q8"),
+    workload_size: int = 1000,
+    spread: float = 0.01,
+    seed: int = 7,
+    timing: "TimingModel | None" = None,
+) -> tuple[list[RuntimeRow], dict[str, dict[str, RuntimeBreakdown]]]:
+    """Simulate the three regimes per template.
+
+    Returns summary rows plus the full breakdowns (whose
+    ``cumulative_ms`` series are the Figure 13 curves).
+    """
+    rows = []
+    breakdowns: dict[str, dict[str, RuntimeBreakdown]] = {}
+    for template in templates:
+        plan_space = plan_space_for(template)
+        workload = RandomTrajectoryWorkload(
+            plan_space.dimensions, spread=spread, seed=seed
+        ).generate(workload_size)
+        simulator = RuntimeSimulator(
+            plan_space, figure13_config(), timing=timing, seed=seed
+        )
+        result = simulator.run(workload)
+        breakdowns[template] = result
+        for regime, breakdown in result.items():
+            rows.append(
+                RuntimeRow(
+                    template=template,
+                    regime=regime,
+                    total_ms=breakdown.total_ms,
+                    optimization_ms=breakdown.optimization_ms,
+                    execution_ms=breakdown.execution_ms,
+                    overhead_ms=breakdown.overhead_ms,
+                    optimizer_invocations=breakdown.optimizer_invocations,
+                )
+            )
+    return rows, breakdowns

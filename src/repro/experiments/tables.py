@@ -1,0 +1,123 @@
+"""Tables I and III.
+
+* :func:`run_space_accounting` (Table I) — complexity class and
+  measured space consumption of the four algorithms at a common sample
+  size.
+* :func:`run_template_inventory` (Table III) — the nine query
+  templates: SQL shape, parameter degree and a lower bound on the plan
+  count obtained by probing the optimizer at a finite set of points
+  (exactly how the paper estimated its plan counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.baseline import BaselinePredictor
+from repro.core.histogram_predictor import HistogramPredictor
+from repro.core.lsh_predictor import LshPredictor
+from repro.core.naive import NaivePredictor
+from repro.experiments.setup import (
+    DEFAULT_BUCKETS,
+    DEFAULT_TRANSFORMS,
+    OFFLINE_GAMMA,
+    OFFLINE_RADIUS,
+)
+from repro.tpch import plan_space_for, query_template
+from repro.workload import sample_labeled_pool, sample_points
+
+
+@dataclass(frozen=True)
+class SpaceRow:
+    """Table I entry: complexity class and measured bytes."""
+
+    algorithm: str
+    prediction_complexity: str
+    space_formula: str
+    measured_bytes: int
+
+
+def run_space_accounting(
+    template: str = "Q1",
+    sample_size: int = 3200,
+    transforms: int = DEFAULT_TRANSFORMS,
+    resolution: int = 8,
+    max_buckets: int = DEFAULT_BUCKETS,
+    seed: int = 7,
+) -> list[SpaceRow]:
+    """Instantiate the four algorithms and report their footprints."""
+    plan_space = plan_space_for(template)
+    pool = sample_labeled_pool(plan_space, sample_size, seed=seed)
+    n = plan_space.plan_count
+
+    baseline = BaselinePredictor(pool, OFFLINE_RADIUS, OFFLINE_GAMMA)
+    naive = NaivePredictor(
+        pool, plan_count=n, resolution=resolution, radius=OFFLINE_RADIUS
+    )
+    lsh = LshPredictor(
+        pool, plan_count=n, transforms=transforms, resolution=resolution,
+        seed=seed,
+    )
+    hist = HistogramPredictor(
+        pool,
+        plan_count=n,
+        transforms=transforms,
+        max_buckets=max_buckets,
+        radius=OFFLINE_RADIUS,
+        seed=seed,
+    )
+    return [
+        SpaceRow(
+            "BASELINE", "O(|X|) per prediction", "|X| * (4r + 8)",
+            baseline.space_bytes(),
+        ),
+        SpaceRow(
+            "NAIVE", "O(1) per prediction", "n * b_g * 8",
+            naive.space_bytes(),
+        ),
+        SpaceRow(
+            "APPROXIMATE-LSH", "O(t) per prediction", "t * n * b_g * 8",
+            lsh.space_bytes(),
+        ),
+        SpaceRow(
+            "APPROXIMATE-LSH-HISTOGRAMS", "O(t * b_h) per prediction",
+            "t * n * b_h * 12", hist.space_bytes(),
+        ),
+    ]
+
+
+@dataclass(frozen=True)
+class TemplateRow:
+    """Table III entry for one query template."""
+
+    name: str
+    tables: tuple[str, ...]
+    parameter_degree: int
+    estimated_plan_count: int
+    sql: str
+    description: str
+
+
+def run_template_inventory(
+    probe_points: int = 2000,
+    seed: int = 7,
+) -> list[TemplateRow]:
+    """Probe every template's plan space for a plan-count lower bound."""
+    rows = []
+    for index in range(9):
+        name = f"Q{index}"
+        template = query_template(name)
+        plan_space = plan_space_for(name)
+        probes = sample_points(plan_space.dimensions, probe_points, seed=seed)
+        observed = len(set(plan_space.plan_at(probes).tolist()))
+        rows.append(
+            TemplateRow(
+                name=name,
+                tables=template.tables,
+                parameter_degree=template.parameter_degree,
+                estimated_plan_count=observed,
+                sql=template.sql(),
+                description=template.description,
+            )
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""Ball geometry helpers shared by predictors and experiments.
+
+The query radius ``d`` is a *volume* dial in disguise: the expected
+number of uniform samples inside a radius-``d`` ball is proportional to
+the ball's volume, which collapses exponentially with dimensionality.
+A radius that works in two dimensions sees nothing in six.
+``equivalent_radius`` converts a reference low-dimensional radius into
+the radius enclosing the same volume (hence the same expected sample
+mass) in a higher-dimensional plan space — the scaling every
+high-degree experiment needs to keep density estimation meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def unit_ball_volume(dims: int) -> float:
+    """Volume of the unit ball in ``dims`` dimensions."""
+    if dims < 1:
+        raise ConfigurationError("dimension must be >= 1")
+    return math.pi ** (dims / 2.0) / math.gamma(dims / 2.0 + 1.0)
+
+
+def ball_volume(radius: float, dims: int) -> float:
+    """Volume of a ``dims``-dimensional ball of the given radius."""
+    if radius < 0.0:
+        raise ConfigurationError("radius must be >= 0")
+    return unit_ball_volume(dims) * radius**dims
+
+
+def equivalent_radius(
+    radius: float, dims: int, reference_dims: int = 2
+) -> float:
+    """Radius in ``dims`` dimensions enclosing the same volume as
+    ``radius`` does in ``reference_dims`` dimensions."""
+    if radius <= 0.0:
+        raise ConfigurationError("radius must be > 0")
+    volume = ball_volume(radius, reference_dims)
+    return (volume / unit_ball_volume(dims)) ** (1.0 / dims)

@@ -1,0 +1,25 @@
+"""Locality-sensitive hashing substrate.
+
+Implements the pre-processing pipeline of Section IV-B/IV-C of the
+paper: randomized locality-preserving geometrical transformations of
+plan-space points (center, scale, stretch into a hypersphere, project
+onto random unit vectors, shift by small random translations), fixed
+resolution grids over the transformed spaces, and z-order linearization
+of grid cells onto ``[0, 1]`` for storage in database histograms.
+"""
+
+from repro.lsh.grid import Grid
+from repro.lsh.transforms import (
+    PlanSpaceTransform,
+    TransformEnsemble,
+    hypersphere_radius,
+)
+from repro.lsh.zorder import ZOrderCurve
+
+__all__ = [
+    "Grid",
+    "PlanSpaceTransform",
+    "TransformEnsemble",
+    "hypersphere_radius",
+    "ZOrderCurve",
+]

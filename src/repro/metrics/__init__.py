@@ -1,0 +1,15 @@
+"""Prediction-quality metrics: precision, recall, sliding estimators."""
+
+from repro.metrics.classification import (
+    PredictionOutcome,
+    PrecisionRecall,
+    evaluate_predictions,
+)
+from repro.metrics.windows import SlidingRatio
+
+__all__ = [
+    "PredictionOutcome",
+    "PrecisionRecall",
+    "evaluate_predictions",
+    "SlidingRatio",
+]

@@ -1,0 +1,92 @@
+"""Precision and recall of plan-caching predictions (Definition 4).
+
+Each prediction is either a plan identifier or NULL.  Precision is the
+fraction of *NULL-free* predictions that were correct; recall is the
+fraction of *all* predictions that were correct.  A predictor can
+therefore trade recall for precision by declining to answer — the
+central dial of the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PredictionOutcome:
+    """One prediction paired with the optimizer's true choice."""
+
+    predicted: "int | None"
+    actual: int
+
+    @property
+    def answered(self) -> bool:
+        return self.predicted is not None
+
+    @property
+    def correct(self) -> bool:
+        return self.predicted is not None and self.predicted == self.actual
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Aggregated precision/recall over a series of predictions."""
+
+    total: int
+    answered: int
+    correct: int
+
+    @property
+    def precision(self) -> float:
+        """Correct / NULL-free predictions (1.0 when nothing answered,
+        matching the convention that silence is never *wrong*)."""
+        if self.answered == 0:
+            return 1.0
+        return self.correct / self.answered
+
+    @property
+    def recall(self) -> float:
+        """Correct / all predictions (0.0 for an empty series)."""
+        if self.total == 0:
+            return 0.0
+        return self.correct / self.total
+
+    @property
+    def answer_rate(self) -> float:
+        """The beta(Q) factor of Section IV-E: NULL-free / total."""
+        if self.total == 0:
+            return 0.0
+        return self.answered / self.total
+
+    def __add__(self, other: "PrecisionRecall") -> "PrecisionRecall":
+        return PrecisionRecall(
+            self.total + other.total,
+            self.answered + other.answered,
+            self.correct + other.correct,
+        )
+
+
+def evaluate_predictions(
+    predicted: Sequence["int | None"],
+    actual: Sequence[int],
+) -> PrecisionRecall:
+    """Score a prediction series against the optimizer's true choices."""
+    if len(predicted) != len(actual):
+        raise ValueError("predicted and actual series must align")
+    outcomes = [
+        PredictionOutcome(p, int(a)) for p, a in zip(predicted, actual)
+    ]
+    return summarize(outcomes)
+
+
+def summarize(outcomes: Iterable[PredictionOutcome]) -> PrecisionRecall:
+    """Aggregate a stream of outcomes into a :class:`PrecisionRecall`."""
+    total = answered = correct = 0
+    for outcome in outcomes:
+        total += 1
+        if outcome.answered:
+            answered += 1
+        if outcome.correct:
+            correct += 1
+    return PrecisionRecall(total, answered, correct)

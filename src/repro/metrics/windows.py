@@ -1,0 +1,51 @@
+"""Sliding-window ratio estimators.
+
+Section IV-E tracks the precision of the last ``k`` predictions per
+plan and per template (``prec_k``), plus the answer rate ``beta`` that
+links precision to recall (``rec_k = beta * prec_k``).  A
+:class:`SlidingRatio` is the building block: a bounded window of
+booleans with an O(1) ratio query.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import ConfigurationError
+
+
+class SlidingRatio:
+    """Ratio of ``True`` observations over the last ``k`` pushes."""
+
+    def __init__(self, window: int = 100) -> None:
+        if window < 1:
+            raise ConfigurationError("window must be >= 1")
+        self.window = window
+        self._values: deque[bool] = deque(maxlen=window)
+        self._true_count = 0
+
+    def push(self, value: bool) -> None:
+        if len(self._values) == self.window:
+            evicted = self._values[0]
+            if evicted:
+                self._true_count -= 1
+        self._values.append(bool(value))
+        if value:
+            self._true_count += 1
+
+    @property
+    def count(self) -> int:
+        """Observations currently inside the window."""
+        return len(self._values)
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of ``True`` in the window (1.0 while empty —
+        no evidence of failure yet)."""
+        if not self._values:
+            return 1.0
+        return self._true_count / len(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._true_count = 0

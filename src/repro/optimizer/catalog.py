@@ -1,0 +1,112 @@
+"""Catalog metadata: tables, columns and indexes.
+
+The catalog is pure metadata — row counts, page counts, column domains
+and index definitions.  No tuples are ever materialized; plan choice in
+a cost-based optimizer depends only on statistics, which is exactly how
+the paper's framework computes selectivities ("in the same way that the
+query optimizer makes its selectivity estimations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import CatalogError
+
+#: Tuples that fit in one page in the synthetic storage model.  Chosen so
+#: that the classic sequential-scan vs. index-scan crossover happens at a
+#: realistic selectivity (roughly 1 / TUPLES_PER_PAGE for an unclustered
+#: index).
+TUPLES_PER_PAGE = 64
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column with its value domain and distinct-value count."""
+
+    name: str
+    lo: float
+    hi: float
+    distinct_count: int
+    distribution: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise CatalogError(f"column {self.name}: hi < lo")
+        if self.distinct_count < 1:
+            raise CatalogError(f"column {self.name}: distinct_count < 1")
+
+
+@dataclass(frozen=True)
+class Index:
+    """A secondary index over a single column of a table."""
+
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+    clustered: bool = False
+
+
+@dataclass
+class Table:
+    """A table: row count plus its columns, keyed by column name."""
+
+    name: str
+    row_count: int
+    columns: dict[str, Column] = field(default_factory=dict)
+
+    @property
+    def pages(self) -> int:
+        """Number of storage pages holding the table."""
+        return max(1, -(-self.row_count // TUPLES_PER_PAGE))
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name} has no column {name!r}"
+            ) from None
+
+
+class Catalog:
+    """A named collection of tables and indexes."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+        self.indexes: dict[str, Index] = {}
+        self._indexes_by_column: dict[tuple[str, str], Index] = {}
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self.tables:
+            raise CatalogError(f"duplicate table {table.name!r}")
+        self.tables[table.name] = table
+        return table
+
+    def add_index(self, index: Index) -> Index:
+        if index.table not in self.tables:
+            raise CatalogError(
+                f"index {index.name!r} references unknown table {index.table!r}"
+            )
+        self.tables[index.table].column(index.column)
+        if index.name in self.indexes:
+            raise CatalogError(f"duplicate index {index.name!r}")
+        self.indexes[index.name] = index
+        self._indexes_by_column[(index.table, index.column)] = index
+        return index
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def index_on(self, table: str, column: str) -> Index | None:
+        """The index covering ``table.column``, or ``None``."""
+        return self._indexes_by_column.get((table, column))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Catalog(tables={len(self.tables)}, indexes={len(self.indexes)})"
+        )

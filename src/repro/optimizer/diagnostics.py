@@ -1,0 +1,130 @@
+"""Plan-space diagnostics: quantifying plan-diagram structure.
+
+The plan-diagram literature the paper cites (Reddy & Haritsa)
+characterizes optimizer behaviour through the *structure* of plan
+diagrams — how many plans, how skewed their areas, how convoluted
+their boundaries.  This module computes those statistics for any
+:class:`~repro.optimizer.plan_space.PlanSpace`, giving the experiments
+a quantitative vocabulary for "this space is harder than that one":
+
+* **area distribution** and its Gini coefficient (plan-space skew);
+* **boundary fraction** — how much of the space sits within one probe
+  step of a plan boundary (the region where density prediction is
+  genuinely unsafe);
+* **per-axis transition rates** — how strongly each parameter drives
+  plan changes (the oracle-side counterpart of the sample-based
+  :class:`~repro.core.relevance.ParameterRelevanceAnalyzer`);
+* **predictability curve** — P(same plan) at increasing distances, the
+  quantity behind Assumption 1 and Figure 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.rng import as_generator
+
+
+@dataclass(frozen=True)
+class PlanSpaceProfile:
+    """Structural statistics of one template's plan space."""
+
+    template: str
+    dimensions: int
+    plan_count: int
+    observed_plans: int
+    area_fractions: dict[int, float]
+    gini: float
+    boundary_fraction: float
+    axis_transition_rates: tuple[float, ...]
+    predictability: dict[float, float]
+
+    @property
+    def dominant_plan(self) -> int:
+        return max(self.area_fractions, key=self.area_fractions.get)
+
+    def summary(self) -> str:
+        """One readable paragraph of the profile."""
+        rates = ", ".join(f"{r:.2f}" for r in self.axis_transition_rates)
+        nearest = min(self.predictability)
+        return (
+            f"{self.template}: {self.observed_plans} plans observed over "
+            f"[0,1]^{self.dimensions}; dominant plan covers "
+            f"{self.area_fractions[self.dominant_plan]:.0%} "
+            f"(area Gini {self.gini:.2f}); {self.boundary_fraction:.0%} of "
+            f"the space lies near a boundary; per-axis transition rates "
+            f"[{rates}]; P(same plan | d={nearest}) = "
+            f"{self.predictability[nearest]:.2f}"
+        )
+
+
+def profile_plan_space(
+    plan_space,
+    samples: int = 4000,
+    boundary_step: float = 0.02,
+    axis_probes: int = 16,
+    distances: tuple[float, ...] = (0.01, 0.05, 0.1),
+    seed: "int | None" = 7,
+) -> PlanSpaceProfile:
+    """Probe a plan space and compute its structural profile."""
+    if samples < 10:
+        raise ConfigurationError("need at least 10 samples")
+    rng = as_generator(seed)
+    dims = plan_space.dimensions
+    points = rng.uniform(0.0, 1.0, size=(samples, dims))
+    ids = plan_space.plan_at(points)
+
+    unique, counts = np.unique(ids, return_counts=True)
+    fractions = {int(u): float(c) / samples for u, c in zip(unique, counts)}
+
+    # Gini over observed plan areas.
+    areas = np.sort(counts / samples)
+    n = areas.size
+    gini = float(
+        (2.0 * np.arange(1, n + 1) - n - 1.0) @ areas / (n * areas.sum())
+    ) if n > 1 else 0.0
+
+    # Boundary proximity: a random step of `boundary_step` flips the plan.
+    directions = rng.standard_normal((samples, dims))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    neighbors = np.clip(points + boundary_step * directions, 0.0, 1.0)
+    boundary_fraction = float(
+        (plan_space.plan_at(neighbors) != ids).mean()
+    )
+
+    # Per-axis transition rates from random axis-parallel sweeps.
+    rates = []
+    for axis in range(dims):
+        transitions = 0
+        for __ in range(axis_probes):
+            sweep = np.tile(rng.uniform(0.0, 1.0, dims), (64, 1))
+            sweep[:, axis] = np.linspace(0.0, 1.0, 64)
+            sweep_ids = plan_space.plan_at(sweep)
+            transitions += int((np.diff(sweep_ids) != 0).sum())
+        rates.append(transitions / axis_probes)
+
+    # Predictability curve (Assumption 1).
+    predictability = {}
+    for distance in distances:
+        offsets = rng.standard_normal((samples, dims))
+        offsets /= np.linalg.norm(offsets, axis=1, keepdims=True)
+        radii = distance * rng.random(samples) ** (1.0 / dims)
+        near = np.clip(points + offsets * radii[:, None], 0.0, 1.0)
+        predictability[distance] = float(
+            (plan_space.plan_at(near) == ids).mean()
+        )
+
+    return PlanSpaceProfile(
+        template=plan_space.template.name,
+        dimensions=dims,
+        plan_count=plan_space.plan_count,
+        observed_plans=len(unique),
+        area_fractions=fractions,
+        gini=gini,
+        boundary_fraction=boundary_fraction,
+        axis_transition_rates=tuple(rates),
+        predictability=predictability,
+    )

@@ -1,0 +1,357 @@
+"""System-R style dynamic-programming plan enumeration.
+
+:class:`PlanBuilder` resolves catalog metadata into fully bound
+operator nodes (access paths per table, join alternatives per step);
+:class:`DPEnumerator` runs the classic bottom-up dynamic program over
+connected table subsets, keeping the cheapest plan per (subset,
+interesting order) at a given selectivity point.
+
+The enumerator works at one point at a time — exactly like a real
+optimizer invoked for one query instance — while the
+:class:`~repro.optimizer.plan_space.PlanSpace` oracle harvests its
+results across many points and then re-evaluates the harvested
+candidates vectorized.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.optimizer.catalog import Catalog
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.expressions import JoinPredicate, QueryTemplate
+from repro.optimizer.parameters import ParameterMapping
+from repro.optimizer.operators import (
+    HashJoin,
+    IndexNLJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PlanNode,
+    SeqScan,
+    Sort,
+)
+from repro.optimizer.plans import PhysicalPlan
+
+
+class PlanBuilder:
+    """Constructs bound operator nodes for one template over a catalog."""
+
+    def __init__(
+        self,
+        template: QueryTemplate,
+        catalog: Catalog,
+        model: CostModel | None = None,
+    ) -> None:
+        self.template = template
+        self.catalog = catalog
+        self.model = model or CostModel()
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def access_paths(self, table_name: str) -> list[PlanNode]:
+        """All single-table plans: one SeqScan plus one IndexScan per
+        indexed parameterized predicate."""
+        table = self.catalog.table(table_name)
+        predicates = self.template.predicates_on(table_name)
+        all_params = tuple(p.param_index for p in predicates)
+
+        paths: list[PlanNode] = [
+            SeqScan(table_name, table.row_count, table.pages, all_params, self.model)
+        ]
+        for predicate in predicates:
+            index = self.catalog.index_on(table_name, predicate.column.column)
+            if index is None:
+                continue
+            residuals = tuple(
+                i for i in all_params if i != predicate.param_index
+            )
+            scan = IndexScan(
+                table=table_name,
+                index_name=index.name,
+                sarg_param=predicate.param_index,
+                base_rows=table.row_count,
+                pages=table.pages,
+                residual_params=residuals,
+                clustered=index.clustered,
+                model=self.model,
+            )
+            scan.sort_order = str(predicate.column)
+            paths.append(scan)
+        return paths
+
+    # ------------------------------------------------------------------
+    # Join alternatives
+    # ------------------------------------------------------------------
+    def join_selectivity(self, joins: list[JoinPredicate]) -> float:
+        """Combined selectivity of the connecting equi-join predicates.
+
+        Each predicate contributes ``1 / max(ndv(left), ndv(right))``
+        under the standard containment assumption.
+        """
+        selectivity = 1.0
+        for join in joins:
+            left = self.catalog.table(join.left.table).column(join.left.column)
+            right = self.catalog.table(join.right.table).column(join.right.column)
+            selectivity /= max(left.distinct_count, right.distinct_count)
+        return selectivity
+
+    def join_candidates(
+        self, outer: PlanNode, inner_table: str
+    ) -> list[PlanNode]:
+        """Every physical join of ``outer`` with ``inner_table``."""
+        joins = self.template.joins_between(outer.tables, inner_table)
+        if not joins:
+            return []
+        selectivity = self.join_selectivity(joins)
+        primary = joins[0]
+        inner_column = primary.column_for(inner_table)
+        outer_column = primary.column_for(
+            next(iter(primary.tables() - {inner_table}))
+        )
+        table = self.catalog.table(inner_table)
+        local_params = tuple(
+            p.param_index for p in self.template.predicates_on(inner_table)
+        )
+
+        candidates: list[PlanNode] = []
+        for inner_path in self.access_paths(inner_table):
+            candidates.append(HashJoin(outer, inner_path, selectivity, self.model))
+            candidates.append(
+                NestedLoopJoin(outer, inner_path, selectivity, self.model)
+            )
+
+        index = self.catalog.index_on(inner_table, inner_column.column)
+        if index is not None:
+            candidates.append(
+                IndexNLJoin(
+                    outer=outer,
+                    inner_table=inner_table,
+                    inner_index=index.name,
+                    inner_base_rows=table.row_count,
+                    inner_param_indexes=local_params,
+                    join_selectivity=selectivity,
+                    model=self.model,
+                )
+            )
+
+        candidates.extend(
+            self._merge_candidates(
+                outer, inner_table, str(outer_column), str(inner_column), selectivity
+            )
+        )
+        return candidates
+
+    def join_subtree_candidates(
+        self, outer: PlanNode, inner: PlanNode
+    ) -> list[PlanNode]:
+        """Joins of two arbitrary subtrees (bushy enumeration).
+
+        Index nested loops requires a base-table inner, so bushy
+        combinations offer hash, in-memory nested loops and merge (with
+        sort enforcers on whichever side lacks the order).
+        """
+        joins = self.template.joins_connecting(outer.tables, inner.tables)
+        if not joins:
+            return []
+        selectivity = self.join_selectivity(joins)
+        primary = joins[0]
+        if primary.left.table in outer.tables:
+            outer_column, inner_column = primary.left, primary.right
+        else:
+            outer_column, inner_column = primary.right, primary.left
+
+        candidates: list[PlanNode] = [
+            HashJoin(outer, inner, selectivity, self.model),
+            NestedLoopJoin(outer, inner, selectivity, self.model),
+        ]
+        sorted_outer = (
+            outer
+            if outer.sort_order == str(outer_column)
+            else Sort(outer, str(outer_column), self.model)
+        )
+        sorted_inner = (
+            inner
+            if inner.sort_order == str(inner_column)
+            else Sort(inner, str(inner_column), self.model)
+        )
+        candidates.append(
+            MergeJoin(
+                sorted_outer,
+                sorted_inner,
+                selectivity,
+                self.model,
+                order=str(outer_column),
+            )
+        )
+        return candidates
+
+    def _merge_candidates(
+        self,
+        outer: PlanNode,
+        inner_table: str,
+        outer_order: str,
+        inner_order: str,
+        selectivity: float,
+    ) -> list[PlanNode]:
+        """Merge joins, adding Sort enforcers where an order is missing."""
+        if outer.sort_order == outer_order:
+            sorted_outer = outer
+        else:
+            sorted_outer = Sort(outer, outer_order, self.model)
+
+        candidates = []
+        for inner_path in self.access_paths(inner_table):
+            if inner_path.sort_order == inner_order:
+                sorted_inner = inner_path
+            else:
+                sorted_inner = Sort(inner_path, inner_order, self.model)
+            candidates.append(
+                MergeJoin(
+                    sorted_outer,
+                    sorted_inner,
+                    selectivity,
+                    self.model,
+                    order=outer_order,
+                )
+            )
+        return candidates
+
+
+class DPEnumerator:
+    """Bottom-up dynamic program over connected table subsets.
+
+    ``optimize`` takes a *normalized* plan-space point in ``[0, 1]^r``
+    and converts it to actual predicate selectivities through the
+    template's :class:`~repro.optimizer.parameters.ParameterMapping`
+    before costing — the ``plan(f(q))`` decomposition of Section II-A.
+    """
+
+    def __init__(
+        self,
+        template: QueryTemplate,
+        catalog: Catalog,
+        model: CostModel | None = None,
+        allow_bushy: bool = False,
+    ) -> None:
+        self.template = template
+        self.builder = PlanBuilder(template, catalog, model)
+        self.mapping = ParameterMapping.for_template(template, catalog)
+        self.allow_bushy = allow_bushy
+
+    def optimize(self, x: np.ndarray) -> tuple[PhysicalPlan, float]:
+        """Best plan and its cost at one normalized point ``x``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape != (1, self.template.parameter_degree):
+            raise OptimizationError(
+                f"expected one point of degree "
+                f"{self.template.parameter_degree}, got shape {x.shape}"
+            )
+        x = self.mapping.to_selectivity(x)
+
+        # best[subset][sort_order] = (cost, node)
+        best: dict[frozenset[str], dict[str | None, tuple[float, PlanNode]]] = {}
+
+        for table in self.template.tables:
+            entries: dict[str | None, tuple[float, PlanNode]] = {}
+            for path in self.builder.access_paths(table):
+                self._keep_if_better(entries, path, x)
+            best[frozenset((table,))] = entries
+
+        table_list = list(self.template.tables)
+        for size in range(2, len(table_list) + 1):
+            for combo in itertools.combinations(table_list, size):
+                subset = frozenset(combo)
+                entries = {}
+                for inner_table in combo:
+                    remainder = subset - {inner_table}
+                    outer_entries = best.get(remainder)
+                    if not outer_entries:
+                        continue
+                    if not self.template.joins_between(remainder, inner_table):
+                        continue
+                    for __, outer in outer_entries.values():
+                        for candidate in self.builder.join_candidates(
+                            outer, inner_table
+                        ):
+                            self._keep_if_better(entries, candidate, x)
+                if self.allow_bushy and size >= 4:
+                    self._expand_bushy(best, subset, entries, x)
+                if entries:
+                    best[subset] = entries
+
+        full = best.get(frozenset(table_list))
+        if not full:
+            raise OptimizationError(
+                f"template {self.template.name}: join graph is disconnected"
+            )
+        if self.template.order_by is not None:
+            # Interesting order at the root: either a plan already sorted
+            # on the requested column, or the cheapest plan plus a final
+            # sort enforcer — whichever costs less.
+            target = str(self.template.order_by)
+            finalists: dict[str | None, tuple[float, PlanNode]] = {}
+            for __, node in full.values():
+                candidate = (
+                    node
+                    if node.sort_order == target
+                    else Sort(node, target, self.builder.model)
+                )
+                self._keep_if_better(finalists, candidate, x)
+            cost, node = min(finalists.values(), key=lambda pair: pair[0])
+            return PhysicalPlan(node), cost
+        cost, node = min(full.values(), key=lambda pair: pair[0])
+        return PhysicalPlan(node), cost
+
+    def _expand_bushy(
+        self,
+        best: dict,
+        subset: frozenset[str],
+        entries: dict,
+        x: np.ndarray,
+    ) -> None:
+        """Consider composite-composite joins (bushy trees).
+
+        Partitions the subset into two halves of size >= 2 each (the
+        size-1 halves are the left-deep expansions already handled);
+        the smallest member anchors one side to avoid enumerating each
+        partition twice.
+        """
+        members = sorted(subset)
+        anchor = members[0]
+        others = members[1:]
+        for mask in range(1, 1 << len(others)):
+            left = frozenset(
+                [anchor] + [t for i, t in enumerate(others) if mask & (1 << i)]
+            )
+            right = subset - left
+            if len(left) < 2 or len(right) < 2:
+                continue
+            left_entries = best.get(left)
+            right_entries = best.get(right)
+            if not left_entries or not right_entries:
+                continue
+            for __, outer in left_entries.values():
+                for __, inner in right_entries.values():
+                    for candidate in self.builder.join_subtree_candidates(
+                        outer, inner
+                    ):
+                        self._keep_if_better(entries, candidate, x)
+
+    @staticmethod
+    def _keep_if_better(
+        entries: dict["str | None", tuple[float, PlanNode]],
+        node: PlanNode,
+        x: np.ndarray,
+    ) -> None:
+        __, cost = node.evaluate(x)
+        cost_value = float(cost[0])
+        current = entries.get(node.sort_order)
+        if current is None or cost_value < current[0]:
+            entries[node.sort_order] = (cost_value, node)

@@ -1,0 +1,178 @@
+"""Query representation: column references, predicates and templates.
+
+A :class:`QueryTemplate` captures everything the optimizer needs about
+a parameterized SQL query: the tables it joins, the equi-join
+predicates linking them, and the *parameterized range predicates* whose
+selectivities form the query's plan space (Definition 2 of the paper).
+The template's ``parameter_degree`` is the number of parameterized
+predicates ``r``; a point ``x`` in ``[0, 1]^r`` assigns a selectivity to
+each one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to ``table.column``."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class ParamPredicate:
+    """A parameterized range predicate, e.g. ``l_date <= <v1>``.
+
+    ``param_index`` is the predicate's position in the template's
+    normalized parameter vector.  The *actual* selectivity at plan-space
+    point ``x`` is obtained through the template's
+    :class:`~repro.optimizer.parameters.ParameterMapping`: coordinate
+    ``x[param_index]`` sweeps ``sel_range`` on the given ``scale``
+    (``sel_range=None`` derives a default range from the table's
+    cardinality).
+    """
+
+    column: ColumnRef
+    param_index: int
+    op: str = "<="
+    sel_range: "tuple[float, float] | None" = None
+    scale: str = "log"
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<=", ">="):
+            raise ConfigurationError(f"unsupported predicate op {self.op!r}")
+        if self.param_index < 0:
+            raise ConfigurationError("param_index must be non-negative")
+        if self.scale not in ("log", "linear"):
+            raise ConfigurationError(f"unknown selectivity scale {self.scale!r}")
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} <v{self.param_index}>"
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate ``left = right``."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def tables(self) -> frozenset[str]:
+        return frozenset((self.left.table, self.right.table))
+
+    def column_for(self, table: str) -> ColumnRef:
+        if self.left.table == table:
+            return self.left
+        if self.right.table == table:
+            return self.right
+        raise ConfigurationError(
+            f"join predicate {self} does not involve table {table!r}"
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass
+class QueryTemplate:
+    """A SQL query template with explicit parameters (Section II-A).
+
+    ``order_by`` requests sorted output: the optimizer keeps plans with
+    *interesting orders* alive through the dynamic program and either
+    exploits a naturally sorted plan (index scan / merge join) or adds
+    a final sort enforcer, whichever is cheaper.
+    """
+
+    name: str
+    tables: tuple[str, ...]
+    joins: tuple[JoinPredicate, ...] = ()
+    predicates: tuple[ParamPredicate, ...] = ()
+    order_by: "ColumnRef | None" = None
+    description: str = ""
+    _predicates_by_table: dict[str, list[ParamPredicate]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ConfigurationError("template must reference a table")
+        if len(set(self.tables)) != len(self.tables):
+            raise ConfigurationError("template references a table twice")
+        table_set = set(self.tables)
+        if self.order_by is not None and self.order_by.table not in table_set:
+            raise ConfigurationError(
+                f"order-by column {self.order_by} references a table "
+                f"outside {self.tables}"
+            )
+        for join in self.joins:
+            if not join.tables() <= table_set:
+                raise ConfigurationError(
+                    f"join {join} references a table outside {self.tables}"
+                )
+        indexes = sorted(p.param_index for p in self.predicates)
+        if indexes != list(range(len(self.predicates))):
+            raise ConfigurationError(
+                "predicate param indexes must be 0..r-1 without gaps"
+            )
+        for predicate in self.predicates:
+            if predicate.column.table not in table_set:
+                raise ConfigurationError(
+                    f"predicate {predicate} references a table "
+                    f"outside {self.tables}"
+                )
+            self._predicates_by_table.setdefault(
+                predicate.column.table, []
+            ).append(predicate)
+
+    @property
+    def parameter_degree(self) -> int:
+        """The number ``r`` of parameterized predicates."""
+        return len(self.predicates)
+
+    def predicates_on(self, table: str) -> list[ParamPredicate]:
+        """Parameterized predicates local to one table."""
+        return list(self._predicates_by_table.get(table, ()))
+
+    def joins_between(
+        self, left_tables: frozenset[str], right_table: str
+    ) -> list[JoinPredicate]:
+        """Join predicates connecting a set of tables to one new table."""
+        connecting = []
+        for join in self.joins:
+            involved = join.tables()
+            if right_table in involved and (involved - {right_table}) <= left_tables:
+                connecting.append(join)
+        return connecting
+
+    def joins_connecting(
+        self,
+        left_tables: frozenset[str],
+        right_tables: frozenset[str],
+    ) -> list[JoinPredicate]:
+        """Join predicates with one side in each table set (bushy joins)."""
+        connecting = []
+        for join in self.joins:
+            sides = list(join.tables())
+            if len(sides) != 2:
+                continue
+            a, b = sides
+            if (a in left_tables and b in right_tables) or (
+                b in left_tables and a in right_tables
+            ):
+                connecting.append(join)
+        return connecting
+
+    def sql(self) -> str:
+        """A SQL rendering of the template (documentation aid)."""
+        clauses = [str(j) for j in self.joins] + [str(p) for p in self.predicates]
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        order = f" ORDER BY {self.order_by}" if self.order_by else ""
+        return f"SELECT * FROM {', '.join(self.tables)}{where}{order}"

@@ -1,0 +1,46 @@
+"""Physical plan wrapper: identity, evaluation and rendering.
+
+A :class:`PhysicalPlan` is what the PPC framework caches and predicts.
+Plan identity is *structural*: two plans are the same iff their
+operator trees (methods, access paths, sort enforcers, join order)
+match, which the fingerprint string captures.  This mirrors the paper's
+"plan identifier" used to cluster plan-space points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimizer.operators import PlanNode
+
+
+class PhysicalPlan:
+    """An immutable executable plan with structural identity."""
+
+    def __init__(self, root: PlanNode) -> None:
+        self.root = root
+        self.fingerprint = root.fingerprint()
+
+    def evaluate(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Output cardinality and cost at each selectivity point."""
+        return self.root.evaluate(x)
+
+    def cost(self, x: np.ndarray) -> np.ndarray:
+        """Estimated execution cost at each selectivity point."""
+        __, cost = self.root.evaluate(x)
+        return cost
+
+    def describe(self) -> str:
+        """Readable multi-line rendering of the operator tree."""
+        return self.root.describe()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PhysicalPlan):
+            return NotImplemented
+        return self.fingerprint == other.fingerprint
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint)
+
+    def __repr__(self) -> str:
+        return f"PhysicalPlan({self.fingerprint})"

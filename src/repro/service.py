@@ -1,0 +1,145 @@
+"""End-to-end plan-caching service: the adopter-facing facade.
+
+Everything below this module works in normalized plan-space
+coordinates; real applications submit *query instances* with actual
+parameter values.  :class:`PlanCachingService` closes that gap: it owns
+the catalog, the statistics, one plan-space oracle + PPC session per
+registered template, and the binders that map parameter values to
+plan-space points — so the caller's entire API surface is
+``register(template)`` and ``execute(instance)``.
+
+    service = PlanCachingService.tpch(seed=0)
+    service.register("Q1")
+    record = service.execute(QueryInstance("Q1", (1480.0, 103_000.0)))
+    record.executed_plan, record.optimizer_invoked
+
+An optional memory budget applies the multi-template governor across
+all registered templates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import PPCConfig
+from repro.core.framework import ExecutionRecord, PPCFramework
+from repro.exceptions import ConfigurationError, WorkloadError
+from repro.optimizer.catalog import Catalog
+from repro.optimizer.expressions import QueryTemplate
+from repro.optimizer.plan_space import PlanSpace
+from repro.optimizer.statistics import CatalogStatistics
+from repro.tpch import build_catalog, build_statistics, query_template
+from repro.workload.template import QueryInstance, TemplateBinder
+
+
+class PlanCachingService:
+    """Value-level plan caching over a catalog with statistics."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        statistics: CatalogStatistics,
+        config: "PPCConfig | None" = None,
+        memory_budget_bytes: "int | None" = None,
+        seed: int = 0,
+    ) -> None:
+        if statistics.catalog is not catalog:
+            raise ConfigurationError(
+                "statistics must be built over the same catalog"
+            )
+        self.catalog = catalog
+        self.statistics = statistics
+        self.framework = PPCFramework(
+            config, seed=seed, memory_budget_bytes=memory_budget_bytes
+        )
+        self._binders: dict[str, TemplateBinder] = {}
+        self._seed = seed
+
+    @classmethod
+    def tpch(
+        cls,
+        scale_factor: float = 1.0,
+        config: "PPCConfig | None" = None,
+        memory_budget_bytes: "int | None" = None,
+        seed: int = 0,
+    ) -> "PlanCachingService":
+        """A service over the modified TPC-H catalog of Appendix A."""
+        catalog = build_catalog(scale_factor)
+        statistics = build_statistics(catalog, seed=seed)
+        return cls(
+            catalog,
+            statistics,
+            config=config,
+            memory_budget_bytes=memory_budget_bytes,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Template lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self, template: "QueryTemplate | str"
+    ) -> None:
+        """Start plan caching for a template (name = a TPC-H Q0-Q8)."""
+        if isinstance(template, str):
+            template = query_template(template)
+        if template.name in self._binders:
+            raise ConfigurationError(
+                f"template {template.name!r} already registered"
+            )
+        plan_space = PlanSpace(template, self.catalog, seed=self._seed)
+        self.framework.register(plan_space)
+        self._binders[template.name] = TemplateBinder(
+            template, self.statistics
+        )
+
+    @property
+    def templates(self) -> list[str]:
+        return list(self._binders)
+
+    # ------------------------------------------------------------------
+    # The adopter-facing call
+    # ------------------------------------------------------------------
+    def execute(self, instance: QueryInstance) -> ExecutionRecord:
+        """Run one query instance through the PPC workflow."""
+        binder = self._binders.get(instance.template_name)
+        if binder is None:
+            raise WorkloadError(
+                f"template {instance.template_name!r} is not registered"
+            )
+        point = binder.to_point(instance)
+        return self.framework.execute(instance.template_name, point)
+
+    def instance_at(
+        self, template_name: str, point: np.ndarray
+    ) -> QueryInstance:
+        """Parameter values landing at a plan-space point (workload
+        generation helper)."""
+        binder = self._binders.get(template_name)
+        if binder is None:
+            raise WorkloadError(
+                f"template {template_name!r} is not registered"
+            )
+        return binder.to_instance(point)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict[str, dict[str, float]]:
+        """Per-template caching outcome so far."""
+        summary = {}
+        for name in self._binders:
+            session = self.framework.session(name)
+            metrics = session.ground_truth_metrics()
+            total = max(1, len(session.records))
+            summary[name] = {
+                "instances": float(total),
+                "optimizer_invocations": float(
+                    session.optimizer_invocations
+                ),
+                "invocation_rate": session.optimizer_invocations / total,
+                "precision": metrics.precision,
+                "recall": metrics.recall,
+                "space_bytes": float(session.online.space_bytes()),
+            }
+        return summary

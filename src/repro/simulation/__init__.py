@@ -1,0 +1,17 @@
+"""End-to-end runtime simulation (Section V-C, Figure 13).
+
+The paper evaluates runtime benefit with an out-of-engine prototype
+that simulates plan caching against a commercial DBMS.  This package
+reproduces that simulation: a :class:`~repro.simulation.timing.TimingModel`
+converts optimizer invocations, plan executions and prediction
+overheads into wall-clock time, and
+:class:`~repro.simulation.runtime.RuntimeSimulator` replays a workload
+under three regimes — no caching (optimize everything), the PPC
+framework, and the hypothetical IDEAL predictor with perfect precision
+and recall.
+"""
+
+from repro.simulation.runtime import RuntimeBreakdown, RuntimeSimulator
+from repro.simulation.timing import TimingModel
+
+__all__ = ["RuntimeBreakdown", "RuntimeSimulator", "TimingModel"]

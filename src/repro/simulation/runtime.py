@@ -1,0 +1,118 @@
+"""Workload replay under three caching regimes (Figure 13).
+
+* ``NO-CACHING`` — every instance pays full optimization plus optimal
+  execution.
+* ``PPC`` — the online framework: prediction overhead on every
+  instance, optimization only on cache misses / exploration / feedback,
+  execution of whatever plan was chosen (sub-optimal executions pay
+  their true, higher cost).
+* ``IDEAL`` — a hypothetical predictor with 100 % precision and recall:
+  optimization only the first time each plan is needed, optimal
+  execution always, the same prediction overhead.
+
+The cumulative-time series these produce is what Figure 13 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import PPCConfig
+from repro.core.framework import TemplateSession
+from repro.optimizer.plan_space import PlanSpace
+from repro.simulation.timing import TimingModel
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Accumulated simulated time, by activity, for one regime."""
+
+    label: str
+    optimization_ms: float = 0.0
+    execution_ms: float = 0.0
+    overhead_ms: float = 0.0
+    optimizer_invocations: int = 0
+    cumulative_ms: list[float] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        return self.optimization_ms + self.execution_ms + self.overhead_ms
+
+    def charge(
+        self,
+        optimization: float = 0.0,
+        execution: float = 0.0,
+        overhead: float = 0.0,
+    ) -> None:
+        self.optimization_ms += optimization
+        self.execution_ms += execution
+        self.overhead_ms += overhead
+        self.cumulative_ms.append(self.total_ms)
+
+
+class RuntimeSimulator:
+    """Replays one workload through the three regimes."""
+
+    def __init__(
+        self,
+        plan_space: PlanSpace,
+        config: "PPCConfig | None" = None,
+        timing: "TimingModel | None" = None,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        self.plan_space = plan_space
+        self.config = config or PPCConfig()
+        self.timing = timing or TimingModel()
+        self._seed = seed
+
+    def run(self, workload: np.ndarray) -> dict[str, RuntimeBreakdown]:
+        """Simulate all three regimes over the same instance sequence."""
+        workload = np.asarray(workload, dtype=float)
+        optimize_ms = self.timing.optimization_ms(self.plan_space)
+
+        no_cache = RuntimeBreakdown("NO-CACHING")
+        ideal = RuntimeBreakdown("IDEAL")
+        ppc = RuntimeBreakdown("PPC")
+
+        # Ground truth for the whole workload, computed once.
+        true_ids, true_costs = self.plan_space.label(workload)
+
+        # NO-CACHING and IDEAL are closed-form replays.
+        seen_plans: set[int] = set()
+        for i in range(workload.shape[0]):
+            execution = self.timing.execution_ms(float(true_costs[i]))
+            no_cache.charge(optimization=optimize_ms, execution=execution)
+            no_cache.optimizer_invocations += 1
+
+            plan = int(true_ids[i])
+            if plan in seen_plans:
+                ideal.charge(
+                    execution=execution, overhead=self.timing.predict_ms
+                )
+            else:
+                seen_plans.add(plan)
+                ideal.charge(
+                    optimization=optimize_ms,
+                    execution=execution,
+                    overhead=self.timing.predict_ms + self.timing.insert_ms,
+                )
+                ideal.optimizer_invocations += 1
+
+        # PPC runs the real framework.
+        session = TemplateSession(self.plan_space, self.config, self._seed)
+        for i in range(workload.shape[0]):
+            record = session.execute(workload[i])
+            optimization = optimize_ms if record.optimizer_invoked else 0.0
+            overhead = self.timing.predict_ms
+            if record.optimizer_invoked:
+                overhead += self.timing.insert_ms
+            ppc.charge(
+                optimization=optimization,
+                execution=self.timing.execution_ms(record.execution_cost),
+                overhead=overhead,
+            )
+        ppc.optimizer_invocations = session.optimizer_invocations
+
+        return {"NO-CACHING": no_cache, "PPC": ppc, "IDEAL": ideal}

@@ -1,0 +1,63 @@
+"""Timing model for the runtime simulation.
+
+Converts the simulator's abstract quantities into milliseconds:
+
+* **optimization time** — what plan caching saves.  Scales with the
+  number of join candidates the DP enumerator explores, so higher
+  parameter-degree templates cost more to optimize (as in a real
+  system).
+* **execution time** — cost-model units times a fixed unit time.  The
+  PPC premise (Section I) targets workloads where optimization is a
+  significant fraction of execution for cheap queries, so the defaults
+  put the two on comparable scales for the cheap region of the plan
+  spaces.
+* **prediction overhead** — charged per cache probe; the paper uses its
+  prototype's timings as an upper bound.  The default is measured from
+  this library's own predictor (fractions of a millisecond).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.optimizer.plan_space import PlanSpace
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Milliseconds per simulated activity."""
+
+    #: Base optimizer invocation latency (parse/rewrite/setup).
+    optimize_base_ms: float = 5.0
+    #: Additional optimizer latency per table in the template (join
+    #: enumeration grows quickly with the join graph).
+    optimize_per_table_ms: float = 12.0
+    #: Execution milliseconds per cost-model unit.  The default puts
+    #: execution on the same order as optimization for the cheap regions
+    #: of the plan spaces — the regime where plan caching pays (Sec. I).
+    execute_unit_ms: float = 0.002
+    #: Plan-cache probe + clustering prediction overhead.
+    predict_ms: float = 0.35
+    #: Histogram insertion overhead per optimized point.
+    insert_ms: float = 0.08
+
+    def __post_init__(self) -> None:
+        for name in (
+            "optimize_base_ms",
+            "optimize_per_table_ms",
+            "execute_unit_ms",
+            "predict_ms",
+            "insert_ms",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"timing constant {name} must be >= 0")
+
+    def optimization_ms(self, plan_space: PlanSpace) -> float:
+        """Optimizer latency for one invocation on this template."""
+        tables = len(plan_space.template.tables)
+        return self.optimize_base_ms + self.optimize_per_table_ms * tables
+
+    def execution_ms(self, cost_units: float) -> float:
+        """Execution latency of a plan with the given cost."""
+        return cost_units * self.execute_unit_ms

@@ -1,0 +1,28 @@
+"""Modified TPC-H benchmark substrate (Appendix A of the paper).
+
+The paper's experiments run over a TPC-H scale-factor-1 database where
+every table gained an extra date column populated from a Gaussian
+distribution, with indexes over primary keys, foreign keys and the
+added date columns.  This package reproduces that setup as catalog
+metadata plus synthetic column statistics (no tuples are materialized —
+plan choice depends only on statistics), and defines the nine query
+templates Q0–Q8 with parameter degrees 2–6 (Table III).
+"""
+
+from repro.tpch.datagen import build_statistics
+from repro.tpch.queries import (
+    TEMPLATE_NAMES,
+    plan_space_for,
+    query_template,
+    query_templates,
+)
+from repro.tpch.schema import build_catalog
+
+__all__ = [
+    "build_catalog",
+    "build_statistics",
+    "TEMPLATE_NAMES",
+    "plan_space_for",
+    "query_template",
+    "query_templates",
+]

@@ -1,0 +1,180 @@
+"""Modified TPC-H schema: tables, columns and indexes.
+
+Row counts follow the TPC-H specification at a configurable scale
+factor.  Each table carries the artificial ``*_date`` column the paper
+adds (populated with Gaussian values), and indexes exist over primary
+keys (clustered), foreign keys and the date columns — matching the
+experimental setup of Appendix A.
+
+Dates are encoded as day offsets in ``[0, DATE_SPAN]``.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.catalog import Catalog, Column, Index, Table
+
+#: Days covered by the date columns (seven years, like TPC-H order dates).
+DATE_SPAN = 2557
+
+#: TPC-H row counts at scale factor 1.
+_BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+
+def _date_column(name: str) -> Column:
+    return Column(name, 0.0, float(DATE_SPAN), DATE_SPAN, distribution="gaussian")
+
+
+def build_catalog(scale_factor: float = 1.0) -> Catalog:
+    """Create the modified TPC-H catalog at ``scale_factor``."""
+    rows = {
+        name: max(1, int(count * scale_factor))
+        for name, count in _BASE_ROWS.items()
+    }
+    catalog = Catalog()
+
+    def key(name: str, count: int) -> Column:
+        return Column(name, 1.0, float(count), count)
+
+    catalog.add_table(
+        Table(
+            "region",
+            rows["region"],
+            {
+                "r_regionkey": key("r_regionkey", rows["region"]),
+                "r_date": _date_column("r_date"),
+            },
+        )
+    )
+    catalog.add_table(
+        Table(
+            "nation",
+            rows["nation"],
+            {
+                "n_nationkey": key("n_nationkey", rows["nation"]),
+                "n_regionkey": key("n_regionkey", rows["region"]),
+                "n_date": _date_column("n_date"),
+            },
+        )
+    )
+    catalog.add_table(
+        Table(
+            "supplier",
+            rows["supplier"],
+            {
+                "s_suppkey": key("s_suppkey", rows["supplier"]),
+                "s_nationkey": key("s_nationkey", rows["nation"]),
+                "s_acctbal": Column("s_acctbal", -1000.0, 10_000.0, 9_000),
+                "s_date": _date_column("s_date"),
+            },
+        )
+    )
+    catalog.add_table(
+        Table(
+            "customer",
+            rows["customer"],
+            {
+                "c_custkey": key("c_custkey", rows["customer"]),
+                "c_nationkey": key("c_nationkey", rows["nation"]),
+                "c_acctbal": Column("c_acctbal", -1000.0, 10_000.0, 9_000),
+                "c_date": _date_column("c_date"),
+            },
+        )
+    )
+    catalog.add_table(
+        Table(
+            "part",
+            rows["part"],
+            {
+                "p_partkey": key("p_partkey", rows["part"]),
+                "p_size": Column("p_size", 1.0, 50.0, 50),
+                "p_retailprice": Column("p_retailprice", 900.0, 2100.0, 1_200),
+                "p_date": _date_column("p_date"),
+            },
+        )
+    )
+    catalog.add_table(
+        Table(
+            "partsupp",
+            rows["partsupp"],
+            {
+                "ps_partkey": key("ps_partkey", rows["part"]),
+                "ps_suppkey": key("ps_suppkey", rows["supplier"]),
+                "ps_availqty": Column("ps_availqty", 1.0, 9_999.0, 9_999),
+                "ps_supplycost": Column("ps_supplycost", 1.0, 1_000.0, 1_000),
+                "ps_date": _date_column("ps_date"),
+            },
+        )
+    )
+    catalog.add_table(
+        Table(
+            "orders",
+            rows["orders"],
+            {
+                "o_orderkey": key("o_orderkey", rows["orders"]),
+                "o_custkey": key("o_custkey", rows["customer"]),
+                "o_totalprice": Column("o_totalprice", 800.0, 600_000.0, 150_000),
+                "o_date": _date_column("o_date"),
+            },
+        )
+    )
+    catalog.add_table(
+        Table(
+            "lineitem",
+            rows["lineitem"],
+            {
+                "l_orderkey": key("l_orderkey", rows["orders"]),
+                "l_partkey": key("l_partkey", rows["part"]),
+                "l_suppkey": key("l_suppkey", rows["supplier"]),
+                "l_quantity": Column("l_quantity", 1.0, 50.0, 50),
+                "l_extendedprice": Column("l_extendedprice", 900.0, 105_000.0, 100_000),
+                "l_date": _date_column("l_date"),
+            },
+        )
+    )
+
+    _add_indexes(catalog)
+    return catalog
+
+
+def _add_indexes(catalog: Catalog) -> None:
+    """Primary keys (clustered), foreign keys and date columns."""
+    primary_keys = {
+        "region": "r_regionkey",
+        "nation": "n_nationkey",
+        "supplier": "s_suppkey",
+        "customer": "c_custkey",
+        "part": "p_partkey",
+        "partsupp": "ps_partkey",
+        "orders": "o_orderkey",
+        "lineitem": "l_orderkey",
+    }
+    foreign_keys = {
+        "nation": ("n_regionkey",),
+        "supplier": ("s_nationkey",),
+        "customer": ("c_nationkey",),
+        "partsupp": ("ps_suppkey",),
+        "orders": ("o_custkey",),
+        "lineitem": ("l_partkey", "l_suppkey"),
+    }
+    for table, column in primary_keys.items():
+        catalog.add_index(
+            Index(f"pk_{table}", table, column, unique=True, clustered=True)
+        )
+    for table, columns in foreign_keys.items():
+        for column in columns:
+            catalog.add_index(Index(f"fk_{table}_{column}", table, column))
+    for table in catalog.tables.values():
+        for column in table.columns.values():
+            if column.distribution == "gaussian":
+                catalog.add_index(
+                    Index(f"ix_{table.name}_{column.name}", table.name, column.name)
+                )

@@ -1,0 +1,30 @@
+"""Workload generation: query instances, histories and test workloads.
+
+* :mod:`~repro.workload.template` — binding between query-instance
+  parameter values and normalized plan-space points (the ``f`` map).
+* :mod:`~repro.workload.history` — the workload history of Definition 3.
+* :mod:`~repro.workload.uniform` — offline uniform plan-space sampling.
+* :mod:`~repro.workload.trajectories` — the random-trajectories online
+  workload of Section V (Figure 7).
+* :mod:`~repro.workload.drift` — mid-workload plan-space manipulation
+  for the drift-detection experiment (Section V-D).
+"""
+
+from repro.workload.drift import ManipulatedPlanSpace
+from repro.workload.history import HistoryEntry, WorkloadHistory
+from repro.workload.mixture import MixtureWorkload
+from repro.workload.template import QueryInstance, TemplateBinder
+from repro.workload.trajectories import RandomTrajectoryWorkload
+from repro.workload.uniform import sample_labeled_pool, sample_points
+
+__all__ = [
+    "ManipulatedPlanSpace",
+    "HistoryEntry",
+    "MixtureWorkload",
+    "WorkloadHistory",
+    "QueryInstance",
+    "TemplateBinder",
+    "RandomTrajectoryWorkload",
+    "sample_labeled_pool",
+    "sample_points",
+]

@@ -1,0 +1,106 @@
+"""Mid-workload plan-space manipulation (Section V-D).
+
+The drift-detection experiment artificially manipulates a template's
+plan space halfway through a workload so that both the plan choice and
+the plan cost predictability assumptions are violated, then checks that
+the online precision estimators raise an alarm.  The
+:class:`ManipulatedPlanSpace` wrapper presents the same oracle
+interface as the underlying :class:`~repro.optimizer.plan_space.PlanSpace`
+but, once ``activate()`` is called, scrambles labels and costs on a
+fine random grid: neighboring points suddenly disagree on plans
+(breaking Assumption 1) and the costs of identical plans jump by random
+factors (breaking Assumption 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.lsh.grid import Grid
+from repro.optimizer.plan_space import PlanSpace
+from repro.rng import as_generator
+
+#: Upper bound on the scramble grid size (memory guard).
+_MAX_CELLS = 4_000_000
+
+
+class ManipulatedPlanSpace:
+    """Plan-space oracle whose truth can be scrambled mid-workload."""
+
+    def __init__(
+        self,
+        base: PlanSpace,
+        resolution: int = 16,
+        cost_jitter: float = 1.5,
+        seed: "int | np.random.Generator | None" = 0,
+    ) -> None:
+        if resolution**base.dimensions > _MAX_CELLS:
+            raise ConfigurationError(
+                "scramble grid too large; reduce the resolution"
+            )
+        if cost_jitter <= 0.0:
+            raise ConfigurationError("cost_jitter must be > 0")
+        rng = as_generator(seed)
+        self.base = base
+        self.active = False
+        self._grid = Grid(
+            np.zeros(base.dimensions), np.ones(base.dimensions), resolution
+        )
+        cells = self._grid.total_cells
+        self._label_offsets = rng.integers(1, base.plan_count, size=cells)
+        self._cost_factors = np.exp(
+            rng.uniform(-np.log(1.0 + cost_jitter), np.log(1.0 + cost_jitter), size=cells)
+        )
+
+    # ------------------------------------------------------------------
+    # Manipulation switch
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        """Scramble the plan space from now on."""
+        self.active = True
+
+    def deactivate(self) -> None:
+        self.active = False
+
+    # ------------------------------------------------------------------
+    # Oracle interface (mirrors PlanSpace)
+    # ------------------------------------------------------------------
+    @property
+    def template(self):
+        return self.base.template
+
+    @property
+    def dimensions(self) -> int:
+        return self.base.dimensions
+
+    @property
+    def plan_count(self) -> int:
+        return self.base.plan_count
+
+    def plan(self, plan_id: int):
+        return self.base.plan(plan_id)
+
+    def label(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ids, costs = self.base.label(points)
+        if not self.active:
+            return ids, costs
+        cells = self._grid.cell_ids(points)
+        scrambled = (ids + self._label_offsets[cells]) % self.plan_count
+        return scrambled, costs * self._cost_factors[cells]
+
+    def plan_at(self, points: np.ndarray) -> np.ndarray:
+        ids, __ = self.label(points)
+        return ids
+
+    def cost_at(
+        self, points: np.ndarray, plan_id: "int | None" = None
+    ) -> np.ndarray:
+        if plan_id is None:
+            __, costs = self.label(points)
+            return costs
+        costs = self.base.cost_at(points, plan_id)
+        if not self.active:
+            return costs
+        cells = self._grid.cell_ids(points)
+        return costs * self._cost_factors[cells]

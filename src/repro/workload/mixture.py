@@ -1,0 +1,72 @@
+"""Multi-template workload mixture.
+
+The paper evaluates templates in isolation; a real server interleaves
+them with a skewed popularity distribution (a handful of templates
+dominate, a long tail runs occasionally).  :class:`MixtureWorkload`
+produces that shape: template popularity follows a Zipf law, each
+template's instances follow their own random trajectory (temporal
+locality within a template survives interleaving), and the emitted
+stream is the interleaved sequence of ``(template_name, point)`` pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.rng import as_generator
+from repro.workload.trajectories import RandomTrajectoryWorkload
+
+
+class MixtureWorkload:
+    """Interleaved multi-template workload with Zipfian popularity."""
+
+    def __init__(
+        self,
+        dimensions: dict[str, int],
+        spread: float = 0.02,
+        zipf_exponent: float = 1.0,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if not dimensions:
+            raise WorkloadError("mixture needs at least one template")
+        if zipf_exponent < 0.0:
+            raise WorkloadError("zipf exponent must be >= 0")
+        self._rng = as_generator(seed)
+        self.templates = list(dimensions)
+        ranks = np.arange(1, len(self.templates) + 1, dtype=float)
+        weights = ranks**-zipf_exponent
+        self.popularity = weights / weights.sum()
+        self._generators = {
+            name: RandomTrajectoryWorkload(
+                dims, spread=spread, seed=self._rng
+            )
+            for name, dims in dimensions.items()
+        }
+
+    def generate(self, count: int) -> list[tuple[str, np.ndarray]]:
+        """``count`` interleaved ``(template_name, point)`` pairs."""
+        if count < 1:
+            raise WorkloadError("workload size must be >= 1")
+        # Draw the interleaving first, then pull each template's points
+        # from its own trajectory stream so intra-template locality is
+        # preserved regardless of the interleaving.
+        choices = self._rng.choice(
+            len(self.templates), size=count, p=self.popularity
+        )
+        per_template = np.bincount(choices, minlength=len(self.templates))
+        streams = {
+            name: iter(self._generators[name].generate(int(n)))
+            for name, n in zip(self.templates, per_template)
+            if n > 0
+        }
+        workload = []
+        for choice in choices:
+            name = self.templates[int(choice)]
+            workload.append((name, next(streams[name])))
+        return workload
+
+    def expected_share(self, template_name: str) -> float:
+        """The template's popularity under the Zipf law."""
+        index = self.templates.index(template_name)
+        return float(self.popularity[index])

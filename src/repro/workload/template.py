@@ -1,0 +1,89 @@
+"""Binding between query instances and plan-space points.
+
+A :class:`QueryInstance` carries the actual parameter values an
+application supplies (Definition 1).  The :class:`TemplateBinder`
+implements the paper's ``f`` function (Section II-A): it converts those
+values to predicate selectivities using the same column statistics the
+optimizer uses, then normalizes the selectivities onto ``[0, 1]``
+through the template's parameter mapping.  The inverse direction lets
+workload generators place query instances at chosen plan-space
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.optimizer.expressions import QueryTemplate
+from repro.optimizer.parameters import ParameterMapping
+from repro.optimizer.selectivity import (
+    instance_selectivities,
+    value_for_selectivity,
+)
+from repro.optimizer.statistics import CatalogStatistics
+
+
+@dataclass(frozen=True)
+class QueryInstance:
+    """An instantiation of a query template (Definition 1)."""
+
+    template_name: str
+    values: tuple[float, ...]
+
+    @property
+    def parameter_degree(self) -> int:
+        return len(self.values)
+
+
+class TemplateBinder:
+    """Bidirectional ``f`` map for one template."""
+
+    def __init__(
+        self,
+        template: QueryTemplate,
+        statistics: CatalogStatistics,
+        mapping: "ParameterMapping | None" = None,
+    ) -> None:
+        self.template = template
+        self.statistics = statistics
+        self.mapping = mapping or ParameterMapping.for_template(
+            template, statistics.catalog
+        )
+        self._predicates = sorted(
+            template.predicates, key=lambda p: p.param_index
+        )
+
+    def to_point(self, instance: QueryInstance) -> np.ndarray:
+        """Map an instance's parameter values to a plan-space point."""
+        if instance.template_name != self.template.name:
+            raise WorkloadError(
+                f"instance of {instance.template_name!r} bound against "
+                f"template {self.template.name!r}"
+            )
+        if len(instance.values) != self.template.parameter_degree:
+            raise WorkloadError(
+                f"instance has {len(instance.values)} values; template "
+                f"expects {self.template.parameter_degree}"
+            )
+        selectivities = instance_selectivities(
+            self.template, self.statistics, instance.values
+        )
+        return self.mapping.to_normalized(selectivities)[0]
+
+    def to_instance(self, point: np.ndarray) -> QueryInstance:
+        """Produce parameter values landing at a plan-space point."""
+        point = np.asarray(point, dtype=float).reshape(1, -1)
+        if point.shape[1] != self.template.parameter_degree:
+            raise WorkloadError(
+                f"point has degree {point.shape[1]}; template expects "
+                f"{self.template.parameter_degree}"
+            )
+        selectivities = self.mapping.to_selectivity(point)[0]
+        values = tuple(
+            value_for_selectivity(self.statistics, predicate, selectivity)
+            for predicate, selectivity in zip(self._predicates, selectivities)
+        )
+        return QueryInstance(self.template.name, values)

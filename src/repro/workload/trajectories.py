@@ -1,0 +1,91 @@
+"""The random-trajectories online workload (Section V, Figure 7).
+
+A cursor moves along several independent, randomly produced
+trajectories over the plan space; each emitted query instance lands at
+a Gaussian offset from the cursor with standard deviation ``r_d``.
+Small ``r_d`` gives a tightly clustered, slowly wandering workload
+(strong temporal locality — the easy case); large ``r_d`` spreads the
+instances out, forcing the predictor to answer over larger radii.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.rng import as_generator
+
+
+class RandomTrajectoryWorkload:
+    """Generator of trajectory-based plan-space workloads."""
+
+    def __init__(
+        self,
+        dimensions: int,
+        spread: float = 0.01,
+        trajectory_count: int = 10,
+        step_scale: float = 0.03,
+        momentum: float = 0.8,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if dimensions < 1:
+            raise WorkloadError("dimensions must be >= 1")
+        if spread <= 0.0:
+            raise WorkloadError("spread (r_d) must be > 0")
+        if trajectory_count < 1:
+            raise WorkloadError("need at least one trajectory")
+        if not 0.0 <= momentum < 1.0:
+            raise WorkloadError("momentum must be in [0, 1)")
+        self.dimensions = dimensions
+        self.spread = spread
+        self.trajectory_count = trajectory_count
+        self.step_scale = step_scale
+        self.momentum = momentum
+        self._rng = as_generator(seed)
+
+    def _one_trajectory(self, length: int) -> np.ndarray:
+        """A smooth random walk (momentum-damped) emitting test points."""
+        rng = self._rng
+        cursor = rng.uniform(0.0, 1.0, size=self.dimensions)
+        velocity = rng.normal(0.0, self.step_scale, size=self.dimensions)
+        points = np.empty((length, self.dimensions))
+        for i in range(length):
+            points[i] = np.clip(
+                cursor + rng.normal(0.0, self.spread, size=self.dimensions),
+                0.0,
+                1.0,
+            )
+            velocity = self.momentum * velocity + rng.normal(
+                0.0, self.step_scale, size=self.dimensions
+            )
+            cursor = cursor + velocity
+            # Reflect off the plan-space walls so trajectories stay inside.
+            for axis in range(self.dimensions):
+                if cursor[axis] < 0.0:
+                    cursor[axis] = -cursor[axis]
+                    velocity[axis] = -velocity[axis]
+                elif cursor[axis] > 1.0:
+                    cursor[axis] = 2.0 - cursor[axis]
+                    velocity[axis] = -velocity[axis]
+            cursor = np.clip(cursor, 0.0, 1.0)
+        return points
+
+    def generate(self, count: int = 1000) -> np.ndarray:
+        """``count`` workload points across the configured trajectories.
+
+        Points are emitted trajectory by trajectory, preserving the
+        temporal locality an application's parameter drift produces.
+        """
+        if count < 1:
+            raise WorkloadError("workload size must be >= 1")
+        per_trajectory = [
+            count // self.trajectory_count
+            + (1 if i < count % self.trajectory_count else 0)
+            for i in range(self.trajectory_count)
+        ]
+        segments = [
+            self._one_trajectory(length)
+            for length in per_trajectory
+            if length > 0
+        ]
+        return np.vstack(segments)

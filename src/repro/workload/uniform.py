@@ -1,0 +1,38 @@
+"""Offline uniform plan-space sampling.
+
+The offline workflow of Section V warms predictors up with points
+sampled uniformly from the plan space (the set ``X``) and evaluates
+them on an independent uniform test set (``T``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.point import SamplePool
+from repro.exceptions import WorkloadError
+from repro.optimizer.plan_space import PlanSpace
+from repro.rng import as_generator
+
+
+def sample_points(
+    dimensions: int,
+    count: int,
+    seed: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """``count`` uniform points in ``[0, 1]^dimensions``."""
+    if count < 1:
+        raise WorkloadError("sample count must be >= 1")
+    rng = as_generator(seed)
+    return rng.uniform(0.0, 1.0, size=(count, dimensions))
+
+
+def sample_labeled_pool(
+    plan_space: PlanSpace,
+    count: int,
+    seed: "int | np.random.Generator | None" = None,
+) -> SamplePool:
+    """Uniform sample set labeled by the optimizer oracle."""
+    points = sample_points(plan_space.dimensions, count, seed)
+    plan_ids, costs = plan_space.label(points)
+    return SamplePool.from_arrays(points, plan_ids, costs)

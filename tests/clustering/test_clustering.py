@@ -1,0 +1,123 @@
+"""Section III comparator algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    DensityPredictor,
+    KMeansPredictor,
+    SingleLinkagePredictor,
+    lloyd_kmeans,
+)
+from repro.core.point import SamplePool
+from repro.exceptions import ConfigurationError, PredictionError
+
+
+def _pool():
+    pool = SamplePool(2)
+    rng = np.random.default_rng(0)
+    for x in rng.uniform(0.0, 0.4, size=(60, 2)):
+        pool.add(x, 0)
+    for x in rng.uniform(0.6, 1.0, size=(60, 2)):
+        pool.add(x, 1)
+    return pool
+
+
+class TestLloydKMeans:
+    def test_two_obvious_clusters(self):
+        points = np.vstack(
+            [
+                np.random.default_rng(0).normal(0.2, 0.02, (30, 2)),
+                np.random.default_rng(1).normal(0.8, 0.02, (30, 2)),
+            ]
+        )
+        centroids, assignment = lloyd_kmeans(points, 2, seed=5)
+        assert centroids.shape[0] == 2
+        # Each cluster's centroid must land near one of the two blobs.
+        sorted_means = np.sort(centroids[:, 0])
+        assert sorted_means[0] == pytest.approx(0.2, abs=0.05)
+        assert sorted_means[1] == pytest.approx(0.8, abs=0.05)
+
+    def test_k_capped_by_point_count(self):
+        points = np.array([[0.1, 0.1], [0.9, 0.9]])
+        centroids, __ = lloyd_kmeans(points, 10, seed=0)
+        assert centroids.shape[0] <= 2
+
+    def test_assignment_covers_all_points(self):
+        points = np.random.default_rng(2).uniform(0, 1, (50, 2))
+        centroids, assignment = lloyd_kmeans(points, 5, seed=0)
+        assert assignment.shape == (50,)
+        assert assignment.max() < centroids.shape[0]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            lloyd_kmeans(np.empty((0, 2)), 2)
+        with pytest.raises(ConfigurationError):
+            lloyd_kmeans(np.ones((5, 2)), 0)
+
+
+class TestKMeansPredictor:
+    def test_cluster_interiors(self):
+        predictor = KMeansPredictor(_pool(), clusters_per_plan=5, radius=0.3)
+        assert predictor.predict([0.2, 0.2]).plan_id == 0
+        assert predictor.predict([0.8, 0.8]).plan_id == 1
+
+    def test_radius_sanity_check(self):
+        predictor = KMeansPredictor(_pool(), clusters_per_plan=5, radius=0.05)
+        # Far from any centroid.
+        assert predictor.predict([0.5, 0.02]) is None
+
+    def test_space_accounting(self):
+        predictor = KMeansPredictor(_pool(), clusters_per_plan=3, radius=0.3)
+        assert predictor.space_bytes() == predictor._centroids.shape[0] * 12
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(PredictionError):
+            KMeansPredictor(SamplePool(2))
+
+
+class TestSingleLinkagePredictor:
+    def test_nearest_label_wins(self):
+        predictor = SingleLinkagePredictor(_pool(), radius=0.5)
+        assert predictor.predict([0.1, 0.1]).plan_id == 0
+        assert predictor.predict([0.9, 0.9]).plan_id == 1
+
+    def test_radius_cutoff(self):
+        pool = SamplePool(2)
+        pool.add([0.0, 0.0], 0)
+        predictor = SingleLinkagePredictor(pool, radius=0.1)
+        assert predictor.predict([0.5, 0.5]) is None
+        assert predictor.predict([0.05, 0.05]) is not None
+
+    def test_boundary_blindness(self):
+        """Single linkage confidently answers right at a boundary —
+        the weakness density predict fixes."""
+        pool = SamplePool(1)
+        pool.add([0.49], 0)
+        pool.add([0.51], 1)
+        predictor = SingleLinkagePredictor(pool, radius=0.2)
+        assert predictor.predict([0.498]).plan_id == 0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(PredictionError):
+            SingleLinkagePredictor(SamplePool(2))
+
+
+class TestDensityPredictor:
+    def test_is_baseline_under_a_section3_name(self):
+        from repro.core.baseline import BaselinePredictor
+
+        predictor = DensityPredictor(_pool(), radius=0.15)
+        assert isinstance(predictor, BaselinePredictor)
+
+    def test_boundary_caution(self):
+        """Density predict declines where single linkage guesses."""
+        pool = SamplePool(1)
+        for v in np.linspace(0.3, 0.48, 10):
+            pool.add([v], 0)
+        for v in np.linspace(0.52, 0.7, 10):
+            pool.add([v], 1)
+        density = DensityPredictor(pool, radius=0.2, confidence_threshold=0.75)
+        linkage = SingleLinkagePredictor(pool, radius=0.2)
+        assert density.predict([0.5]) is None
+        assert linkage.predict([0.5]) is not None

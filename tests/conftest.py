@@ -1,0 +1,104 @@
+"""Shared fixtures.
+
+Plan spaces are expensive to harvest, so the TPC-H-backed ones are
+session-scoped (and additionally cached inside :mod:`repro.tpch`).  A
+tiny synthetic two-table catalog keeps pure-optimizer tests fast and
+independent of the TPC-H substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.point import SamplePool
+from repro.optimizer.catalog import Catalog, Column, Index, Table
+from repro.optimizer.expressions import (
+    ColumnRef,
+    JoinPredicate,
+    ParamPredicate,
+    QueryTemplate,
+)
+from repro.optimizer.plan_space import PlanSpace
+from repro.tpch import plan_space_for
+from repro.workload import sample_labeled_pool, sample_points
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog() -> Catalog:
+    """Two joinable tables with indexed and unindexed columns."""
+    catalog = Catalog()
+    catalog.add_table(
+        Table(
+            "emp",
+            50_000,
+            {
+                "emp_id": Column("emp_id", 1, 50_000, 50_000),
+                "dept_id": Column("dept_id", 1, 500, 500),
+                "salary": Column("salary", 10_000, 200_000, 5_000),
+                "hired": Column("hired", 0, 1000, 1000, distribution="gaussian"),
+            },
+        )
+    )
+    catalog.add_table(
+        Table(
+            "dept",
+            500,
+            {
+                "dept_id": Column("dept_id", 1, 500, 500),
+                "budget": Column("budget", 1_000, 1_000_000, 400),
+            },
+        )
+    )
+    catalog.add_index(Index("pk_emp", "emp", "emp_id", unique=True, clustered=True))
+    catalog.add_index(Index("fk_emp_dept", "emp", "dept_id"))
+    catalog.add_index(Index("ix_emp_hired", "emp", "hired"))
+    catalog.add_index(Index("pk_dept", "dept", "dept_id", unique=True, clustered=True))
+    return catalog
+
+
+@pytest.fixture(scope="session")
+def tiny_template() -> QueryTemplate:
+    """emp join dept with two parameterized predicates."""
+    return QueryTemplate(
+        name="tiny",
+        tables=("emp", "dept"),
+        joins=(
+            JoinPredicate(ColumnRef("emp", "dept_id"), ColumnRef("dept", "dept_id")),
+        ),
+        predicates=(
+            ParamPredicate(ColumnRef("emp", "hired"), 0),
+            ParamPredicate(ColumnRef("dept", "budget"), 1),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_space(tiny_template, tiny_catalog) -> PlanSpace:
+    return PlanSpace(tiny_template, tiny_catalog, seed=0)
+
+
+@pytest.fixture(scope="session")
+def q1_space() -> PlanSpace:
+    return plan_space_for("Q1")
+
+
+@pytest.fixture(scope="session")
+def q5_space() -> PlanSpace:
+    return plan_space_for("Q5")
+
+
+@pytest.fixture(scope="session")
+def q1_pool(q1_space) -> SamplePool:
+    return sample_labeled_pool(q1_space, 1000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def q1_test(q1_space):
+    points = sample_points(q1_space.dimensions, 500, seed=43)
+    return points, q1_space.plan_at(points)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

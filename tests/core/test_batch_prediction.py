@@ -1,0 +1,128 @@
+"""Vectorized prediction paths match their scalar counterparts."""
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import ConfidenceModel
+from repro.core.histogram_predictor import HistogramPredictor
+from repro.core.point import SamplePool
+from repro.exceptions import ConfigurationError
+from repro.workload import sample_points
+
+
+def _pool():
+    pool = SamplePool(2)
+    rng = np.random.default_rng(0)
+    for x in rng.uniform(0.0, 0.45, size=(120, 2)):
+        pool.add(x, 0, cost=5.0)
+    for x in rng.uniform(0.55, 1.0, size=(120, 2)):
+        pool.add(x, 1, cost=9.0)
+    return pool
+
+
+class TestDecideBatch:
+    def test_matches_scalar(self):
+        model = ConfidenceModel()
+        rng = np.random.default_rng(1)
+        counts = rng.integers(0, 20, size=(100, 4)).astype(float)
+        winners, confidences = model.decide_batch(counts, 0.7)
+        for i in range(100):
+            plan, confidence = model.decide(counts[i], 0.7)
+            expected = -1 if plan is None else plan
+            assert winners[i] == expected
+            assert confidences[i] == pytest.approx(confidence, abs=1e-9)
+
+    def test_all_zero_rows_are_null(self):
+        model = ConfidenceModel()
+        winners, confidences = model.decide_batch(np.zeros((3, 4)), 0.0)
+        assert (winners == -1).all()
+        assert (confidences == 0.0).all()
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ConfigurationError):
+            ConfidenceModel().decide_batch(np.zeros(4), 0.5)
+
+
+class TestHistogramPredictBatch:
+    @pytest.mark.parametrize("kind", ["maxdiff", "incremental"])
+    def test_matches_scalar(self, kind):
+        predictor = HistogramPredictor(
+            _pool(),
+            transforms=5,
+            radius=0.1,
+            confidence_threshold=0.7,
+            noise_fraction=0.002,
+            histogram_kind=kind,
+            seed=1,
+        )
+        test = sample_points(2, 200, seed=3)
+        scalar = [predictor.predict(test[i]) for i in range(200)]
+        batch = predictor.predict_batch(test)
+        for s, b in zip(scalar, batch):
+            assert (s is None) == (b is None)
+            if s is not None:
+                assert s.plan_id == b.plan_id
+                assert s.confidence == pytest.approx(b.confidence, abs=1e-9)
+                if s.estimated_cost is None:
+                    assert b.estimated_cost is None
+                else:
+                    assert s.estimated_cost == pytest.approx(b.estimated_cost)
+
+    def test_single_point_input(self):
+        predictor = HistogramPredictor(
+            _pool(), radius=0.1, confidence_threshold=0.5, seed=1
+        )
+        batch = predictor.predict_batch(np.array([0.2, 0.2]))
+        assert len(batch) == 1
+        assert batch[0].plan_id == 0
+
+    def test_batch_faster_than_scalar(self):
+        import time
+
+        predictor = HistogramPredictor(
+            _pool(), transforms=5, radius=0.1, seed=1
+        )
+        test = sample_points(2, 300, seed=4)
+        start = time.perf_counter()
+        for i in range(300):
+            predictor.predict(test[i])
+        scalar_time = time.perf_counter() - start
+        start = time.perf_counter()
+        predictor.predict_batch(test)
+        batch_time = time.perf_counter() - start
+        assert batch_time < scalar_time
+
+
+class TestBaselinePredictBatch:
+    def test_matches_scalar(self):
+        from repro.core.baseline import BaselinePredictor
+
+        predictor = BaselinePredictor(
+            _pool(), radius=0.15, confidence_threshold=0.7
+        )
+        test = sample_points(2, 300, seed=6)
+        scalar = [
+            BaselinePredictor.predict(predictor, test[i]) for i in range(300)
+        ]
+        batch = predictor.predict_batch(test, chunk_size=64)
+        for s, b in zip(scalar, batch):
+            assert (s is None) == (b is None)
+            if s is not None:
+                assert s.plan_id == b.plan_id
+                assert s.confidence == pytest.approx(b.confidence, abs=1e-9)
+                if s.estimated_cost is None:
+                    assert b.estimated_cost is None
+                else:
+                    assert s.estimated_cost == pytest.approx(b.estimated_cost)
+
+    def test_chunking_irrelevant_to_results(self):
+        from repro.core.baseline import BaselinePredictor
+
+        predictor = BaselinePredictor(_pool(), radius=0.15)
+        test = sample_points(2, 100, seed=7)
+        small = predictor.predict_batch(test, chunk_size=7)
+        large = predictor.predict_batch(test, chunk_size=1000)
+        for a, b in zip(small, large):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.plan_id == b.plan_id

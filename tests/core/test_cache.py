@@ -1,0 +1,81 @@
+"""Plan cache: hits, misses, caching-potential eviction."""
+
+import pytest
+
+from repro.core.cache import PlanCache
+from repro.core.monitor import PerformanceMonitor
+from repro.exceptions import ConfigurationError
+
+
+class _FakePlan:
+    """Stands in for a PhysicalPlan; the cache never inspects plans."""
+
+    def __init__(self, name):
+        self.fingerprint = name
+
+
+class TestBasicOperations:
+    def test_get_miss_then_hit(self):
+        cache = PlanCache(capacity=2)
+        assert cache.get(1) is None
+        cache.put(1, _FakePlan("a"))
+        assert cache.get(1).fingerprint == "a"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_contains(self):
+        cache = PlanCache(capacity=2)
+        cache.put(3, _FakePlan("x"))
+        assert 3 in cache
+        assert 4 not in cache
+
+    def test_put_refreshes_existing(self):
+        cache = PlanCache(capacity=2)
+        cache.put(1, _FakePlan("a"))
+        cache.put(2, _FakePlan("b"))
+        cache.put(1, _FakePlan("a2"))  # refresh 1; 2 becomes LRU
+        cache.put(3, _FakePlan("c"))
+        assert 1 in cache
+        assert 2 not in cache
+
+    def test_hit_rate(self):
+        cache = PlanCache(capacity=2)
+        cache.put(1, _FakePlan("a"))
+        cache.get(1)
+        cache.get(2)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PlanCache(capacity=0)
+
+
+class TestEviction:
+    def test_lru_eviction_without_monitor(self):
+        cache = PlanCache(capacity=2)
+        cache.put(1, _FakePlan("a"))
+        cache.put(2, _FakePlan("b"))
+        cache.get(1)  # 2 becomes least recent
+        cache.put(3, _FakePlan("c"))
+        assert 2 not in cache
+        assert 1 in cache and 3 in cache
+        assert cache.evictions == 1
+
+    def test_low_precision_plan_evicted_first(self):
+        monitor = PerformanceMonitor()
+        cache = PlanCache(capacity=2, monitor=monitor)
+        cache.put(1, _FakePlan("good"))
+        cache.put(2, _FakePlan("bad"))
+        monitor.record_prediction(1, True)
+        monitor.record_prediction(2, False)
+        cache.get(2)  # even though 2 is most recent...
+        cache.put(3, _FakePlan("new"))
+        # ...its poor precision makes it the eviction victim.
+        assert 2 not in cache
+        assert 1 in cache
+
+    def test_clear(self):
+        cache = PlanCache(capacity=4)
+        cache.put(1, _FakePlan("a"))
+        cache.clear()
+        assert len(cache) == 0

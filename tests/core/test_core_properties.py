@@ -1,0 +1,124 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.confidence import ConfidenceModel, confidence_from_ratio
+from repro.core.point import SamplePool
+from repro.core.baseline import BaselinePredictor
+from repro.optimizer.parameters import ParameterMapping
+
+ratios = st.floats(min_value=1.0, max_value=1e6, allow_nan=False)
+counts = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestConfidenceProperties:
+    @given(ratio=ratios)
+    @settings(max_examples=80, deadline=None)
+    def test_confidence_in_unit_interval(self, ratio):
+        value = confidence_from_ratio(ratio)
+        assert 0.0 <= value <= 1.0
+
+    @given(a=ratios, b=ratios)
+    @settings(max_examples=80, deadline=None)
+    def test_confidence_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert confidence_from_ratio(lo) <= confidence_from_ratio(hi) + 1e-12
+
+    @given(count_list=counts, threshold=st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_decide_consistent_with_confidence(self, count_list, threshold):
+        model = ConfidenceModel()
+        plan, confidence = model.decide(count_list, threshold)
+        if plan is not None:
+            # The returned plan is a strict argmax and passed the gate.
+            assert count_list[plan] == max(count_list)
+            assert confidence > threshold
+
+    @given(count_list=counts)
+    @settings(max_examples=80, deadline=None)
+    def test_scaling_counts_preserves_mixed_confidence(self, count_list):
+        """The chord model depends only on the count *ratio*: scaling a
+        mixed neighborhood cannot change the confidence."""
+        model = ConfidenceModel()
+        arr = np.array(count_list)
+        if arr.max() <= 0 or (arr > 0).sum() < 2:
+            return
+        __, confidence = model.decide(arr, threshold=2.0)
+        __, scaled = model.decide(arr * 7.0, threshold=2.0)
+        assert scaled == pytest.approx(confidence, abs=1e-9)
+
+
+class TestParameterMappingProperties:
+    @given(
+        lo=st.floats(1e-5, 0.5),
+        span=st.floats(1.1, 100.0),
+        x=st.floats(0.0, 1.0),
+        scale=st.sampled_from(["log", "linear"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_selectivity_within_range(self, lo, span, x, scale):
+        hi = min(1.0, lo * span)
+        mapping = ParameterMapping([(lo, hi)], [scale])
+        sel = mapping.to_selectivity(np.array([[x]]))[0, 0]
+        assert lo - 1e-12 <= sel <= hi + 1e-12
+
+    @given(
+        lo=st.floats(1e-5, 0.5),
+        span=st.floats(1.1, 100.0),
+        x=st.floats(0.0, 1.0),
+        scale=st.sampled_from(["log", "linear"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip(self, lo, span, x, scale):
+        hi = min(1.0, lo * span)
+        mapping = ParameterMapping([(lo, hi)], [scale])
+        sel = mapping.to_selectivity(np.array([[x]]))
+        back = mapping.to_normalized(sel)[0, 0]
+        assert back == pytest.approx(x, abs=1e-6)
+
+
+class TestBaselineProperties:
+    @given(
+        seed=st.integers(0, 1000),
+        radius=st.floats(0.02, 0.5),
+        gamma=st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_answers_never_contradict_majority(self, seed, radius, gamma):
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 1, (60, 2))
+        labels = (coords[:, 0] > 0.5).astype(int)
+        pool = SamplePool.from_arrays(coords, labels)
+        predictor = BaselinePredictor(
+            pool, radius=radius, confidence_threshold=gamma
+        )
+        x = rng.uniform(0, 1, 2)
+        prediction = predictor.predict(x)
+        if prediction is not None:
+            neighborhood = predictor.neighborhood_counts(x)
+            assert neighborhood[prediction.plan_id] == neighborhood.max()
+
+    @given(seed=st.integers(0, 1000), gamma=st.floats(0.0, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_higher_threshold_never_answers_more(self, seed, gamma):
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0, 1, (80, 2))
+        labels = (coords[:, 0] * 3).astype(int)
+        pool = SamplePool.from_arrays(coords, labels)
+        lenient = BaselinePredictor(pool, 0.2, gamma)
+        strict = BaselinePredictor(pool, 0.2, min(0.99, gamma + 0.04))
+        test = rng.uniform(0, 1, (30, 2))
+        lenient_answers = sum(
+            1 for i in range(30) if lenient.predict(test[i]) is not None
+        )
+        strict_answers = sum(
+            1 for i in range(30) if strict.predict(test[i]) is not None
+        )
+        assert strict_answers <= lenient_answers

@@ -1,0 +1,151 @@
+"""APPROXIMATE-LSH-HISTOGRAMS: z-order synopses in histograms."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram_predictor import HistogramPredictor, ball_volume
+from repro.core.point import SamplePool
+from repro.exceptions import ConfigurationError, PredictionError
+
+
+def _pool():
+    pool = SamplePool(2)
+    rng = np.random.default_rng(0)
+    for x in rng.uniform(0.0, 0.45, size=(100, 2)):
+        pool.add(x, 0, cost=5.0)
+    for x in rng.uniform(0.55, 1.0, size=(100, 2)):
+        pool.add(x, 1, cost=9.0)
+    return pool
+
+
+class TestBallVolume:
+    def test_unit_circle(self):
+        assert ball_volume(1.0, 2) == pytest.approx(np.pi)
+
+    def test_interval(self):
+        assert ball_volume(0.5, 1) == pytest.approx(1.0)
+
+
+class TestStaticFit:
+    @pytest.mark.parametrize("kind", ["maxdiff", "equidepth", "equiwidth"])
+    def test_cluster_interiors(self, kind):
+        predictor = HistogramPredictor(
+            _pool(), transforms=5, radius=0.1, histogram_kind=kind, seed=1
+        )
+        assert predictor.predict([0.2, 0.2]).plan_id == 0
+        assert predictor.predict([0.8, 0.8]).plan_id == 1
+
+    def test_static_fit_rejects_insert(self):
+        predictor = HistogramPredictor(_pool(), histogram_kind="maxdiff", seed=1)
+        with pytest.raises(PredictionError):
+            predictor.insert(np.array([0.5, 0.5]), 0)
+
+    def test_bucket_budget_respected(self):
+        predictor = HistogramPredictor(
+            _pool(), max_buckets=10, histogram_kind="maxdiff", seed=1
+        )
+        for row in predictor._histograms:
+            for histogram in row:
+                assert histogram.bucket_count <= 10
+
+    def test_space_bounded_by_formula(self):
+        predictor = HistogramPredictor(
+            _pool(), transforms=5, max_buckets=40, seed=1
+        )
+        assert predictor.space_bytes() <= 5 * 2 * 40 * 12
+
+    def test_estimated_cost_near_cluster_cost(self):
+        predictor = HistogramPredictor(_pool(), radius=0.1, seed=1)
+        estimated = predictor.estimated_cost(np.array([0.2, 0.2]), 0)
+        assert estimated == pytest.approx(5.0, rel=0.01)
+
+
+class TestIncrementalMode:
+    def test_learns_from_insertions(self):
+        predictor = HistogramPredictor(
+            SamplePool(2),
+            plan_count=2,
+            histogram_kind="incremental",
+            confidence_threshold=0.5,
+            seed=1,
+        )
+        assert predictor.predict([0.3, 0.3]) is None
+        for __ in range(8):
+            predictor.insert(np.array([0.3, 0.3]), 1, cost=4.0)
+        assert predictor.predict([0.3, 0.3]).plan_id == 1
+        assert predictor.total_points == 8
+
+    def test_drop_resets_everything(self):
+        predictor = HistogramPredictor(
+            _pool(), histogram_kind="incremental", confidence_threshold=0.5,
+            seed=1,
+        )
+        assert predictor.predict([0.2, 0.2]) is not None
+        predictor.drop()
+        assert predictor.total_points == 0
+        assert predictor.predict([0.2, 0.2]) is None
+        # After dropping, insertion works again.
+        predictor.insert(np.array([0.2, 0.2]), 0, cost=1.0)
+        assert predictor.total_points == 1
+
+
+class TestNoiseElimination:
+    def test_sparse_support_suppressed(self):
+        pool = _pool()
+        strict = HistogramPredictor(
+            pool, radius=0.1, noise_fraction=0.5, seed=1,
+            confidence_threshold=0.0,
+        )
+        lenient = HistogramPredictor(
+            pool, radius=0.1, noise_fraction=None, seed=1,
+            confidence_threshold=0.0,
+        )
+        x = [0.2, 0.2]
+        # A neighborhood holding well under half of all points is
+        # suppressed by the absurdly strict threshold but not without it.
+        assert strict.predict(x) is None
+        assert lenient.predict(x) is not None
+
+
+class TestValidation:
+    def test_resolution_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            HistogramPredictor(_pool(), resolution=10)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HistogramPredictor(_pool(), histogram_kind="wavelet")
+
+    def test_empty_pool_needs_plan_count(self):
+        with pytest.raises(PredictionError):
+            HistogramPredictor(SamplePool(2))
+
+    def test_bad_radius(self):
+        with pytest.raises(PredictionError):
+            HistogramPredictor(_pool(), radius=-1.0)
+
+    def test_high_dimension_bits_clamped(self):
+        """dims*bits must stay within the 62-bit Morton budget."""
+        pool = SamplePool(6)
+        rng = np.random.default_rng(3)
+        for x in rng.uniform(0, 1, size=(30, 6)):
+            pool.add(x, 0)
+        predictor = HistogramPredictor(pool, resolution=4096, seed=1)
+        assert predictor.curve.dims * predictor.curve.bits <= 62
+
+
+class TestAgainstOracle:
+    def test_precision_on_q1(self, q1_space, q1_pool, q1_test):
+        predictor = HistogramPredictor(
+            q1_pool, radius=0.05, confidence_threshold=0.7, seed=1
+        )
+        test, truth = q1_test
+        correct = answered = 0
+        for i in range(test.shape[0]):
+            prediction = predictor.predict(test[i])
+            if prediction is None:
+                continue
+            answered += 1
+            correct += prediction.plan_id == truth[i]
+        assert answered > test.shape[0] * 0.4
+        assert correct / answered > 0.95

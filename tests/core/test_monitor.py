@@ -1,0 +1,85 @@
+"""Sliding precision/recall estimators and drift detection."""
+
+import pytest
+
+from repro.core.monitor import PerformanceMonitor
+from repro.exceptions import ConfigurationError
+
+
+class TestEstimates:
+    def test_initial_state(self):
+        monitor = PerformanceMonitor()
+        assert monitor.precision_estimate == 1.0
+        assert monitor.answer_rate == 0.0
+        assert monitor.recall_estimate == 0.0
+
+    def test_precision_tracks_correctness(self):
+        monitor = PerformanceMonitor(window=10)
+        for __ in range(8):
+            monitor.record_prediction(0, True)
+        for __ in range(2):
+            monitor.record_prediction(0, False)
+        assert monitor.precision_estimate == pytest.approx(0.8)
+
+    def test_recall_is_beta_times_precision(self):
+        monitor = PerformanceMonitor(window=100)
+        for __ in range(6):
+            monitor.record_prediction(1, True)
+        for __ in range(4):
+            monitor.record_null()
+        assert monitor.answer_rate == pytest.approx(0.6)
+        assert monitor.recall_estimate == pytest.approx(0.6 * 1.0)
+
+    def test_window_forgets_old_evidence(self):
+        monitor = PerformanceMonitor(window=5)
+        for __ in range(5):
+            monitor.record_prediction(0, False)
+        for __ in range(5):
+            monitor.record_prediction(0, True)
+        assert monitor.precision_estimate == 1.0
+
+    def test_per_plan_precision(self):
+        monitor = PerformanceMonitor()
+        monitor.record_prediction(0, True)
+        monitor.record_prediction(1, False)
+        assert monitor.plan_precision(0) == 1.0
+        assert monitor.plan_precision(1) == 0.0
+        assert monitor.plan_precision(99) == 1.0  # no evidence yet
+
+
+class TestDrift:
+    def test_no_alarm_without_evidence(self):
+        monitor = PerformanceMonitor(drift_threshold=0.5, min_observations=30)
+        for __ in range(10):
+            monitor.record_prediction(0, False)
+        assert not monitor.drift_detected()
+
+    def test_alarm_after_sustained_failures(self):
+        monitor = PerformanceMonitor(
+            window=50, drift_threshold=0.5, min_observations=30
+        )
+        for __ in range(40):
+            monitor.record_prediction(0, False)
+        assert monitor.drift_detected()
+
+    def test_healthy_precision_never_alarms(self):
+        monitor = PerformanceMonitor(
+            window=50, drift_threshold=0.5, min_observations=30
+        )
+        for __ in range(100):
+            monitor.record_prediction(0, True)
+        assert not monitor.drift_detected()
+
+    def test_reset_clears_alarm(self):
+        monitor = PerformanceMonitor(
+            window=50, drift_threshold=0.5, min_observations=30
+        )
+        for __ in range(40):
+            monitor.record_prediction(0, False)
+        monitor.reset()
+        assert not monitor.drift_detected()
+        assert monitor.precision_estimate == 1.0
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceMonitor(drift_threshold=1.5)

@@ -1,0 +1,113 @@
+"""ONLINE-APPROXIMATE-LSH-HISTOGRAMS policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlinePredictor
+from repro.core.predictor import Prediction
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def online():
+    return OnlinePredictor(
+        dimensions=2,
+        plan_count=3,
+        confidence_threshold=0.5,
+        mean_invocation_probability=0.05,
+        seed=0,
+    )
+
+
+class TestLearning:
+    def test_starts_empty_and_silent(self, online):
+        assert online.sample_count == 0
+        assert online.predict([0.5, 0.5]) is None
+
+    def test_observes_and_predicts(self, online):
+        for __ in range(8):
+            online.observe(np.array([0.3, 0.3]), plan_id=1, cost=10.0)
+        prediction = online.predict([0.3, 0.3])
+        assert prediction is not None
+        assert prediction.plan_id == 1
+        assert online.sample_count == 8
+
+    def test_drop_forgets(self, online):
+        for __ in range(8):
+            online.observe(np.array([0.3, 0.3]), 1, 10.0)
+        online.drop()
+        assert online.sample_count == 0
+        assert online.predict([0.3, 0.3]) is None
+
+
+class TestInvocationPolicy:
+    def test_null_prediction_forces_invocation(self, online):
+        assert online.should_invoke_optimizer(None)
+
+    def test_zero_probability_never_explores(self):
+        online = OnlinePredictor(
+            2, 3, mean_invocation_probability=0.0, seed=0
+        )
+        prediction = Prediction(0, confidence=0.1)
+        assert not any(
+            online.should_invoke_optimizer(prediction) for __ in range(100)
+        )
+
+    def test_confident_predictions_rarely_explored(self, online):
+        confident = Prediction(0, confidence=0.999)
+        fires = sum(
+            online.should_invoke_optimizer(confident) for __ in range(2000)
+        )
+        assert fires < 20
+
+    def test_unsure_predictions_explored_more(self):
+        online = OnlinePredictor(
+            2, 3, mean_invocation_probability=0.1, seed=1
+        )
+        unsure = Prediction(0, confidence=0.0)
+        confident = Prediction(0, confidence=0.95)
+        unsure_fires = sum(
+            online.should_invoke_optimizer(unsure) for __ in range(2000)
+        )
+        confident_fires = sum(
+            online.should_invoke_optimizer(confident) for __ in range(2000)
+        )
+        assert unsure_fires > confident_fires
+        # Mean rate at confidence 0 is 2p = 0.2.
+        assert unsure_fires == pytest.approx(400, rel=0.3)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnlinePredictor(2, 3, mean_invocation_probability=1.5)
+
+
+class TestNegativeFeedback:
+    def test_error_suspected_on_cost_blowup(self, online):
+        prediction = Prediction(0, 0.9, estimated_cost=100.0)
+        assert online.suspect_error(prediction, observed_cost=200.0)
+
+    def test_no_error_within_bound(self, online):
+        prediction = Prediction(0, 0.9, estimated_cost=100.0)
+        assert not online.suspect_error(prediction, observed_cost=110.0)
+
+    def test_disabled_feedback_never_fires(self):
+        online = OnlinePredictor(2, 3, negative_feedback=False, seed=0)
+        prediction = Prediction(0, 0.9, estimated_cost=100.0)
+        assert not online.suspect_error(prediction, observed_cost=1e9)
+
+    def test_corrective_insert_reduces_support(self, online):
+        """Inserting truth points of another plan flips the majority —
+        the negative-feedback mechanism of Section IV-D."""
+        x = np.array([0.4, 0.4])
+        for __ in range(4):
+            online.observe(x, plan_id=0, cost=10.0)
+        assert online.predict(x).plan_id == 0
+        # A handful of corrective points makes the region contested
+        # (confidence below threshold -> NULL)...
+        for __ in range(12):
+            online.observe(x, plan_id=2, cost=10.0)
+        assert online.predict(x) is None
+        # ...and a solid corrective majority flips the prediction.
+        for __ in range(13):
+            online.observe(x, plan_id=2, cost=10.0)
+        assert online.predict(x).plan_id == 2

@@ -1,0 +1,54 @@
+"""Sample pools: construction, append, array views."""
+
+import numpy as np
+import pytest
+
+from repro.core.point import LabeledPoint, SamplePool
+from repro.exceptions import ConfigurationError
+
+
+class TestSamplePool:
+    def test_add_and_views(self):
+        pool = SamplePool(2)
+        pool.add([0.1, 0.2], plan_id=3, cost=5.0)
+        pool.add(np.array([0.3, 0.4]), plan_id=1, cost=7.0)
+        assert len(pool) == 2
+        assert pool.coords.shape == (2, 2)
+        assert pool.plan_ids.tolist() == [3, 1]
+        assert pool.costs.tolist() == [5.0, 7.0]
+
+    def test_empty_pool_views(self):
+        pool = SamplePool(3)
+        assert pool.coords.shape == (0, 3)
+        assert pool.plan_ids.shape == (0,)
+
+    def test_dimension_mismatch_rejected(self):
+        pool = SamplePool(2)
+        with pytest.raises(ConfigurationError):
+            pool.add([0.1, 0.2, 0.3], plan_id=0)
+
+    def test_from_arrays(self):
+        coords = np.array([[0.1, 0.2], [0.3, 0.4]])
+        pool = SamplePool.from_arrays(coords, np.array([1, 2]), np.array([5.0, 6.0]))
+        assert len(pool) == 2
+        assert pool.dimensions == 2
+
+    def test_from_arrays_default_costs(self):
+        pool = SamplePool.from_arrays(np.zeros((3, 2)), np.zeros(3))
+        assert pool.costs.tolist() == [0.0, 0.0, 0.0]
+
+    def test_from_arrays_misaligned_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SamplePool.from_arrays(np.zeros((3, 2)), np.zeros(2))
+
+    def test_points_materialization(self):
+        pool = SamplePool(1)
+        pool.add([0.5], plan_id=2, cost=3.0)
+        points = pool.points()
+        assert len(points) == 1
+        assert isinstance(points[0], LabeledPoint)
+        assert points[0].plan_id == 2
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SamplePool(0)

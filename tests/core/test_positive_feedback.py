@@ -1,0 +1,144 @@
+"""Positive feedback: checks and balances (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.config import PPCConfig
+from repro.core.framework import TemplateSession
+from repro.core.online import OnlinePredictor
+from repro.core.positive_feedback import PositiveFeedbackPolicy
+from repro.core.predictor import Prediction
+from repro.exceptions import ConfigurationError
+from repro.workload import RandomTrajectoryWorkload
+
+
+class TestPolicy:
+    def test_confidence_gate(self):
+        policy = PositiveFeedbackPolicy(min_confidence=0.95)
+        policy.record_verified()
+        policy.record_verified()
+        assert not policy.should_insert(Prediction(0, confidence=0.9))
+        assert policy.should_insert(Prediction(0, confidence=0.99))
+
+    def test_mass_cap(self):
+        policy = PositiveFeedbackPolicy(
+            min_confidence=0.0, weight=0.25, mass_cap_ratio=0.5
+        )
+        policy.record_verified()  # verified mass 1.0 -> cap 0.5
+        confident = Prediction(0, confidence=1.0)
+        assert policy.should_insert(confident)  # unverified 0.25
+        assert policy.should_insert(confident)  # unverified 0.50
+        assert not policy.should_insert(confident)  # would exceed cap
+        policy.record_verified()  # cap now 1.0
+        assert policy.should_insert(confident)
+
+    def test_counters(self):
+        policy = PositiveFeedbackPolicy(min_confidence=0.5)
+        policy.record_verified()
+        policy.should_insert(Prediction(0, confidence=0.9))
+        policy.should_insert(Prediction(0, confidence=0.1))
+        assert policy.accepted == 1
+        assert policy.rejected == 1
+
+    def test_reset(self):
+        policy = PositiveFeedbackPolicy(min_confidence=0.0)
+        policy.record_verified()
+        policy.should_insert(Prediction(0, confidence=1.0))
+        policy.reset()
+        assert policy.verified_mass == 0.0
+        assert policy.unverified_mass == 0.0
+
+    def test_unguarded_always_accepts(self):
+        policy = PositiveFeedbackPolicy.unguarded()
+        for __ in range(100):
+            assert policy.should_insert(Prediction(0, confidence=0.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PositiveFeedbackPolicy(min_confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            PositiveFeedbackPolicy(weight=0.0)
+        with pytest.raises(ConfigurationError):
+            PositiveFeedbackPolicy(mass_cap_ratio=0.0)
+
+
+class TestOnlineIntegration:
+    def test_unverified_points_carry_fractional_weight(self):
+        online = OnlinePredictor(
+            dimensions=2,
+            plan_count=2,
+            confidence_threshold=0.5,
+            positive_feedback=PositiveFeedbackPolicy(
+                min_confidence=0.0, weight=0.25, mass_cap_ratio=10.0
+            ),
+            seed=0,
+        )
+        x = np.array([0.3, 0.3])
+        online.observe(x, 0, cost=5.0)
+        inserted = online.observe_unverified(
+            x, Prediction(0, confidence=1.0), observed_cost=5.0
+        )
+        assert inserted
+        assert online.sample_count == pytest.approx(1.25)
+
+    def test_no_policy_means_no_positive_feedback(self):
+        online = OnlinePredictor(2, 2, seed=0)
+        assert not online.observe_unverified(
+            np.array([0.3, 0.3]), Prediction(0, confidence=1.0), 5.0
+        )
+
+    def test_drop_resets_policy(self):
+        policy = PositiveFeedbackPolicy(min_confidence=0.0, mass_cap_ratio=10)
+        online = OnlinePredictor(
+            2, 2, positive_feedback=policy, seed=0
+        )
+        online.observe(np.array([0.3, 0.3]), 0, 5.0)
+        online.observe_unverified(
+            np.array([0.3, 0.3]), Prediction(0, confidence=1.0), 5.0
+        )
+        online.drop()
+        assert policy.verified_mass == 0.0
+        assert online.sample_count == 0
+
+
+class TestFrameworkIntegration:
+    def test_guarded_feedback_does_not_destroy_precision(self, q1_space):
+        base_config = PPCConfig(
+            confidence_threshold=0.8, drift_response=False
+        )
+        feedback_config = PPCConfig(
+            confidence_threshold=0.8,
+            drift_response=False,
+            positive_feedback=True,
+        )
+        workload = RandomTrajectoryWorkload(2, spread=0.02, seed=17).generate(
+            600
+        )
+        results = {}
+        for name, config in (
+            ("off", base_config), ("on", feedback_config),
+        ):
+            session = TemplateSession(q1_space, config, seed=0)
+            for point in workload:
+                session.execute(point)
+            results[name] = session.ground_truth_metrics()
+        assert results["on"].precision > results["off"].precision - 0.05
+
+    def test_unverified_mass_accumulates(self, q1_space):
+        config = PPCConfig(
+            confidence_threshold=0.8,
+            drift_response=False,
+            positive_feedback=True,
+        )
+        session = TemplateSession(q1_space, config, seed=0)
+        workload = RandomTrajectoryWorkload(2, spread=0.02, seed=18).generate(
+            400
+        )
+        for point in workload:
+            session.execute(point)
+        policy = session.online.positive_feedback
+        assert policy is not None
+        assert policy.accepted > 0
+        assert policy.unverified_mass <= (
+            policy.mass_cap_ratio * policy.verified_mass + policy.weight
+        )

@@ -1,0 +1,71 @@
+"""Bucket arithmetic and the shared histogram query interface."""
+
+import pytest
+
+from repro.exceptions import HistogramError
+from repro.histograms.base import BYTES_PER_BUCKET, Bucket
+from repro.histograms.equiwidth import EquiWidthHistogram
+
+
+class TestBucket:
+    def test_width_and_average_cost(self):
+        bucket = Bucket(0.2, 0.6, count=4, cost_sum=20.0)
+        assert bucket.width == pytest.approx(0.4)
+        assert bucket.average_cost == pytest.approx(5.0)
+
+    def test_empty_bucket_average_cost_is_zero(self):
+        assert Bucket(0.0, 1.0).average_cost == 0.0
+
+    def test_overlap_full_containment(self):
+        bucket = Bucket(0.4, 0.6, count=10)
+        assert bucket.overlap_fraction(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_overlap_partial(self):
+        bucket = Bucket(0.0, 1.0, count=10)
+        assert bucket.overlap_fraction(0.25, 0.75) == pytest.approx(0.5)
+
+    def test_overlap_disjoint(self):
+        bucket = Bucket(0.0, 0.2, count=10)
+        assert bucket.overlap_fraction(0.5, 0.9) == 0.0
+
+    def test_point_mass_inside_range(self):
+        bucket = Bucket(0.5, 0.5, count=3)
+        assert bucket.overlap_fraction(0.4, 0.6) == 1.0
+        assert bucket.overlap_fraction(0.6, 0.9) == 0.0
+
+    def test_point_mass_on_range_edge(self):
+        bucket = Bucket(0.5, 0.5, count=3)
+        assert bucket.overlap_fraction(0.5, 0.9) == 1.0
+
+
+class TestHistogramQueries:
+    def test_range_count_over_full_domain_equals_total(self):
+        hist = EquiWidthHistogram.build(
+            [0.1, 0.2, 0.3, 0.8, 0.9], bucket_count=10
+        )
+        assert hist.range_count(0.0, 1.0) == pytest.approx(5.0)
+        assert hist.total_count == pytest.approx(5.0)
+
+    def test_range_count_swapped_bounds(self):
+        hist = EquiWidthHistogram.build([0.1, 0.9], bucket_count=10)
+        assert hist.range_count(1.0, 0.0) == pytest.approx(2.0)
+
+    def test_range_cost_weighted_average(self):
+        hist = EquiWidthHistogram.build(
+            [0.05, 0.95], costs=[10.0, 30.0], bucket_count=2
+        )
+        assert hist.range_cost(0.0, 0.5) == pytest.approx(10.0)
+        assert hist.range_cost(0.5, 1.0) == pytest.approx(30.0)
+        assert hist.range_cost(0.0, 1.0) == pytest.approx(20.0)
+
+    def test_range_cost_empty_region_is_zero(self):
+        hist = EquiWidthHistogram.build([0.05], costs=[10.0], bucket_count=10)
+        assert hist.range_cost(0.5, 0.6) == 0.0
+
+    def test_space_accounting(self):
+        hist = EquiWidthHistogram(bucket_count=40)
+        assert hist.space_bytes() == 40 * BYTES_PER_BUCKET
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(HistogramError):
+            EquiWidthHistogram(bucket_count=4, domain=(1.0, 1.0))

@@ -1,0 +1,108 @@
+"""Property-based tests on histogram invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histograms import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    IncrementalHistogram,
+    MaxDiffHistogram,
+)
+
+unit_floats = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(unit_floats, min_size=1, max_size=200)
+budgets = st.integers(min_value=1, max_value=50)
+
+
+@st.composite
+def values_and_budget(draw):
+    return draw(value_lists), draw(budgets)
+
+
+@pytest.mark.parametrize(
+    "builder", [EquiWidthHistogram, EquiDepthHistogram, MaxDiffHistogram]
+)
+class TestStaticInvariants:
+    @given(data=values_and_budget())
+    @settings(max_examples=50, deadline=None)
+    def test_mass_conserved(self, builder, data):
+        values, budget = data
+        hist = builder.build(values, bucket_count=budget)
+        assert hist.total_count == pytest.approx(len(values))
+
+    @given(data=values_and_budget())
+    @settings(max_examples=50, deadline=None)
+    def test_full_domain_query_returns_total(self, builder, data):
+        values, budget = data
+        hist = builder.build(values, bucket_count=budget)
+        assert hist.range_count(0.0, 1.0) == pytest.approx(len(values), rel=1e-6)
+
+    @given(data=values_and_budget(), lo=unit_floats, hi=unit_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_range_count_bounded_and_nonnegative(self, builder, data, lo, hi):
+        values, budget = data
+        hist = builder.build(values, bucket_count=budget)
+        count = hist.range_count(lo, hi)
+        assert 0.0 <= count <= len(values) + 1e-9
+
+    @given(data=values_and_budget())
+    @settings(max_examples=50, deadline=None)
+    def test_budget_respected(self, builder, data):
+        values, budget = data
+        hist = builder.build(values, bucket_count=budget)
+        assert hist.bucket_count <= budget
+
+
+class TestIncrementalInvariants:
+    @given(data=values_and_budget())
+    @settings(max_examples=50, deadline=None)
+    def test_mass_conserved_under_insertion(self, data):
+        values, budget = data
+        hist = IncrementalHistogram(max_buckets=budget)
+        for v in values:
+            hist.insert(v)
+        assert hist.total_count == pytest.approx(len(values))
+        assert hist.bucket_count <= budget
+
+    @given(data=values_and_budget())
+    @settings(max_examples=50, deadline=None)
+    def test_buckets_ordered(self, data):
+        values, budget = data
+        hist = IncrementalHistogram(max_buckets=budget)
+        for v in values:
+            hist.insert(v)
+        los = [b.lo for b in hist.buckets]
+        assert los == sorted(los)
+
+    @given(values=value_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_cost_totals_preserved(self, values):
+        hist = IncrementalHistogram(max_buckets=7)
+        for i, v in enumerate(values):
+            hist.insert(v, cost=float(i))
+        stored = sum(b.cost_sum for b in hist.buckets)
+        assert stored == pytest.approx(sum(range(len(values))))
+
+    @given(values=value_lists, split=unit_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_range_additivity(self, values, split):
+        """count[0, s] + count[s, 1] >= total (point masses at the split
+        may be counted twice, never lost)."""
+        hist = IncrementalHistogram(max_buckets=10)
+        for v in values:
+            hist.insert(v)
+        left = hist.range_count(0.0, split)
+        right = hist.range_count(split, 1.0)
+        assert left + right >= len(values) - 1e-6
+
+    def test_equidepth_distinct_values_near_equal_counts(self):
+        rng = np.random.default_rng(5)
+        values = rng.permutation(np.linspace(0.0, 1.0, 120))
+        hist = EquiDepthHistogram.build(values, bucket_count=6)
+        counts = [b.count for b in hist.buckets]
+        assert max(counts) - min(counts) <= 1.0

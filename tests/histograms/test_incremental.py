@@ -1,0 +1,89 @@
+"""Streaming histogram: insertion, merge-on-overflow, clearing."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HistogramError
+from repro.histograms import IncrementalHistogram
+
+
+class TestInsertion:
+    def test_single_insert_creates_point_mass(self):
+        hist = IncrementalHistogram(max_buckets=4)
+        hist.insert(0.5, cost=2.0)
+        assert hist.bucket_count == 1
+        bucket = hist.buckets[0]
+        assert bucket.lo == bucket.hi == 0.5
+        assert bucket.count == 1
+        assert bucket.cost_sum == 2.0
+
+    def test_duplicate_values_share_a_bucket(self):
+        hist = IncrementalHistogram(max_buckets=4)
+        for __ in range(5):
+            hist.insert(0.3, cost=1.0)
+        assert hist.bucket_count == 1
+        assert hist.buckets[0].count == 5
+
+    def test_insert_into_existing_span(self):
+        hist = IncrementalHistogram(max_buckets=2)
+        for v in (0.1, 0.2, 0.9):
+            hist.insert(v)
+        # 0.1 and 0.2 merged into [0.1, 0.2]; 0.15 falls inside it.
+        hist.insert(0.15)
+        assert hist.bucket_count == 2
+        assert hist.total_count == pytest.approx(4.0)
+
+    def test_out_of_domain_rejected(self):
+        hist = IncrementalHistogram(max_buckets=4)
+        with pytest.raises(HistogramError):
+            hist.insert(-0.1)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(HistogramError):
+            IncrementalHistogram(max_buckets=0)
+
+
+class TestMerging:
+    def test_bucket_budget_enforced(self):
+        hist = IncrementalHistogram(max_buckets=8)
+        rng = np.random.default_rng(0)
+        for v in rng.uniform(0, 1, 500):
+            hist.insert(float(v))
+        assert hist.bucket_count <= 8
+        assert hist.total_count == pytest.approx(500.0)
+
+    def test_narrowest_pair_merged_first(self):
+        hist = IncrementalHistogram(max_buckets=3)
+        for v in (0.1, 0.11, 0.5, 0.9):
+            hist.insert(v)
+        # 0.1 and 0.11 form the narrowest pair.
+        spans = [(b.lo, b.hi) for b in hist.buckets]
+        assert (0.1, 0.11) in spans
+
+    def test_merge_preserves_mass_and_cost(self):
+        hist = IncrementalHistogram(max_buckets=2)
+        for v, c in [(0.1, 1.0), (0.2, 2.0), (0.3, 3.0), (0.9, 4.0)]:
+            hist.insert(v, cost=c)
+        assert hist.total_count == pytest.approx(4.0)
+        total_cost = sum(b.cost_sum for b in hist.buckets)
+        assert total_cost == pytest.approx(10.0)
+
+    def test_buckets_stay_sorted_and_disjoint(self):
+        hist = IncrementalHistogram(max_buckets=5)
+        rng = np.random.default_rng(1)
+        for v in rng.uniform(0, 1, 300):
+            hist.insert(float(v))
+        for left, right in zip(hist.buckets, hist.buckets[1:]):
+            assert left.hi <= right.lo
+
+
+class TestClear:
+    def test_clear_empties_everything(self):
+        hist = IncrementalHistogram(max_buckets=4)
+        for v in (0.1, 0.5, 0.9):
+            hist.insert(v)
+        hist.clear()
+        assert hist.bucket_count == 0
+        assert hist.total_count == 0.0
+        hist.insert(0.4)
+        assert hist.bucket_count == 1

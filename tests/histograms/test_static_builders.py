@@ -1,0 +1,106 @@
+"""Equi-width, equi-depth and MaxDiff construction behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HistogramError
+from repro.histograms import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    MaxDiffHistogram,
+)
+
+
+class TestEquiWidth:
+    def test_bucket_boundaries_are_uniform(self):
+        hist = EquiWidthHistogram(bucket_count=4)
+        widths = [b.width for b in hist.buckets]
+        assert widths == pytest.approx([0.25] * 4)
+
+    def test_insert_routes_to_correct_bucket(self):
+        hist = EquiWidthHistogram(bucket_count=4)
+        hist.insert(0.26, cost=7.0)
+        assert hist.buckets[1].count == 1
+        assert hist.buckets[1].cost_sum == 7.0
+
+    def test_insert_at_domain_upper_edge(self):
+        hist = EquiWidthHistogram(bucket_count=4)
+        hist.insert(1.0)
+        assert hist.buckets[3].count == 1
+
+    def test_out_of_domain_rejected(self):
+        hist = EquiWidthHistogram(bucket_count=4)
+        with pytest.raises(HistogramError):
+            hist.insert(1.5)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(HistogramError):
+            EquiWidthHistogram(bucket_count=0)
+
+
+class TestEquiDepth:
+    def test_buckets_hold_equal_mass(self):
+        values = np.linspace(0.0, 1.0, 100)
+        hist = EquiDepthHistogram.build(values, bucket_count=4)
+        counts = [b.count for b in hist.buckets]
+        assert counts == pytest.approx([25.0] * 4)
+
+    def test_boundaries_adapt_to_skew(self):
+        # 90 points near 0, 10 near 1: most buckets should sit near 0.
+        values = np.concatenate(
+            [np.random.default_rng(0).uniform(0, 0.1, 90),
+             np.random.default_rng(1).uniform(0.9, 1.0, 10)]
+        )
+        hist = EquiDepthHistogram.build(values, bucket_count=10)
+        low_buckets = sum(1 for b in hist.buckets if b.hi <= 0.1)
+        assert low_buckets >= 8
+
+    def test_fewer_values_than_buckets(self):
+        hist = EquiDepthHistogram.build([0.3, 0.7], bucket_count=40)
+        assert hist.bucket_count <= 2
+        assert hist.total_count == pytest.approx(2.0)
+
+    def test_empty_input_gives_empty_histogram(self):
+        hist = EquiDepthHistogram.build([], bucket_count=4)
+        assert hist.bucket_count == 0
+        assert hist.range_count(0.0, 1.0) == 0.0
+
+    def test_misaligned_costs_rejected(self):
+        with pytest.raises(HistogramError):
+            EquiDepthHistogram.build([0.1, 0.2], costs=[1.0], bucket_count=4)
+
+
+class TestMaxDiff:
+    def test_boundaries_at_largest_gaps(self):
+        # Two tight clusters separated by a huge gap: 2 buckets must
+        # split exactly at the gap.
+        values = [0.10, 0.11, 0.12, 0.90, 0.91]
+        hist = MaxDiffHistogram.build(values, bucket_count=2)
+        assert hist.bucket_count == 2
+        assert hist.buckets[0].hi == pytest.approx(0.12)
+        assert hist.buckets[1].lo == pytest.approx(0.90)
+
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0, 1, 200)
+        hist = MaxDiffHistogram.build(values, bucket_count=10)
+        assert hist.total_count == pytest.approx(200.0)
+
+    def test_single_value(self):
+        hist = MaxDiffHistogram.build([0.5], costs=[3.0], bucket_count=8)
+        assert hist.bucket_count == 1
+        assert hist.range_cost(0.4, 0.6) == pytest.approx(3.0)
+
+    def test_single_bucket_budget(self):
+        hist = MaxDiffHistogram.build([0.1, 0.5, 0.9], bucket_count=1)
+        assert hist.bucket_count == 1
+        assert hist.total_count == pytest.approx(3.0)
+
+    def test_duplicate_values_stay_together(self):
+        values = [0.2] * 50 + [0.8] * 50
+        hist = MaxDiffHistogram.build(values, bucket_count=5)
+        # The only positive gap is between 0.2 and 0.8.
+        point_two = hist.range_count(0.19, 0.21)
+        point_eight = hist.range_count(0.79, 0.81)
+        assert point_two == pytest.approx(50.0)
+        assert point_eight == pytest.approx(50.0)

@@ -1,0 +1,104 @@
+"""V-Optimal histogram: DP optimality and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HistogramError
+from repro.histograms import MaxDiffHistogram, VOptimalHistogram
+from repro.histograms.voptimal import _voptimal_boundaries
+
+
+def _bucket_variance(histogram, values):
+    """Total weighted within-bucket variance of a value set."""
+    values = np.sort(np.asarray(values, dtype=float))
+    total = 0.0
+    for bucket in histogram.buckets:
+        members = values[(values >= bucket.lo) & (values <= bucket.hi)]
+        if members.size:
+            total += ((members - members.mean()) ** 2).sum()
+    return total
+
+
+class TestConstruction:
+    def test_two_clusters_split_exactly(self):
+        values = [0.1, 0.11, 0.12, 0.88, 0.9]
+        hist = VOptimalHistogram.build(values, bucket_count=2)
+        assert hist.bucket_count == 2
+        assert hist.buckets[0].hi <= 0.12
+        assert hist.buckets[1].lo >= 0.88
+
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 1, 300)
+        hist = VOptimalHistogram.build(values, bucket_count=12)
+        assert hist.total_count == pytest.approx(300.0)
+        assert hist.bucket_count <= 12
+
+    def test_costs_conserved(self):
+        values = [0.1, 0.2, 0.8, 0.9]
+        costs = [1.0, 2.0, 3.0, 4.0]
+        hist = VOptimalHistogram.build(values, costs, bucket_count=2)
+        assert sum(b.cost_sum for b in hist.buckets) == pytest.approx(10.0)
+
+    def test_empty_input(self):
+        hist = VOptimalHistogram.build([], bucket_count=4)
+        assert hist.bucket_count == 0
+
+    def test_single_value(self):
+        hist = VOptimalHistogram.build([0.4] * 20, bucket_count=4)
+        assert hist.bucket_count == 1
+        assert hist.buckets[0].count == 20
+
+    def test_invalid_budget(self):
+        with pytest.raises(HistogramError):
+            VOptimalHistogram.build([0.5], bucket_count=0)
+
+    def test_large_input_coarsened(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(0, 1, 5000)
+        hist = VOptimalHistogram.build(values, bucket_count=20)
+        assert hist.total_count == pytest.approx(5000.0)
+        assert hist.bucket_count <= 20
+
+
+class TestOptimality:
+    def test_never_worse_than_maxdiff(self):
+        """V-Optimal minimizes within-bucket variance; MaxDiff only
+        approximates that objective."""
+        rng = np.random.default_rng(2)
+        values = np.concatenate(
+            [
+                rng.normal(0.2, 0.03, 120),
+                rng.normal(0.5, 0.01, 60),
+                rng.normal(0.8, 0.05, 120),
+            ]
+        ).clip(0, 1)
+        for buckets in (4, 8):
+            voptimal = VOptimalHistogram.build(values, bucket_count=buckets)
+            maxdiff = MaxDiffHistogram.build(values, bucket_count=buckets)
+            assert _bucket_variance(voptimal, values) <= _bucket_variance(
+                maxdiff, values
+            ) + 1e-9
+
+    def test_dp_matches_bruteforce_small(self):
+        """On tiny inputs, compare the DP against exhaustive search."""
+        import itertools
+
+        values = np.array([0.05, 0.1, 0.4, 0.45, 0.9])
+        counts = np.ones(5)
+        b = 2
+        dp_bounds = _voptimal_boundaries(values, counts, b)
+
+        def error(bounds):
+            total = 0.0
+            for start, stop in bounds:
+                chunk = values[start:stop]
+                total += ((chunk - chunk.mean()) ** 2).sum()
+            return total
+
+        best = np.inf
+        for split in itertools.combinations(range(1, 5), b - 1):
+            edges = [0, *split, 5]
+            bounds = list(zip(edges, edges[1:]))
+            best = min(best, error(bounds))
+        assert error(dp_bounds) == pytest.approx(best)

@@ -1,0 +1,103 @@
+"""Property-based tests on the LSH substrate (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsh.grid import Grid
+from repro.lsh.transforms import PlanSpaceTransform, hypersphere_radius
+from repro.lsh.zorder import ZOrderCurve
+
+dims_and_bits = st.tuples(
+    st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6)
+)
+
+
+class TestZOrderProperties:
+    @given(config=dims_and_bits, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_round_trip(self, config, data):
+        dims, bits = config
+        curve = ZOrderCurve(dims, bits)
+        coords = np.array(
+            [
+                data.draw(
+                    st.lists(
+                        st.integers(0, curve.cells_per_axis - 1),
+                        min_size=dims,
+                        max_size=dims,
+                    )
+                )
+                for __ in range(5)
+            ]
+        )
+        assert (curve.decode(curve.encode(coords)) == coords).all()
+
+    @given(config=dims_and_bits, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_linearize_respects_cell_identity(self, config, data):
+        """Two points land in the same grid cell iff their z-values match."""
+        dims, bits = config
+        curve = ZOrderCurve(dims, bits)
+        point_strategy = st.lists(
+            st.floats(0.0, 0.999999), min_size=dims, max_size=dims
+        )
+        a = np.array(data.draw(point_strategy))
+        b = np.array(data.draw(point_strategy))
+        cell_a = (a * curve.cells_per_axis).astype(int)
+        cell_b = (b * curve.cells_per_axis).astype(int)
+        za = curve.linearize(a[None, :])[0]
+        zb = curve.linearize(b[None, :])[0]
+        assert ((cell_a == cell_b).all()) == (za == zb)
+
+
+class TestTransformProperties:
+    @given(
+        dims=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_transformed_points_within_bounds(self, dims, seed):
+        transform = PlanSpaceTransform(dims, seed=seed)
+        points = np.random.default_rng(seed).uniform(0, 1, (50, dims))
+        out = transform.apply(points)
+        lo, hi = transform.output_bounds
+        assert (out >= lo - 1e-9).all()
+        assert (out <= hi + 1e-9).all()
+
+    @given(dims=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_sphere_volume_matches_cube(self, dims):
+        import math
+
+        radius = hypersphere_radius(dims)
+        ball = math.pi ** (dims / 2) / math.gamma(dims / 2 + 1) * radius**dims
+        assert ball == pytest.approx(2.0**dims, rel=1e-9)
+
+    @given(
+        dims=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_stretch_never_leaves_sphere(self, dims, seed):
+        transform = PlanSpaceTransform(dims, seed=seed)
+        points = np.random.default_rng(seed).uniform(0, 1, (100, dims))
+        stretched = transform.stretch(transform.center_and_scale(points))
+        norms = np.linalg.norm(stretched, axis=1)
+        assert (norms <= transform.radius + 1e-9).all()
+
+
+class TestGridProperties:
+    @given(
+        dims=st.integers(min_value=1, max_value=4),
+        resolution=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cell_ids_in_range(self, dims, resolution, seed):
+        grid = Grid(np.zeros(dims), np.ones(dims), resolution)
+        points = np.random.default_rng(seed).uniform(-0.5, 1.5, (50, dims))
+        ids = grid.cell_ids(points)
+        assert (ids >= 0).all()
+        assert (ids < grid.total_cells).all()

@@ -1,0 +1,80 @@
+"""Morton curve: round-trips, locality, normalization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lsh.zorder import ZOrderCurve
+
+
+class TestEncodeDecode:
+    def test_round_trip_2d(self):
+        curve = ZOrderCurve(dims=2, bits=4)
+        coords = np.array([[x, y] for x in range(16) for y in range(16)])
+        decoded = curve.decode(curve.encode(coords))
+        assert (decoded == coords).all()
+
+    def test_round_trip_high_dims(self):
+        curve = ZOrderCurve(dims=6, bits=5)
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 32, size=(200, 6))
+        decoded = curve.decode(curve.encode(coords))
+        assert (decoded == coords).all()
+
+    def test_codes_are_unique(self):
+        curve = ZOrderCurve(dims=3, bits=3)
+        coords = np.array(
+            [[x, y, z] for x in range(8) for y in range(8) for z in range(8)]
+        )
+        codes = curve.encode(coords)
+        assert len(np.unique(codes)) == coords.shape[0]
+
+    def test_known_interleaving_2d(self):
+        # Classic Morton order on a 2x2 grid: (0,0)=0 (0,1)=1 (1,0)=2 (1,1)=3.
+        curve = ZOrderCurve(dims=2, bits=1)
+        codes = curve.encode(np.array([[0, 0], [0, 1], [1, 0], [1, 1]]))
+        assert codes.tolist() == [0, 1, 2, 3]
+
+    def test_coordinate_range_checked(self):
+        curve = ZOrderCurve(dims=2, bits=2)
+        with pytest.raises(ConfigurationError):
+            curve.encode(np.array([[4, 0]]))
+        with pytest.raises(ConfigurationError):
+            curve.decode(np.array([16]))
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ZOrderCurve(dims=0, bits=4)
+        with pytest.raises(ConfigurationError):
+            ZOrderCurve(dims=8, bits=8)  # 64 bits > 62
+
+
+class TestLinearize:
+    def test_values_in_unit_interval(self):
+        curve = ZOrderCurve(dims=2, bits=4)
+        rng = np.random.default_rng(1)
+        z = curve.linearize(rng.uniform(0, 1, size=(100, 2)))
+        assert (z >= 0.0).all() and (z < 1.0).all()
+
+    def test_same_cell_same_value(self):
+        curve = ZOrderCurve(dims=2, bits=2)
+        z = curve.linearize(np.array([[0.10, 0.10], [0.20, 0.20]]))
+        assert z[0] == z[1]  # both in cell (0, 0) of the 4x4 grid
+
+    def test_boundary_point_clipped(self):
+        curve = ZOrderCurve(dims=2, bits=2)
+        z = curve.linearize(np.array([[1.0, 1.0]]))
+        assert z[0] == pytest.approx((curve.total_codes - 1) / curve.total_codes)
+
+    def test_cell_extent(self):
+        curve = ZOrderCurve(dims=3, bits=2)
+        assert curve.cell_extent() == pytest.approx(1.0 / 64.0)
+
+    def test_locality_same_quadrant_shares_prefix(self):
+        """Points in the same macro-quadrant have closer z-values than
+        points in different quadrants, on average."""
+        curve = ZOrderCurve(dims=2, bits=6)
+        a = curve.linearize(np.array([[0.10, 0.10]]))[0]
+        b = curve.linearize(np.array([[0.15, 0.12]]))[0]
+        c = curve.linearize(np.array([[0.90, 0.90]]))[0]
+        assert abs(a - b) < abs(a - c)

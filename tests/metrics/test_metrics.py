@@ -1,0 +1,102 @@
+"""Precision/recall accounting (Definition 4) and sliding windows."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics import (
+    PredictionOutcome,
+    PrecisionRecall,
+    SlidingRatio,
+    evaluate_predictions,
+)
+from repro.metrics.classification import summarize
+
+
+class TestDefinition4:
+    def test_mixed_series(self):
+        predicted = [1, 2, None, 1, None, 3]
+        actual = [1, 9, 1, 1, 2, 3]
+        metrics = evaluate_predictions(predicted, actual)
+        # 4 answered, 3 correct, 6 total.
+        assert metrics.precision == pytest.approx(3 / 4)
+        assert metrics.recall == pytest.approx(3 / 6)
+        assert metrics.answer_rate == pytest.approx(4 / 6)
+
+    def test_all_null_precision_is_one(self):
+        metrics = evaluate_predictions([None, None], [1, 2])
+        assert metrics.precision == 1.0
+        assert metrics.recall == 0.0
+
+    def test_empty_series(self):
+        metrics = evaluate_predictions([], [])
+        assert metrics.recall == 0.0
+        assert metrics.answer_rate == 0.0
+
+    def test_recall_never_exceeds_precision_times_beta(self):
+        predicted = [1, None, 2, 2, None]
+        actual = [1, 1, 2, 1, 2]
+        metrics = evaluate_predictions(predicted, actual)
+        assert metrics.recall == pytest.approx(
+            metrics.precision * metrics.answer_rate
+        )
+
+    def test_misaligned_series_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions([1], [1, 2])
+
+    def test_addition(self):
+        a = PrecisionRecall(10, 8, 6)
+        b = PrecisionRecall(5, 2, 2)
+        total = a + b
+        assert total.total == 15
+        assert total.answered == 10
+        assert total.correct == 8
+
+    def test_outcome_properties(self):
+        assert PredictionOutcome(1, 1).correct
+        assert not PredictionOutcome(1, 2).correct
+        assert not PredictionOutcome(None, 2).correct
+        assert not PredictionOutcome(None, 2).answered
+
+    def test_summarize_stream(self):
+        outcomes = [PredictionOutcome(1, 1), PredictionOutcome(None, 1)]
+        metrics = summarize(iter(outcomes))
+        assert metrics.total == 2
+        assert metrics.correct == 1
+
+
+class TestSlidingRatio:
+    def test_ratio_over_window(self):
+        window = SlidingRatio(window=4)
+        for value in (True, True, False, False):
+            window.push(value)
+        assert window.ratio == pytest.approx(0.5)
+
+    def test_eviction(self):
+        window = SlidingRatio(window=2)
+        window.push(True)
+        window.push(False)
+        window.push(False)  # evicts the True
+        assert window.ratio == 0.0
+
+    def test_empty_ratio_is_one(self):
+        assert SlidingRatio().ratio == 1.0
+
+    def test_count(self):
+        window = SlidingRatio(window=3)
+        window.push(True)
+        assert window.count == 1
+        for __ in range(5):
+            window.push(False)
+        assert window.count == 3
+
+    def test_reset(self):
+        window = SlidingRatio(window=3)
+        window.push(False)
+        window.reset()
+        assert window.ratio == 1.0
+        assert window.count == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SlidingRatio(window=0)

@@ -1,0 +1,72 @@
+"""Catalog metadata: tables, columns, indexes, lookups."""
+
+import pytest
+
+from repro.exceptions import CatalogError
+from repro.optimizer.catalog import (
+    TUPLES_PER_PAGE,
+    Catalog,
+    Column,
+    Index,
+    Table,
+)
+
+
+@pytest.fixture()
+def catalog():
+    catalog = Catalog()
+    catalog.add_table(
+        Table("t", 1000, {"a": Column("a", 0, 10, 10), "b": Column("b", 0, 1, 2)})
+    )
+    return catalog
+
+
+class TestColumn:
+    def test_invalid_domain(self):
+        with pytest.raises(CatalogError):
+            Column("c", 5, 1, 10)
+
+    def test_invalid_distinct_count(self):
+        with pytest.raises(CatalogError):
+            Column("c", 0, 1, 0)
+
+
+class TestTable:
+    def test_pages_round_up(self):
+        assert Table("t", TUPLES_PER_PAGE + 1).pages == 2
+        assert Table("t", TUPLES_PER_PAGE).pages == 1
+
+    def test_tiny_table_occupies_one_page(self):
+        assert Table("t", 1).pages == 1
+
+    def test_missing_column(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("t").column("zzz")
+
+
+class TestCatalog:
+    def test_duplicate_table_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_table(Table("t", 5))
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("nope")
+
+    def test_index_lookup(self, catalog):
+        catalog.add_index(Index("ix_a", "t", "a"))
+        assert catalog.index_on("t", "a").name == "ix_a"
+        assert catalog.index_on("t", "b") is None
+
+    def test_index_on_unknown_table_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("ix", "nope", "a"))
+
+    def test_index_on_unknown_column_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("ix", "t", "nope"))
+
+    def test_duplicate_index_name_rejected(self, catalog):
+        catalog.add_index(Index("ix_a", "t", "a"))
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("ix_a", "t", "b"))

@@ -1,0 +1,69 @@
+"""Plan-space diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.optimizer.diagnostics import profile_plan_space
+
+
+@pytest.fixture(scope="module")
+def profile(q1_space):
+    return profile_plan_space(q1_space, samples=2000, seed=3)
+
+
+class TestProfile:
+    def test_area_fractions_sum_to_one(self, profile):
+        assert sum(profile.area_fractions.values()) == pytest.approx(1.0)
+
+    def test_observed_within_harvested(self, profile, q1_space):
+        assert profile.observed_plans <= q1_space.plan_count
+        assert profile.observed_plans >= 3
+
+    def test_gini_in_unit_interval(self, profile):
+        assert 0.0 <= profile.gini <= 1.0
+
+    def test_boundary_fraction_sane(self, profile):
+        # Q1's space is predictable: most points are interior.
+        assert 0.0 < profile.boundary_fraction < 0.3
+
+    def test_axis_rates_positive_for_2d(self, profile):
+        assert len(profile.axis_transition_rates) == 2
+        assert all(rate > 0 for rate in profile.axis_transition_rates)
+
+    def test_predictability_decays_with_distance(self, profile):
+        curve = profile.predictability
+        distances = sorted(curve)
+        values = [curve[d] for d in distances]
+        assert values == sorted(values, reverse=True)
+        assert values[0] > 0.9
+
+    def test_dominant_plan_is_argmax(self, profile):
+        dominant = profile.dominant_plan
+        assert profile.area_fractions[dominant] == max(
+            profile.area_fractions.values()
+        )
+
+    def test_summary_readable(self, profile):
+        text = profile.summary()
+        assert "Q1" in text
+        assert "plans observed" in text
+
+    def test_too_few_samples_rejected(self, q1_space):
+        with pytest.raises(ConfigurationError):
+            profile_plan_space(q1_space, samples=5)
+
+    def test_deterministic_under_seed(self, q1_space):
+        a = profile_plan_space(q1_space, samples=500, seed=9)
+        b = profile_plan_space(q1_space, samples=500, seed=9)
+        assert a.gini == b.gini
+        assert a.boundary_fraction == b.boundary_fraction
+
+
+class TestCrossTemplateComparison:
+    def test_harder_template_has_more_boundary(self, q1_space, q5_space):
+        """The higher-degree template is structurally harder: more
+        plans and at least comparable boundary exposure."""
+        easy = profile_plan_space(q1_space, samples=1500, seed=3)
+        hard = profile_plan_space(q5_space, samples=1500, seed=3)
+        assert hard.observed_plans > easy.observed_plans

@@ -1,0 +1,102 @@
+"""Query templates and predicates: validation and accessors."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.optimizer.expressions import (
+    ColumnRef,
+    JoinPredicate,
+    ParamPredicate,
+    QueryTemplate,
+)
+
+
+def _template(**overrides):
+    config = dict(
+        name="t",
+        tables=("a", "b"),
+        joins=(JoinPredicate(ColumnRef("a", "x"), ColumnRef("b", "x")),),
+        predicates=(
+            ParamPredicate(ColumnRef("a", "p"), 0),
+            ParamPredicate(ColumnRef("b", "q"), 1),
+        ),
+    )
+    config.update(overrides)
+    return QueryTemplate(**config)
+
+
+class TestParamPredicate:
+    def test_invalid_op(self):
+        with pytest.raises(ConfigurationError):
+            ParamPredicate(ColumnRef("a", "p"), 0, op="=")
+
+    def test_negative_index(self):
+        with pytest.raises(ConfigurationError):
+            ParamPredicate(ColumnRef("a", "p"), -1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            ParamPredicate(ColumnRef("a", "p"), 0, scale="cubic")
+
+    def test_rendering(self):
+        predicate = ParamPredicate(ColumnRef("a", "p"), 2)
+        assert str(predicate) == "a.p <= <v2>"
+
+
+class TestJoinPredicate:
+    def test_column_for(self):
+        join = JoinPredicate(ColumnRef("a", "x"), ColumnRef("b", "y"))
+        assert join.column_for("a").column == "x"
+        assert join.column_for("b").column == "y"
+        with pytest.raises(ConfigurationError):
+            join.column_for("c")
+
+
+class TestQueryTemplate:
+    def test_parameter_degree(self):
+        assert _template().parameter_degree == 2
+
+    def test_predicates_on(self):
+        template = _template()
+        assert [p.param_index for p in template.predicates_on("a")] == [0]
+        assert template.predicates_on("zzz") == []
+
+    def test_joins_between(self):
+        template = _template()
+        joins = template.joins_between(frozenset(("a",)), "b")
+        assert len(joins) == 1
+        assert template.joins_between(frozenset(("b",)), "a")
+        assert not template.joins_between(frozenset(), "b")
+
+    def test_duplicate_tables_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _template(tables=("a", "a"))
+
+    def test_join_referencing_foreign_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _template(
+                joins=(JoinPredicate(ColumnRef("a", "x"), ColumnRef("z", "x")),)
+            )
+
+    def test_predicate_referencing_foreign_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _template(predicates=(ParamPredicate(ColumnRef("z", "p"), 0),))
+
+    def test_param_indexes_must_be_dense(self):
+        with pytest.raises(ConfigurationError):
+            _template(
+                predicates=(
+                    ParamPredicate(ColumnRef("a", "p"), 0),
+                    ParamPredicate(ColumnRef("b", "q"), 2),
+                )
+            )
+
+    def test_sql_rendering(self):
+        sql = _template().sql()
+        assert sql.startswith("SELECT * FROM a, b WHERE")
+        assert "a.x = b.x" in sql
+        assert "a.p <= <v0>" in sql
+
+    def test_empty_tables_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QueryTemplate(name="x", tables=())

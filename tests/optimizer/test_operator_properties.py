@@ -1,0 +1,98 @@
+"""Property-based operator invariants (hypothesis).
+
+Assumption 2 of the paper (plan cost predictability) only holds if the
+substrate's cost formulas are smooth and monotone in the predicate
+selectivities.  These properties pin that down for every operator.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.operators import (
+    HashJoin,
+    IndexNLJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+    Sort,
+)
+
+MODEL = CostModel()
+sels = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+
+
+def _operators():
+    scan_a = SeqScan("a", 100_000, 1_563, (0,), MODEL)
+    scan_b = IndexScan("b", "ix", 1, 50_000, 782, (), False, MODEL)
+    return {
+        "seqscan": scan_a,
+        "indexscan": scan_b,
+        "sort": Sort(scan_a, "a.x", MODEL),
+        "hash": HashJoin(scan_a, scan_b, 1e-4, MODEL),
+        "nl": NestedLoopJoin(scan_a, scan_b, 1e-4, MODEL),
+        "merge": MergeJoin(
+            Sort(scan_a, "a.k", MODEL), Sort(scan_b, "b.k", MODEL),
+            1e-4, MODEL, order="a.k",
+        ),
+        "idxnl": IndexNLJoin(
+            scan_a, "b", "pk_b", 50_000, (1,), 1.0 / 50_000, MODEL
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", list(_operators()))
+class TestOperatorInvariants:
+    @given(s0=sels, s1=sels)
+    @settings(max_examples=40, deadline=None)
+    def test_rows_and_costs_nonnegative_finite(self, name, s0, s1):
+        node = _operators()[name]
+        rows, cost = node.evaluate(np.array([[s0, s1]]))
+        assert np.isfinite(rows).all() and np.isfinite(cost).all()
+        assert (rows >= 0).all()
+        assert (cost > 0).all()
+
+    @given(s0=sels, s1=sels, bump=st.floats(1.01, 10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_each_selectivity(self, name, s0, s1, bump):
+        """More selected rows never makes a plan cheaper or smaller."""
+        node = _operators()[name]
+        base = np.array([[s0, s1]])
+        for axis in range(2):
+            raised = base.copy()
+            raised[0, axis] = min(1.0, raised[0, axis] * bump)
+            rows_lo, cost_lo = node.evaluate(base)
+            rows_hi, cost_hi = node.evaluate(raised)
+            assert rows_hi[0] >= rows_lo[0] - 1e-9
+            assert cost_hi[0] >= cost_lo[0] - 1e-9
+
+    @given(s0=sels, s1=sels)
+    @settings(max_examples=40, deadline=None)
+    def test_vectorized_matches_scalar(self, name, s0, s1):
+        node = _operators()[name]
+        points = np.array([[s0, s1], [s1, s0], [0.5, 0.5]])
+        batch_rows, batch_cost = node.evaluate(points)
+        for i in range(3):
+            rows, cost = node.evaluate(points[i : i + 1])
+            assert rows[0] == pytest.approx(batch_rows[i])
+            assert cost[0] == pytest.approx(batch_cost[i])
+
+    @given(s0=sels, s1=sels, epsilon=st.floats(1e-4, 1e-2))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_locally_smooth(self, name, s0, s1, epsilon):
+        """Small selectivity perturbations cause proportionally bounded
+        relative cost changes — the substrate-side basis of the paper's
+        plan cost predictability assumption."""
+        node = _operators()[name]
+        base = np.array([[s0, s1]])
+        nudged = np.clip(base * (1.0 + epsilon), 1e-6, 1.0)
+        __, cost_base = node.evaluate(base)
+        __, cost_nudged = node.evaluate(nudged)
+        ratio = cost_nudged[0] / cost_base[0]
+        # A (1 + eps) multiplicative nudge moves cost by at most
+        # roughly (1 + eps)^2 (quadratic operators), plus the one
+        # discontinuity budget (hash spill step).
+        assert ratio <= (1.0 + epsilon) ** 2 * 1.6 + 1e-9

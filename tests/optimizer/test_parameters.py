@@ -1,0 +1,106 @@
+"""Parameter normalization: plan-space coordinates <-> selectivities."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.optimizer.parameters import (
+    ParameterMapping,
+    default_selectivity_range,
+)
+
+
+class TestDefaultRanges:
+    def test_small_table_sweeps_everything(self):
+        lo, hi = default_selectivity_range(100)
+        assert hi == 1.0
+        assert lo < hi
+
+    def test_huge_table_capped(self):
+        lo, hi = default_selectivity_range(6_000_000)
+        assert hi == pytest.approx(300_000 / 6_000_000)
+        assert lo >= 1e-5
+
+    def test_range_always_valid(self):
+        for rows in (1, 10, 1_000, 10**6, 10**8):
+            lo, hi = default_selectivity_range(rows)
+            assert 0.0 < lo <= hi <= 1.0
+
+
+class TestParameterMapping:
+    def test_log_scale_endpoints(self):
+        mapping = ParameterMapping([(0.001, 0.1)], ["log"])
+        sel = mapping.to_selectivity(np.array([[0.0], [0.5], [1.0]]))
+        assert sel[0, 0] == pytest.approx(0.001)
+        assert sel[1, 0] == pytest.approx(0.01)
+        assert sel[2, 0] == pytest.approx(0.1)
+
+    def test_linear_scale(self):
+        mapping = ParameterMapping([(0.2, 0.8)], ["linear"])
+        sel = mapping.to_selectivity(np.array([[0.5]]))
+        assert sel[0, 0] == pytest.approx(0.5)
+
+    def test_round_trip(self):
+        mapping = ParameterMapping(
+            [(0.001, 0.1), (0.2, 0.8)], ["log", "linear"]
+        )
+        x = np.array([[0.3, 0.7], [0.0, 1.0]])
+        back = mapping.to_normalized(mapping.to_selectivity(x))
+        assert back == pytest.approx(x, abs=1e-9)
+
+    def test_normalized_clipped_outside_range(self):
+        mapping = ParameterMapping([(0.1, 0.5)], ["linear"])
+        assert mapping.to_normalized(np.array([[0.01]]))[0, 0] == 0.0
+        assert mapping.to_normalized(np.array([[0.99]]))[0, 0] == 1.0
+
+    def test_monotone(self):
+        mapping = ParameterMapping([(1e-4, 0.5)], ["log"])
+        xs = np.linspace(0, 1, 20)[:, None]
+        sels = mapping.to_selectivity(xs)[:, 0]
+        assert (np.diff(sels) > 0).all()
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterMapping([(0.0, 0.5)], ["linear"])
+        with pytest.raises(ConfigurationError):
+            ParameterMapping([(0.5, 0.1)], ["log"])
+        with pytest.raises(ConfigurationError):
+            ParameterMapping([(0.1, 0.5)], ["cubic"])
+        with pytest.raises(ConfigurationError):
+            ParameterMapping([(0.1, 0.5), (0.1, 0.5)], ["log"])
+
+    def test_dimension_check(self):
+        mapping = ParameterMapping([(0.1, 0.5)], ["log"])
+        with pytest.raises(ConfigurationError):
+            mapping.to_selectivity(np.zeros((2, 3)))
+
+
+class TestTemplateDerivedMapping:
+    def test_ranges_follow_table_sizes(self, tiny_template, tiny_catalog):
+        mapping = ParameterMapping.for_template(tiny_template, tiny_catalog)
+        # emp has 50k rows -> hi = 1.0; dept has 500 rows -> hi = 1.0.
+        assert mapping.dimensions == 2
+        for lo, hi in mapping.ranges:
+            assert 0.0 < lo < hi <= 1.0
+
+    def test_explicit_sel_range_respected(self, tiny_catalog):
+        from repro.optimizer.expressions import (
+            ColumnRef,
+            ParamPredicate,
+            QueryTemplate,
+        )
+
+        template = QueryTemplate(
+            name="x",
+            tables=("emp",),
+            predicates=(
+                ParamPredicate(
+                    ColumnRef("emp", "salary"), 0, sel_range=(0.25, 0.75),
+                    scale="linear",
+                ),
+            ),
+        )
+        mapping = ParameterMapping.for_template(template, tiny_catalog)
+        assert mapping.ranges[0] == (0.25, 0.75)
+        sel = mapping.to_selectivity(np.array([[0.5]]))
+        assert sel[0, 0] == pytest.approx(0.5)

@@ -1,0 +1,91 @@
+"""The plan-space oracle: harvesting, labeling, cost queries."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.optimizer.expressions import (
+    ColumnRef,
+    ParamPredicate,
+    QueryTemplate,
+)
+from repro.optimizer.plan_space import PlanSpace
+
+
+class TestHarvest:
+    def test_plans_discovered(self, tiny_space):
+        assert tiny_space.plan_count >= 2
+        assert len(tiny_space.plans) == tiny_space.plan_count
+
+    def test_plan_fingerprints_unique(self, tiny_space):
+        prints = [p.fingerprint for p in tiny_space.plans]
+        assert len(set(prints)) == len(prints)
+
+    def test_deterministic_under_seed(self, tiny_template, tiny_catalog):
+        a = PlanSpace(tiny_template, tiny_catalog, seed=3)
+        b = PlanSpace(tiny_template, tiny_catalog, seed=3)
+        points = np.random.default_rng(0).uniform(0, 1, (50, 2))
+        assert (a.plan_at(points) == b.plan_at(points)).all()
+
+    def test_zero_degree_template_rejected(self, tiny_catalog):
+        template = QueryTemplate(name="none", tables=("dept",))
+        with pytest.raises(OptimizationError):
+            PlanSpace(template, tiny_catalog)
+
+
+class TestLabeling:
+    def test_label_matches_dp_at_harvest_points(self, tiny_space):
+        """At any point, the oracle's plan cost equals the DP result."""
+        rng = np.random.default_rng(1)
+        for point in rng.uniform(0, 1, (10, 2)):
+            dp_plan, dp_cost = tiny_space._enumerator.optimize(point[None, :])
+            ids, costs = tiny_space.label(point[None, :])
+            assert costs[0] <= dp_cost + 1e-9
+
+    def test_costs_are_minimal_over_candidates(self, tiny_space):
+        points = np.random.default_rng(2).uniform(0, 1, (100, 2))
+        matrix = tiny_space.cost_matrix(points)
+        ids, costs = tiny_space.label(points)
+        assert np.allclose(costs, matrix.min(axis=0))
+
+    def test_cost_at_specific_plan_ge_optimal(self, tiny_space):
+        points = np.random.default_rng(3).uniform(0, 1, (50, 2))
+        __, optimal = tiny_space.label(points)
+        for plan_id in range(tiny_space.plan_count):
+            costs = tiny_space.cost_at(points, plan_id)
+            assert (costs >= optimal - 1e-9).all()
+
+    def test_cost_at_optimal_plan_matches_label(self, tiny_space):
+        point = np.array([[0.4, 0.6]])
+        ids, costs = tiny_space.label(point)
+        direct = tiny_space.cost_at(point, int(ids[0]))
+        assert direct[0] == pytest.approx(costs[0])
+
+    def test_out_of_cube_points_rejected(self, tiny_space):
+        with pytest.raises(OptimizationError):
+            tiny_space.label(np.array([[1.5, 0.5]]))
+
+    def test_wrong_dimension_rejected(self, tiny_space):
+        with pytest.raises(OptimizationError):
+            tiny_space.label(np.array([[0.5, 0.5, 0.5]]))
+
+    def test_single_point_convenience(self, tiny_space):
+        ids = tiny_space.plan_at(np.array([0.5, 0.5]))
+        assert ids.shape == (1,)
+
+
+class TestTpchSpaces:
+    def test_q1_has_multiple_plans(self, q1_space):
+        assert q1_space.plan_count >= 3
+
+    def test_q1_regions_nontrivial(self, q1_space):
+        points = np.random.default_rng(4).uniform(0, 1, (2000, 2))
+        ids = q1_space.plan_at(points)
+        __, counts = np.unique(ids, return_counts=True)
+        # At least two plans occupy more than 10 % of the space each.
+        assert (counts / 2000 > 0.10).sum() >= 2
+
+    def test_costs_positive_everywhere(self, q1_space):
+        points = np.random.default_rng(5).uniform(0, 1, (500, 2))
+        __, costs = q1_space.label(points)
+        assert (costs > 0).all()

@@ -1,0 +1,93 @@
+"""Column statistics: quantile sketches and selectivity maps."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CatalogError
+from repro.optimizer.catalog import Catalog, Column, Table
+from repro.optimizer.statistics import (
+    CatalogStatistics,
+    ColumnStatistics,
+    TableStatistics,
+)
+
+
+@pytest.fixture()
+def uniform_column():
+    return Column("u", 0.0, 100.0, 100)
+
+
+class TestColumnStatistics:
+    def test_uniform_selectivity_is_linear(self, uniform_column):
+        stats = ColumnStatistics.uniform(uniform_column)
+        assert stats.selectivity_leq(0.0) == pytest.approx(0.0)
+        assert stats.selectivity_leq(50.0) == pytest.approx(0.5)
+        assert stats.selectivity_leq(100.0) == pytest.approx(1.0)
+
+    def test_selectivity_clamped_outside_domain(self, uniform_column):
+        stats = ColumnStatistics.uniform(uniform_column)
+        assert stats.selectivity_leq(-10.0) == 0.0
+        assert stats.selectivity_leq(500.0) == 1.0
+
+    def test_selectivity_monotone(self, uniform_column):
+        stats = ColumnStatistics.uniform(uniform_column)
+        values = np.linspace(0, 100, 50)
+        sels = stats.selectivity_leq(values)
+        assert (np.diff(sels) >= 0).all()
+
+    def test_inverse_round_trip(self, uniform_column):
+        stats = ColumnStatistics.uniform(uniform_column)
+        for sel in (0.1, 0.33, 0.9):
+            value = stats.value_at_selectivity(sel)
+            assert stats.selectivity_leq(value) == pytest.approx(sel, abs=1e-9)
+
+    def test_gaussian_mass_concentrated_at_mean(self, uniform_column):
+        stats = ColumnStatistics.gaussian(
+            uniform_column, mean=50.0, std=10.0, seed=0
+        )
+        assert stats.selectivity_leq(50.0) == pytest.approx(0.5, abs=0.02)
+        # Within one sigma: about 68 % of mass.
+        mass = stats.selectivity_leq(60.0) - stats.selectivity_leq(40.0)
+        assert mass == pytest.approx(0.68, abs=0.05)
+
+    def test_gaussian_clipped_to_domain(self, uniform_column):
+        stats = ColumnStatistics.gaussian(
+            uniform_column, mean=50.0, std=40.0, seed=0
+        )
+        assert stats.quantiles.min() >= 0.0
+        assert stats.quantiles.max() <= 100.0
+
+    def test_from_samples_empirical_quantiles(self, uniform_column):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        stats = ColumnStatistics.from_samples(uniform_column, samples)
+        assert stats.selectivity_leq(2.5) == pytest.approx(0.5, abs=0.1)
+
+    def test_rejects_decreasing_sketch(self, uniform_column):
+        with pytest.raises(CatalogError):
+            ColumnStatistics(uniform_column, np.array([2.0, 1.0]))
+
+    def test_rejects_empty_samples(self, uniform_column):
+        with pytest.raises(CatalogError):
+            ColumnStatistics.from_samples(uniform_column, np.array([]))
+
+
+class TestCatalogStatistics:
+    def test_lookup_chain(self):
+        catalog = Catalog()
+        column = Column("a", 0, 1, 2)
+        catalog.add_table(Table("t", 10, {"a": column}))
+        stats = CatalogStatistics(catalog)
+        table_stats = TableStatistics("t", 10)
+        table_stats.add(ColumnStatistics.uniform(column))
+        stats.add_table(table_stats)
+        assert stats.column("t", "a").column is column
+
+    def test_missing_statistics_raise(self):
+        catalog = Catalog()
+        catalog.add_table(Table("t", 10))
+        stats = CatalogStatistics(catalog)
+        with pytest.raises(CatalogError):
+            stats.table("t")
+        stats.add_table(TableStatistics("t", 10))
+        with pytest.raises(CatalogError):
+            stats.column("t", "missing")

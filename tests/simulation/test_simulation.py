@@ -1,0 +1,81 @@
+"""Runtime simulation: timing model and the three regimes."""
+
+import numpy as np
+import pytest
+
+from repro.config import PPCConfig
+from repro.exceptions import ConfigurationError
+from repro.simulation import RuntimeSimulator, TimingModel
+from repro.workload import RandomTrajectoryWorkload
+
+
+class TestTimingModel:
+    def test_optimization_scales_with_tables(self, tiny_space, q5_space):
+        timing = TimingModel()
+        two_tables = timing.optimization_ms(tiny_space)
+        three_tables = timing.optimization_ms(q5_space)
+        assert three_tables > two_tables
+
+    def test_execution_linear_in_cost(self):
+        timing = TimingModel(execute_unit_ms=0.5)
+        assert timing.execution_ms(100.0) == pytest.approx(50.0)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingModel(predict_ms=-1.0)
+
+
+class TestRuntimeSimulator:
+    @pytest.fixture(scope="class")
+    def results(self, tiny_space):
+        workload = RandomTrajectoryWorkload(
+            tiny_space.dimensions, spread=0.01, seed=3
+        ).generate(400)
+        config = PPCConfig(
+            confidence_threshold=0.8,
+            mean_invocation_probability=0.05,
+            drift_response=False,
+            radius=0.05,
+        )
+        simulator = RuntimeSimulator(tiny_space, config, seed=0)
+        return simulator.run(workload)
+
+    def test_all_regimes_present(self, results):
+        assert set(results) == {"NO-CACHING", "PPC", "IDEAL"}
+
+    def test_ideal_bounds_ppc_bounds_no_caching(self, results):
+        """The paper's Figure 13 ordering: IDEAL <= PPC <= NO-CACHING."""
+        assert results["IDEAL"].total_ms <= results["PPC"].total_ms
+        assert results["PPC"].total_ms < results["NO-CACHING"].total_ms
+
+    def test_no_caching_invokes_every_instance(self, results):
+        assert results["NO-CACHING"].optimizer_invocations == 400
+
+    def test_ideal_invokes_once_per_plan(self, results, tiny_space):
+        assert results["IDEAL"].optimizer_invocations <= tiny_space.plan_count
+
+    def test_ppc_invocations_between_bounds(self, results):
+        ppc = results["PPC"].optimizer_invocations
+        assert results["IDEAL"].optimizer_invocations <= ppc <= 400
+
+    def test_cumulative_series_monotone(self, results):
+        for breakdown in results.values():
+            series = np.array(breakdown.cumulative_ms)
+            assert series.shape == (400,)
+            assert (np.diff(series) >= 0).all()
+
+    def test_breakdown_sums(self, results):
+        ppc = results["PPC"]
+        assert ppc.total_ms == pytest.approx(
+            ppc.optimization_ms + ppc.execution_ms + ppc.overhead_ms
+        )
+
+    def test_no_caching_pays_no_overhead(self, results):
+        assert results["NO-CACHING"].overhead_ms == 0.0
+
+    def test_execution_time_optimal_for_oracle_regimes(self, results):
+        """NO-CACHING and IDEAL always execute the optimal plan, so
+        their execution components match."""
+        assert results["NO-CACHING"].execution_ms == pytest.approx(
+            results["IDEAL"].execution_ms
+        )

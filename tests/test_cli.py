@@ -1,0 +1,102 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTemplates:
+    def test_lists_all_nine(self, capsys):
+        assert main(["templates", "--probes", "200"]) == 0
+        out = capsys.readouterr().out
+        for name in (f"Q{i}" for i in range(9)):
+            assert name in out
+
+
+class TestDiagram:
+    def test_renders_two_parameter_template(self, capsys):
+        assert main(["diagram", "Q1", "--resolution", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "P0" in out
+        assert len([l for l in out.splitlines() if l and l[0].isalnum()]) >= 12
+
+    def test_rejects_high_degree_template(self, capsys):
+        assert main(["diagram", "Q7"]) == 1
+        assert "degree" in capsys.readouterr().err
+
+
+class TestPredict:
+    def test_reports_optimal_plan_and_candidates(self, capsys):
+        assert main(["predict", "Q1", "0.3", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal plan" in out
+        assert "all candidates" in out
+
+    def test_arity_mismatch(self, capsys):
+        assert main(["predict", "Q1", "0.5"]) == 1
+        assert "coordinates" in capsys.readouterr().err
+
+
+class TestSession:
+    def test_runs_online_session(self, capsys):
+        assert main(
+            ["session", "Q1", "--instances", "150", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "optimizer invocations" in out
+
+
+class TestAssumptions:
+    def test_prints_probability_table(self, capsys):
+        assert main(
+            ["assumptions", "Q1", "--points", "10", "--neighbors", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "P(same plan)" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_template_exits(self):
+        with pytest.raises(SystemExit):
+            main(["diagram", "Q99"])
+
+
+class TestExperimentCommand:
+    def test_table1_runs_and_prints(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "BASELINE" in out
+        assert "measured_bytes" in out
+
+    def test_fig10b_prints_precision_columns(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["experiment", "fig10b"]) == 0
+        out = capsys.readouterr().out
+        assert "precision" in out
+        assert "recall" in out
+
+    def test_unknown_experiment_rejected(self):
+        import pytest as _pytest
+
+        from repro.cli import main as cli_main
+
+        with _pytest.raises(SystemExit):
+            cli_main(["experiment", "fig99"])
+
+
+class TestProfileCommand:
+    def test_profile_prints_summary(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["profile", "Q1", "--samples", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "plans observed" in out
+        assert "area" in out

@@ -1,0 +1,71 @@
+"""The value-level plan-caching service."""
+
+import numpy as np
+import pytest
+
+from repro.config import PPCConfig
+from repro.exceptions import ConfigurationError, WorkloadError
+from repro.service import PlanCachingService
+from repro.workload import QueryInstance, RandomTrajectoryWorkload
+
+
+@pytest.fixture(scope="module")
+def service():
+    service = PlanCachingService.tpch(
+        scale_factor=0.1,
+        config=PPCConfig(confidence_threshold=0.8, drift_response=False),
+        seed=0,
+    )
+    service.register("Q1")
+    return service
+
+
+class TestLifecycle:
+    def test_registration(self, service):
+        assert service.templates == ["Q1"]
+
+    def test_double_registration_rejected(self, service):
+        with pytest.raises(ConfigurationError):
+            service.register("Q1")
+
+    def test_unregistered_execution_rejected(self, service):
+        with pytest.raises(WorkloadError):
+            service.execute(QueryInstance("Q3", (1.0, 2.0, 3.0)))
+
+    def test_mismatched_statistics_rejected(self):
+        from repro.tpch import build_catalog, build_statistics
+
+        catalog_a = build_catalog(0.01)
+        catalog_b = build_catalog(0.01)
+        stats_b = build_statistics(catalog_b, seed=0, gaussian_samples=500)
+        with pytest.raises(ConfigurationError):
+            PlanCachingService(catalog_a, stats_b)
+
+
+class TestExecution:
+    def test_value_level_round_trip(self, service):
+        """instance_at and execute agree: executing the instance placed
+        at a point reports (approximately) that point's optimal plan."""
+        point = np.array([0.3, 0.6])
+        instance = service.instance_at("Q1", point)
+        record = service.execute(instance)
+        assert record.template == "Q1"
+        assert record.executed_plan >= 0
+        # The bound point round-trips near the requested location.
+        assert record.point == pytest.approx(point, abs=0.03)
+
+    def test_workload_produces_caching_benefit(self, service):
+        workload = RandomTrajectoryWorkload(2, spread=0.02, seed=5).generate(
+            400
+        )
+        for point in workload:
+            service.execute(service.instance_at("Q1", point))
+        report = service.report()["Q1"]
+        assert report["invocation_rate"] < 0.9
+        assert report["precision"] > 0.9
+        assert report["space_bytes"] > 0
+
+    def test_report_covers_all_templates(self, service):
+        report = service.report()
+        assert set(report) == {"Q1"}
+        assert {"instances", "precision", "recall"} <= set(report["Q1"])

@@ -1,0 +1,128 @@
+"""Modified TPC-H substrate: schema, statistics, templates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.optimizer.parameters import ParameterMapping
+from repro.tpch import (
+    build_catalog,
+    build_statistics,
+    plan_space_for,
+    query_template,
+    query_templates,
+)
+from repro.tpch.schema import DATE_SPAN
+
+
+class TestSchema:
+    def test_row_counts_at_scale_factor_one(self):
+        catalog = build_catalog()
+        assert catalog.table("lineitem").row_count == 6_000_000
+        assert catalog.table("orders").row_count == 1_500_000
+        assert catalog.table("region").row_count == 5
+
+    def test_scale_factor_scales_rows(self):
+        catalog = build_catalog(scale_factor=0.1)
+        assert catalog.table("lineitem").row_count == 600_000
+
+    def test_every_table_has_a_date_column(self):
+        catalog = build_catalog()
+        for table in catalog.tables.values():
+            gaussian = [
+                c for c in table.columns.values()
+                if c.distribution == "gaussian"
+            ]
+            assert gaussian, f"{table.name} lacks a date column"
+
+    def test_primary_keys_clustered(self):
+        catalog = build_catalog()
+        assert catalog.index_on("lineitem", "l_orderkey").clustered
+        assert catalog.index_on("customer", "c_custkey").unique
+
+    def test_foreign_keys_indexed(self):
+        catalog = build_catalog()
+        assert catalog.index_on("lineitem", "l_partkey") is not None
+        assert catalog.index_on("orders", "o_custkey") is not None
+
+    def test_date_columns_indexed(self):
+        catalog = build_catalog()
+        for table in catalog.tables.values():
+            for column in table.columns.values():
+                if column.distribution == "gaussian":
+                    assert catalog.index_on(table.name, column.name)
+
+
+class TestStatistics:
+    def test_gaussian_dates_centered(self):
+        catalog = build_catalog(scale_factor=0.01)
+        stats = build_statistics(catalog, seed=0, gaussian_samples=5000)
+        sketch = stats.column("lineitem", "l_date")
+        assert sketch.selectivity_leq(DATE_SPAN / 2) == pytest.approx(
+            0.5, abs=0.03
+        )
+
+    def test_uniform_keys_linear(self):
+        catalog = build_catalog(scale_factor=0.01)
+        stats = build_statistics(catalog, seed=0, gaussian_samples=1000)
+        sketch = stats.column("customer", "c_custkey")
+        mid = (1 + catalog.table("customer").row_count) / 2
+        assert sketch.selectivity_leq(mid) == pytest.approx(0.5, abs=0.01)
+
+    def test_every_column_covered(self):
+        catalog = build_catalog(scale_factor=0.01)
+        stats = build_statistics(catalog, seed=0, gaussian_samples=1000)
+        for table in catalog.tables.values():
+            for column in table.columns.values():
+                assert stats.column(table.name, column.name) is not None
+
+
+class TestTemplates:
+    def test_nine_templates(self):
+        templates = query_templates()
+        assert sorted(templates) == [f"Q{i}" for i in range(9)]
+
+    def test_parameter_degrees_span_2_to_6(self):
+        degrees = {
+            name: template.parameter_degree
+            for name, template in query_templates().items()
+        }
+        assert min(degrees.values()) == 2
+        assert max(degrees.values()) == 6
+        assert degrees["Q1"] == 2
+        assert degrees["Q7"] == 6
+
+    def test_q1_matches_paper_example(self):
+        template = query_template("Q1")
+        predicates = {str(p) for p in template.predicates}
+        assert "supplier.s_date <= <v0>" in predicates
+        assert "lineitem.l_partkey <= <v1>" in predicates
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ConfigurationError):
+            query_template("Q99")
+
+    def test_templates_validate_against_catalog(self):
+        catalog = build_catalog()
+        for template in query_templates().values():
+            # Every predicate column must exist, every mapping derivable.
+            mapping = ParameterMapping.for_template(template, catalog)
+            assert mapping.dimensions == template.parameter_degree
+
+
+class TestPlanSpaceCache:
+    def test_cache_returns_same_object(self):
+        a = plan_space_for("Q0")
+        b = plan_space_for("Q0")
+        assert a is b
+
+    def test_explicit_catalog_bypasses_cache(self):
+        catalog = build_catalog(scale_factor=0.05)
+        space = plan_space_for("Q0", catalog=catalog)
+        assert space is not plan_space_for("Q0")
+
+    def test_all_templates_have_multiple_plans(self):
+        # Cheap check on the two cheapest templates plus session fixtures.
+        for name in ("Q0", "Q2"):
+            space = plan_space_for(name)
+            assert space.plan_count >= 2
