@@ -10,6 +10,7 @@ paper-vs-measured comparison from these files.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -25,4 +26,20 @@ def write_result(name: str, lines: "list[str] | str") -> pathlib.Path:
     # Also print, for runs with capture disabled (-s).
     print(f"\n===== {name} =====")
     print(lines)
+    return path
+
+
+def write_metrics(name: str, snapshot: "dict | None") -> "pathlib.Path | None":
+    """Persist an observability snapshot next to a bench's result table.
+
+    ``snapshot`` is a :meth:`MetricsRegistry.snapshot` dict (or any
+    JSON-compatible metrics digest); ``None`` is tolerated so benches
+    can pass through an absent snapshot without guarding.
+    """
+    if snapshot is None:
+        return None
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.metrics.json"
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"\n===== {name} metrics -> {path.name} =====")
     return path

@@ -6,7 +6,7 @@ PPC lands between NO-CACHING and the hypothetical IDEAL predictor, and
 the longer the workload runs the wider the gap to NO-CACHING grows.
 """
 
-from _bench_utils import write_result
+from _bench_utils import write_metrics, write_result
 from repro.experiments.runtime_perf import run_runtime_comparison
 
 
@@ -44,6 +44,7 @@ def test_fig13_runtime(benchmark):
         values = " ".join(f"{series[c]:10,.0f}" for c in checkpoints)
         lines.append(f"  {regime:10s}  {values}")
     write_result("fig13_runtime", lines)
+    write_metrics("fig13_runtime", breakdowns["Q1"]["PPC"].metrics)
 
     for template in ("Q0", "Q1", "Q8"):
         by_regime = {

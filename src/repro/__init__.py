@@ -42,6 +42,7 @@ from repro.core import (
     TemplateSession,
 )
 from repro.exceptions import ReproError
+from repro.obs import MetricsRegistry, render_prometheus
 from repro.optimizer import Optimizer, PlanSpace, QueryTemplate
 from repro.service import PlanCachingService
 from repro.tpch import build_catalog, build_statistics, plan_space_for
@@ -66,6 +67,8 @@ __all__ = [
     "SamplePool",
     "TemplateSession",
     "ReproError",
+    "MetricsRegistry",
+    "render_prometheus",
     "Optimizer",
     "PlanSpace",
     "QueryTemplate",

@@ -8,6 +8,10 @@ Small utilities for poking at the reproduction without writing code:
   costs at one plan-space point;
 * ``session Q1 --instances 500`` — run an online plan-caching session
   over a trajectory workload and report the outcome;
+* ``stats Q1 Q2 --instances 300`` — run a mixed workload through the
+  value-level service and render the observability snapshot (stage
+  latencies, invocation reasons, cache hit rates, governor totals) as
+  a table, JSON, or Prometheus text;
 * ``assumptions Q1`` — validate plan choice predictability on a template.
 """
 
@@ -95,6 +99,102 @@ def _cmd_session(args: argparse.Namespace) -> int:
     print(f"precision            : {metrics.precision:.3f}")
     print(f"recall               : {metrics.recall:.3f}")
     print(f"synopsis bytes       : {session.online.space_bytes():,d}")
+    return 0
+
+
+def _format_stage_row(label: str, digest: dict) -> str:
+    return (
+        f"  {label:<22s} {digest['count']:>7d} "
+        f"{digest['p50'] * 1e3:>9.3f} {digest['p95'] * 1e3:>9.3f} "
+        f"{digest['p99'] * 1e3:>9.3f} {digest['max'] * 1e3:>9.3f}"
+    )
+
+
+def _render_stats_table(snapshot: dict) -> None:
+    for name, template in snapshot["templates"].items():
+        print(
+            f"template {name}: {template['executions']} instances, "
+            f"{template['optimizer_invocations']} optimizer invocations"
+        )
+        print(
+            f"  {'stage':<22s} {'count':>7s} {'p50 ms':>9s} "
+            f"{'p95 ms':>9s} {'p99 ms':>9s} {'max ms':>9s}"
+        )
+        for stage, digest in template["stage_seconds"].items():
+            print(_format_stage_row(stage, digest))
+        for label, digest in template["predictor"].items():
+            if digest is not None:
+                print(_format_stage_row(f"predict/{label[:-8]}", digest))
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in template["invocation_reasons"].items()
+        )
+        print(f"  invocation reasons : {reasons}")
+        feedback = template["positive_feedback"]
+        print(
+            "  positive feedback  : "
+            f"accepted={feedback['accepted']} "
+            f"rejected={feedback['rejected']}"
+        )
+        cache = template["cache"]
+        print(
+            "  plan cache         : "
+            f"hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']} "
+            f"hit_rate={cache['hit_rate']:.1%} size={cache['size']}"
+        )
+        print(f"  drift events       : {template['drift_events']}")
+        print(f"  synopsis bytes     : {template['synopsis_bytes']:,d}")
+    governor = snapshot["governor"]
+    if governor is not None:
+        print(
+            "governor: "
+            f"budget={governor['budget_bytes']:,d} B "
+            f"resident={governor['total_bytes']:,d} B "
+            f"reclaimed={governor['reclaimed_bytes']:,d} B "
+            f"shrinks={governor['shrinks']} drops={governor['drops']}"
+        )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import PlanCachingService
+
+    if args.instances < 1:
+        print("--instances must be >= 1", file=sys.stderr)
+        return 1
+    if args.budget is not None and args.budget < 1:
+        print("--budget must be a positive byte count", file=sys.stderr)
+        return 1
+    service = PlanCachingService.tpch(
+        scale_factor=args.scale,
+        config=PPCConfig(confidence_threshold=args.gamma),
+        memory_budget_bytes=args.budget,
+        seed=args.seed,
+    )
+    for template in args.templates:
+        service.register(template)
+    trajectories = {}
+    for offset, template in enumerate(args.templates):
+        dimensions = service.framework.session(
+            template
+        ).plan_space.dimensions
+        trajectories[template] = RandomTrajectoryWorkload(
+            dimensions, spread=args.spread, seed=args.seed + offset
+        ).generate(args.instances)
+    # Interleave the templates, as a mixed production workload would.
+    for index in range(args.instances):
+        for template in args.templates:
+            service.execute(
+                service.instance_at(template, trajectories[template][index])
+            )
+    if args.format == "prom":
+        print(service.prometheus(), end="")
+    elif args.format == "json":
+        print(json.dumps(service.metrics(), indent=2, sort_keys=True))
+    else:
+        _render_stats_table(service.metrics())
     return 0
 
 
@@ -298,6 +398,27 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--gamma", type=float, default=0.8)
     session.add_argument("--seed", type=int, default=0)
     session.set_defaults(handler=_cmd_session)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run a mixed workload and render the metrics snapshot",
+    )
+    stats.add_argument(
+        "templates", choices=list(TEMPLATE_NAMES), nargs="+"
+    )
+    stats.add_argument("--instances", type=int, default=300)
+    stats.add_argument("--spread", type=float, default=0.02)
+    stats.add_argument("--gamma", type=float, default=0.8)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--scale", type=float, default=0.1)
+    stats.add_argument(
+        "--budget", type=int, default=None,
+        help="memory budget in bytes (enables the governor)",
+    )
+    stats.add_argument(
+        "--format", choices=("table", "json", "prom"), default="table"
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     profile = commands.add_parser(
         "profile", help="structural profile of a template's plan space"

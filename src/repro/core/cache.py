@@ -14,16 +14,25 @@ from collections import OrderedDict
 
 from repro.core.monitor import PerformanceMonitor
 from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry, names as metric_names
 from repro.optimizer.plans import PhysicalPlan
 
 
 class PlanCache:
-    """Bounded plan store keyed by plan id."""
+    """Bounded plan store keyed by plan id.
+
+    With a metrics registry attached, hit/miss/eviction events are also
+    published as ``ppc_cache_events_total{template,event}`` counters;
+    the plain ``hits``/``misses``/``evictions`` attributes stay
+    authoritative either way.
+    """
 
     def __init__(
         self,
         capacity: int = 32,
         monitor: "PerformanceMonitor | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        template: str = "",
     ) -> None:
         if capacity < 1:
             raise ConfigurationError("cache capacity must be >= 1")
@@ -33,6 +42,20 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self._event_counters = None
+        if metrics is not None:
+            self._event_counters = {
+                event: metrics.counter(
+                    metric_names.CACHE_EVENTS_TOTAL,
+                    template=template,
+                    event=event,
+                )
+                for event in metric_names.CACHE_EVENTS
+            }
+
+    def _publish(self, event: str) -> None:
+        if self._event_counters is not None:
+            self._event_counters[event].inc()
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -45,9 +68,11 @@ class PlanCache:
         plan = self._plans.get(plan_id)
         if plan is None:
             self.misses += 1
+            self._publish("miss")
             return None
         self._plans.move_to_end(plan_id)
         self.hits += 1
+        self._publish("hit")
         return plan
 
     def put(self, plan_id: int, plan: PhysicalPlan) -> None:
@@ -64,6 +89,7 @@ class PlanCache:
         victim = min(self._plans, key=self._caching_potential)
         del self._plans[victim]
         self.evictions += 1
+        self._publish("eviction")
 
     def _caching_potential(self, plan_id: int) -> tuple[float, int]:
         """Lower = evicted first: precision estimate, then LRU order."""

@@ -18,11 +18,16 @@ The plan-space oracle plays two roles, exactly as in the paper's
 prototype: it is the black-box optimizer the session invokes, and it
 supplies the experimenter's ground truth recorded in every
 :class:`ExecutionRecord` (the session itself never peeks).
+
+Every session reports into a :class:`~repro.obs.registry.MetricsRegistry`
+(per-stage wall-clock, invocation reasons, drift events, feedback
+outcomes); a framework shares one registry across all its sessions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -33,6 +38,7 @@ from repro.core.online import OnlinePredictor
 from repro.core.positive_feedback import PositiveFeedbackPolicy
 from repro.metrics.classification import PrecisionRecall, summarize
 from repro.metrics.classification import PredictionOutcome
+from repro.obs import MetricsRegistry, names as metric_names
 from repro.optimizer.plan_space import PlanSpace
 
 
@@ -73,15 +79,23 @@ class TemplateSession:
         plan_space: PlanSpace,
         config: "PPCConfig | None" = None,
         seed: "int | np.random.Generator | None" = 0,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.plan_space = plan_space
         self.config = config or PPCConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        template = plan_space.template.name
         self.monitor = PerformanceMonitor(
             window=self.config.monitor_window,
             drift_threshold=self.config.drift_threshold,
             min_observations=self.config.drift_min_observations,
         )
-        self.cache = PlanCache(self.config.cache_capacity, self.monitor)
+        self.cache = PlanCache(
+            self.config.cache_capacity,
+            self.monitor,
+            metrics=self.metrics,
+            template=template,
+        )
         policy = None
         if self.config.positive_feedback:
             policy = PositiveFeedbackPolicy(
@@ -104,9 +118,41 @@ class TemplateSession:
             positive_feedback=policy,
             seed=seed,
         )
+        self.online.predictor.bind_metrics(self.metrics, template=template)
         self.optimizer_invocations = 0
         self.drift_events = 0
         self.records: list[ExecutionRecord] = []
+
+        # Stable metric handles: fetched once, updated lock-free in the
+        # hot path below.
+        self._stage_timers = {
+            stage: self.metrics.histogram(
+                metric_names.STAGE_SECONDS, template=template, stage=stage
+            )
+            for stage in metric_names.STAGES
+        }
+        self._executions_counter = self.metrics.counter(
+            metric_names.EXECUTIONS_TOTAL, template=template
+        )
+        self._reason_counters = {
+            reason: self.metrics.counter(
+                metric_names.INVOCATIONS_TOTAL,
+                template=template,
+                reason=reason,
+            )
+            for reason in metric_names.INVOCATION_REASONS
+        }
+        self._feedback_counters = {
+            outcome: self.metrics.counter(
+                metric_names.POSITIVE_FEEDBACK_TOTAL,
+                template=template,
+                outcome=outcome,
+            )
+            for outcome in ("accepted", "rejected")
+        }
+        self._drift_counter = self.metrics.counter(
+            metric_names.DRIFT_EVENTS_TOTAL, template=template
+        )
 
     # ------------------------------------------------------------------
     # The decision flow
@@ -123,12 +169,16 @@ class TemplateSession:
     def execute(self, x: np.ndarray) -> ExecutionRecord:
         """Run one query instance through the PPC workflow."""
         x = np.asarray(x, dtype=float).reshape(-1)
+        self._executions_counter.inc()
         # Experimenter-side ground truth; the session only learns it if
         # and when it invokes the optimizer below.
         true_ids, true_costs = self.plan_space.label(x[None, :])
         optimal_plan, optimal_cost = int(true_ids[0]), float(true_costs[0])
 
+        stage_start = perf_counter()
         prediction = self.online.predict(x)
+        self._stage_timers["predict"].observe(perf_counter() - stage_start)
+
         reason = ""
         if prediction is None:
             reason = "null_prediction"
@@ -138,7 +188,11 @@ class TemplateSession:
             reason = "cache_miss"
 
         if reason:
+            stage_start = perf_counter()
             executed_plan, execution_cost = self._invoke_optimizer(x)
+            self._stage_timers["optimize"].observe(
+                perf_counter() - stage_start
+            )
             if prediction is None:
                 self.monitor.record_null()
             else:
@@ -148,9 +202,14 @@ class TemplateSession:
         else:
             executed_plan = prediction.plan_id
             self.cache.get(executed_plan)
+            stage_start = perf_counter()
             execution_cost = float(
                 self.plan_space.cost_at(x[None, :], executed_plan)[0]
             )
+            self._stage_timers["execute"].observe(
+                perf_counter() - stage_start
+            )
+            stage_start = perf_counter()
             if self.online.suspect_error(prediction, execution_cost):
                 reason = "negative_feedback"
                 true_plan, __ = self._invoke_optimizer(x)
@@ -163,14 +222,24 @@ class TemplateSession:
                 self.monitor.record_prediction(prediction.plan_id, True)
                 # Trusted execution: optionally offer the point as
                 # positive feedback (discounted + capped by the policy).
-                self.online.observe_unverified(
+                inserted = self.online.observe_unverified(
                     x, prediction, execution_cost
                 )
+                if self.online.positive_feedback is not None:
+                    outcome = "accepted" if inserted else "rejected"
+                    self._feedback_counters[outcome].inc()
+            self._stage_timers["feedback"].observe(
+                perf_counter() - stage_start
+            )
+
+        if reason:
+            self._reason_counters[reason].inc()
 
         drift = False
         if self.config.drift_response and self.monitor.drift_detected():
             drift = True
             self.drift_events += 1
+            self._drift_counter.inc()
             self.online.drop()
             self.monitor.reset()
             self.cache.clear()
@@ -210,6 +279,12 @@ class PPCFramework:
     synopsis footprint of all sessions under the budget, reclaiming
     from the coldest templates first (enforced every
     ``governor_interval`` executions).
+
+    Each registered template receives an independently seeded random
+    stream spawned from the framework seed (via
+    :class:`numpy.random.SeedSequence`), so templates never share LSH
+    transform ensembles or correlated exploration coin-flips, while the
+    whole multi-template run stays reproducible from one seed.
     """
 
     def __init__(
@@ -218,21 +293,39 @@ class PPCFramework:
         seed: "int | np.random.Generator | None" = 0,
         memory_budget_bytes: "int | None" = None,
         governor_interval: int = 32,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.config = config or PPCConfig()
-        self._seed = seed
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if isinstance(seed, np.random.Generator):
+            self._seed_root: "np.random.Generator | np.random.SeedSequence" = (
+                seed
+            )
+        else:
+            self._seed_root = np.random.SeedSequence(seed)
         self.sessions: dict[str, TemplateSession] = {}
         self.governor = None
         if memory_budget_bytes is not None:
             from repro.core.governor import MemoryGovernor
 
-            self.governor = MemoryGovernor(memory_budget_bytes)
+            self.governor = MemoryGovernor(
+                memory_budget_bytes, metrics=self.metrics
+            )
         self.governor_interval = governor_interval
         self._executions = 0
 
+    def _spawn_seed(self) -> np.random.Generator:
+        """An independent per-template stream off the framework seed."""
+        child = self._seed_root.spawn(1)[0]
+        if isinstance(child, np.random.Generator):
+            return child
+        return np.random.default_rng(child)
+
     def register(self, plan_space: PlanSpace) -> TemplateSession:
         """Start plan caching for a template."""
-        session = TemplateSession(plan_space, self.config, self._seed)
+        session = TemplateSession(
+            plan_space, self.config, self._spawn_seed(), metrics=self.metrics
+        )
         self.sessions[plan_space.template.name] = session
         if self.governor is not None:
             self.governor.register(session)

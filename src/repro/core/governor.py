@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry, names as metric_names
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.framework import TemplateSession
@@ -48,18 +49,27 @@ class GovernorAction:
     template: str
     action: str  # "shrink" or "drop"
     new_buckets: "int | None" = None
+    reclaimed_bytes: int = 0
 
 
 class MemoryGovernor:
     """Holds the sum of all sessions' synopsis bytes under a budget."""
 
-    def __init__(self, budget_bytes: int) -> None:
+    def __init__(
+        self,
+        budget_bytes: int,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         if budget_bytes < 1:
             raise ConfigurationError("budget must be positive")
         self.budget_bytes = budget_bytes
         self._registrations: dict[str, _Registration] = {}
         self._clock = 0
         self.actions: list[GovernorAction] = []
+        self.reclaimed_bytes = 0
+        self.shrinks = 0
+        self.drops = 0
+        self._metrics = metrics
 
     # ------------------------------------------------------------------
     # Registration and usage tracking
@@ -116,6 +126,7 @@ class MemoryGovernor:
         session = registration.session
         name = session.plan_space.template.name
         predictor = session.online.predictor
+        before = session.online.space_bytes()
         current = predictor.max_buckets
         if current > MIN_BUCKETS:
             new_buckets = max(MIN_BUCKETS, current // 2)
@@ -124,9 +135,37 @@ class MemoryGovernor:
                 for histogram in row:
                     if hasattr(histogram, "shrink"):
                         histogram.shrink(new_buckets)
-            return GovernorAction(name, "shrink", new_buckets)
-        # At the floor: drop the template's synopses entirely.
-        session.online.drop()
-        session.monitor.reset()
-        session.cache.clear()
-        return GovernorAction(name, "drop")
+            action = GovernorAction(
+                name,
+                "shrink",
+                new_buckets,
+                reclaimed_bytes=before - session.online.space_bytes(),
+            )
+        else:
+            # At the floor: drop the template's synopses entirely.
+            session.online.drop()
+            session.monitor.reset()
+            session.cache.clear()
+            action = GovernorAction(
+                name,
+                "drop",
+                reclaimed_bytes=before - session.online.space_bytes(),
+            )
+        self._account(action)
+        return action
+
+    def _account(self, action: GovernorAction) -> None:
+        self.reclaimed_bytes += action.reclaimed_bytes
+        if action.action == "shrink":
+            self.shrinks += 1
+        else:
+            self.drops += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                metric_names.GOVERNOR_RECLAIMED_BYTES
+            ).inc(max(0, action.reclaimed_bytes))
+            self._metrics.counter(
+                metric_names.GOVERNOR_ACTIONS_TOTAL,
+                template=action.template,
+                action=action.action,
+            ).inc()

@@ -22,6 +22,7 @@ Two sanity checks keep the lossy summarization honest:
 from __future__ import annotations
 
 import math
+from time import perf_counter
 
 import numpy as np
 
@@ -130,9 +131,33 @@ class HistogramPredictor(PlanPredictor):
                 )
             plan_count = int(pool.plan_ids.max()) + 1
         self.plan_count = plan_count
+        #: Number of points inserted (integer, weight-independent).
         self.total_points = 0
+        #: Total inserted mass: verified points carry weight 1, positive
+        #: feedback inserts discounted weights.  Noise elimination
+        #: compares against this, matching the weighted bucket counts.
+        self.total_mass = 0.0
         self._histograms: list[list[Histogram]] = []
+        self._metrics = None
+        self._transform_timer = None
+        self._range_timer = None
         self._build_histograms(pool)
+
+    def bind_metrics(self, registry, **labels) -> None:
+        """Publish per-predict transform / range-query timings.
+
+        Called by the owning session once the registry and template
+        label are known; predictors without a binding skip all timing.
+        """
+        from repro.obs import names as metric_names
+
+        self._metrics = registry
+        self._transform_timer = registry.histogram(
+            metric_names.PREDICT_TRANSFORM_SECONDS, **labels
+        )
+        self._range_timer = registry.histogram(
+            metric_names.PREDICT_RANGE_QUERY_SECONDS, **labels
+        )
 
     # ------------------------------------------------------------------
     # Construction / population
@@ -167,6 +192,7 @@ class HistogramPredictor(PlanPredictor):
                 )
             self._histograms.append(row)
         self.total_points = len(pool)
+        self.total_mass = float(len(pool))
 
     def _z_values(self, transform_index: int, coords: np.ndarray) -> np.ndarray:
         transform = self.ensemble.transforms[transform_index]
@@ -186,19 +212,32 @@ class HistogramPredictor(PlanPredictor):
 
         ``weight < 1`` inserts a discounted point — used by the
         positive-feedback extension for unverified predictions.
+
+        The insert is atomic across transforms: insertability, the
+        weight, and every z-value are validated up front, so a rejected
+        insert leaves no histogram partially mutated.
         """
         x = self._check_point(x)
-        for index in range(len(self.ensemble)):
-            histogram = self._histograms[index][plan_id]
-            if not hasattr(histogram, "insert"):
-                raise PredictionError(
-                    "histogram kind "
-                    f"{self.histogram_kind!r} does not support insertion; "
-                    "use histogram_kind='incremental'"
-                )
-            z = float(self._z_values(index, x[None, :])[0])
+        if weight <= 0.0:
+            raise PredictionError("insertion weight must be > 0")
+        targets = [
+            self._histograms[index][plan_id]
+            for index in range(len(self.ensemble))
+        ]
+        if any(not hasattr(histogram, "insert") for histogram in targets):
+            raise PredictionError(
+                "histogram kind "
+                f"{self.histogram_kind!r} does not support insertion; "
+                "use histogram_kind='incremental'"
+            )
+        z_values = [
+            float(self._z_values(index, x[None, :])[0])
+            for index in range(len(self.ensemble))
+        ]
+        for histogram, z in zip(targets, z_values):
             histogram.insert(z, cost, weight=weight)
-        self.total_points += weight
+        self.total_points += 1
+        self.total_mass += weight
 
     # ------------------------------------------------------------------
     # Prediction
@@ -207,22 +246,35 @@ class HistogramPredictor(PlanPredictor):
         """Per-plan range-count aggregated across the ``t`` transforms
         (median by default; mean under the ablation setting)."""
         x = self._check_point(x)
+        record = self._metrics is not None
+        transform_seconds = 0.0
+        range_seconds = 0.0
         estimates = np.empty((len(self.ensemble), self.plan_count))
         for index in range(len(self.ensemble)):
+            if record:
+                started = perf_counter()
             z = float(self._z_values(index, x[None, :])[0])
+            if record:
+                mid = perf_counter()
+                transform_seconds += mid - started
             lo, hi = z - self.delta, z + self.delta
             for plan in range(self.plan_count):
                 estimates[index, plan] = self._histograms[index][
                     plan
                 ].range_count(lo, hi)
+            if record:
+                range_seconds += perf_counter() - mid
+        if record:
+            self._transform_timer.observe(transform_seconds)
+            self._range_timer.observe(range_seconds)
         if self.aggregation == "mean":
             return estimates.mean(axis=0)
         return np.median(estimates, axis=0)
 
     def predict(self, x: np.ndarray) -> "Prediction | None":
         counts = self.median_counts(x)
-        if self.noise_fraction is not None and self.total_points > 0:
-            if counts.max() < self.noise_fraction * self.total_points:
+        if self.noise_fraction is not None and self.total_mass > 0:
+            if counts.max() < self.noise_fraction * self.total_mass:
                 return None
         plan_id, confidence = self.model.decide(
             counts, self.confidence_threshold
@@ -271,8 +323,8 @@ class HistogramPredictor(PlanPredictor):
         winners, confidences = self.model.decide_batch(
             counts.T, self.confidence_threshold
         )
-        if self.noise_fraction is not None and self.total_points > 0:
-            noisy = counts.max(axis=0) < self.noise_fraction * self.total_points
+        if self.noise_fraction is not None and self.total_mass > 0:
+            noisy = counts.max(axis=0) < self.noise_fraction * self.total_mass
             winners = np.where(noisy, -1, winners)
 
         predictions: "list[Prediction | None]" = []
@@ -320,6 +372,7 @@ class HistogramPredictor(PlanPredictor):
         ]
         self.histogram_kind = "incremental"
         self.total_points = 0
+        self.total_mass = 0.0
 
     def space_bytes(self) -> int:
         """``t * n_plans * b_h * 12`` bytes; actual bucket counts may be

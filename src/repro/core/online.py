@@ -92,7 +92,8 @@ class OnlinePredictor(PlanPredictor):
 
     @property
     def sample_count(self) -> int:
-        return self.predictor.total_points
+        """Number of points inserted so far (weight-independent)."""
+        return int(self.predictor.total_points)
 
     # ------------------------------------------------------------------
     # Online policies

@@ -73,6 +73,7 @@ def predictor_to_state(predictor: HistogramPredictor) -> dict:
             else predictor.axis_weights.tolist()
         ),
         "total_points": predictor.total_points,
+        "total_mass": predictor.total_mass,
         "transforms": transforms,
         "histograms": histograms,
     }
@@ -134,7 +135,12 @@ def predictor_from_state(state: dict) -> HistogramPredictor:
             new_row.append(histogram)
         restored.append(new_row)
     predictor._histograms = restored
-    predictor.total_points = state["total_points"]
+    predictor.total_points = int(state["total_points"])
+    # States written before the count/mass split carry only
+    # ``total_points`` (which then included fractional weights).
+    predictor.total_mass = float(
+        state.get("total_mass", state["total_points"])
+    )
     return predictor
 
 

@@ -1,0 +1,39 @@
+"""Observability for the PPC pipeline: metrics, timing, export.
+
+A dependency-free metrics layer sized for a hot path:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters, gauges and
+  streaming latency histograms (p50/p95/p99 over fixed log-scale
+  buckets), keyed by name + labels;
+* :func:`~repro.obs.timing.timed` / :func:`~repro.obs.timing.time_block`
+  — decorator and context-manager timing helpers;
+* :func:`~repro.obs.prometheus.render_prometheus` — Prometheus text
+  exposition of a registry;
+* :mod:`repro.obs.names` — the canonical metric-name inventory the
+  instrumented pipeline emits.
+
+Every :class:`~repro.core.framework.PPCFramework` (and therefore every
+:class:`~repro.service.PlanCachingService`) owns one registry; pass
+``metrics=`` to share a registry across frameworks or swap in your own.
+"""
+
+from repro.obs import names
+from repro.obs.prometheus import render_prometheus
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from repro.obs.timing import time_block, timed
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "names",
+    "render_prometheus",
+    "time_block",
+    "timed",
+]

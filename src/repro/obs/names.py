@@ -1,0 +1,65 @@
+"""Canonical metric names exported by the PPC pipeline.
+
+One place to look up what the instrumented pipeline emits; README's
+"Observability" section documents the same inventory for adopters.
+Label conventions: ``template`` is the query-template name; ``stage``
+is one of :data:`STAGES`; ``reason`` is one of
+:data:`INVOCATION_REASONS`; ``event`` is one of :data:`CACHE_EVENTS`;
+``outcome`` is ``accepted``/``rejected``; ``action`` is
+``shrink``/``drop``.
+"""
+
+from __future__ import annotations
+
+#: Per-stage wall-clock of :meth:`TemplateSession.execute`
+#: (labels: template, stage) — latency histogram, seconds.
+STAGE_SECONDS = "ppc_stage_seconds"
+
+#: Query instances executed (labels: template) — counter.
+EXECUTIONS_TOTAL = "ppc_executions_total"
+
+#: Optimizer invocations by cause (labels: template, reason) — counter.
+INVOCATIONS_TOTAL = "ppc_optimizer_invocations_total"
+
+#: Positive-feedback offers (labels: template, outcome) — counter.
+POSITIVE_FEEDBACK_TOTAL = "ppc_positive_feedback_total"
+
+#: Drift responses fired (labels: template) — counter.
+DRIFT_EVENTS_TOTAL = "ppc_drift_events_total"
+
+#: Plan-cache activity (labels: template, event) — counter.
+CACHE_EVENTS_TOTAL = "ppc_cache_events_total"
+
+#: Synopsis bytes reclaimed by the memory governor — counter.
+GOVERNOR_RECLAIMED_BYTES = "ppc_governor_reclaimed_bytes_total"
+
+#: Governor reclamation steps (labels: template, action) — counter.
+GOVERNOR_ACTIONS_TOTAL = "ppc_governor_actions_total"
+
+#: Time spent in the LSH transform + z-order pipeline per scalar
+#: predict (labels: template) — latency histogram, seconds.
+PREDICT_TRANSFORM_SECONDS = "ppc_predict_transform_seconds"
+
+#: Time spent answering histogram range queries per scalar predict
+#: (labels: template) — latency histogram, seconds.
+PREDICT_RANGE_QUERY_SECONDS = "ppc_predict_range_query_seconds"
+
+#: Current synopsis footprint (labels: template) — gauge, bytes.
+SYNOPSIS_BYTES = "ppc_synopsis_bytes"
+
+#: Plans currently resident in the plan cache (labels: template) — gauge.
+CACHE_PLANS = "ppc_cache_plans"
+
+#: The decision-flow stages timed inside ``TemplateSession.execute``.
+STAGES = ("predict", "optimize", "execute", "feedback")
+
+#: Why the optimizer was invoked (Figure 1 decision flow).
+INVOCATION_REASONS = (
+    "null_prediction",
+    "exploration",
+    "cache_miss",
+    "negative_feedback",
+)
+
+#: Plan-cache event labels.
+CACHE_EVENTS = ("hit", "miss", "eviction")

@@ -1,0 +1,71 @@
+"""Prometheus text-exposition rendering of a metrics registry.
+
+Renders counters and gauges one sample per label set, and latency
+histograms in the summary style (``quantile`` label plus ``_sum`` and
+``_count`` series) so p50/p95/p99 are scrapable directly.  Output
+follows the Prometheus text format version 0.0.4; no client library is
+involved.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+_QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: dict, extra: "dict | None" = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition (one big string)."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+
+    for name in sorted(snapshot["counters"]):
+        lines.append(f"# TYPE {name} counter")
+        for sample in snapshot["counters"][name]:
+            labels = _format_labels(sample["labels"])
+            lines.append(f"{name}{labels} {_format_value(sample['value'])}")
+
+    for name in sorted(snapshot["gauges"]):
+        lines.append(f"# TYPE {name} gauge")
+        for sample in snapshot["gauges"][name]:
+            labels = _format_labels(sample["labels"])
+            lines.append(f"{name}{labels} {_format_value(sample['value'])}")
+
+    for name in sorted(snapshot["histograms"]):
+        lines.append(f"# TYPE {name} summary")
+        for sample in snapshot["histograms"][name]:
+            for quantile, key in _QUANTILES:
+                labels = _format_labels(
+                    sample["labels"], {"quantile": quantile}
+                )
+                lines.append(f"{name}{labels} {repr(sample[key])}")
+            labels = _format_labels(sample["labels"])
+            lines.append(f"{name}_sum{labels} {repr(sample['sum'])}")
+            lines.append(f"{name}_count{labels} {sample['count']}")
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,275 @@
+"""Lightweight metrics registry: counters, gauges, latency histograms.
+
+The PPC pipeline is a hot path — a metrics layer earns its place only
+if recording costs nanoseconds and carries no dependencies.  This
+module provides exactly that: plain-Python counters and gauges, plus a
+streaming latency histogram over fixed log-scale buckets from which
+p50/p95/p99 are read without storing individual samples.
+
+Metrics are identified by a name plus a label set (``template="Q1"``,
+``stage="predict"``), mirroring the Prometheus data model so the
+snapshot renders directly as Prometheus exposition text (see
+:mod:`repro.obs.prometheus`).  Handles returned by
+:meth:`MetricsRegistry.counter` / ``gauge`` / ``histogram`` are stable:
+hot-path code fetches them once and calls ``inc``/``observe`` directly,
+paying only an attribute update per event.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from time import perf_counter
+
+from repro.exceptions import ConfigurationError
+
+#: Histogram bucket geometry: log-scale buckets spanning 100 ns to
+#: ~1000 s with 10 buckets per decade (each bucket is a factor of
+#: 10**0.1 ~ 1.26 wide, bounding quantile interpolation error at ~12 %).
+BUCKET_MIN = 1e-7
+BUCKETS_PER_DECADE = 10
+DECADES = 10
+BUCKET_COUNT = BUCKETS_PER_DECADE * DECADES
+_LOG_MIN = math.log10(BUCKET_MIN)
+
+
+def _bucket_upper_bound(index: int) -> float:
+    """Upper bound of bucket ``index`` (exclusive), in seconds."""
+    return 10.0 ** (_LOG_MIN + (index + 1) / BUCKETS_PER_DECADE)
+
+
+def _bucket_lower_bound(index: int) -> float:
+    return 10.0 ** (_LOG_MIN + index / BUCKETS_PER_DECADE)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0.0:
+            raise ConfigurationError("counters only move forward")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (bytes resident, cache size)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class LatencyHistogram:
+    """Streaming latency distribution over fixed log-scale buckets.
+
+    ``observe`` files a duration (seconds) into one of
+    :data:`BUCKET_COUNT` buckets; quantiles interpolate geometrically
+    inside the crossing bucket, so estimates carry at most one bucket
+    width (~12 % relative) of error.  Exact ``count``/``sum``/``min``/
+    ``max`` are tracked alongside.
+    """
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * BUCKET_COUNT
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0.0:
+            seconds = 0.0
+        self.count += 1
+        self.sum += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        if seconds <= BUCKET_MIN:
+            index = 0
+        else:
+            index = int(
+                (math.log10(seconds) - _LOG_MIN) * BUCKETS_PER_DECADE
+            )
+            if index >= BUCKET_COUNT:
+                index = BUCKET_COUNT - 1
+            elif index < 0:
+                index = 0
+        self.counts[index] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate the ``q``-quantile (``q`` in [0, 1]) in seconds."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile must lie in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                lo = max(_bucket_lower_bound(index), self.min)
+                hi = min(_bucket_upper_bound(index), self.max)
+                if hi <= lo:
+                    return lo
+                # Geometric interpolation matches the log bucket scale.
+                return lo * (hi / lo) ** fraction
+            cumulative += bucket_count
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready digest of the distribution (times in seconds)."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Timer:
+    """Context manager recording its elapsed time into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: LatencyHistogram) -> None:
+        self._histogram = histogram
+
+    def __enter__(self) -> "_Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Holds every metric of one PPC deployment, keyed by name + labels.
+
+    Creation is locked (registration happens off the hot path); the
+    returned handles are lock-free.  ``snapshot`` renders the whole
+    registry as a JSON-compatible dict.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, dict[tuple, tuple[dict, Counter]]] = {}
+        self._gauges: dict[str, dict[tuple, tuple[dict, Gauge]]] = {}
+        self._histograms: dict[
+            str, dict[tuple, tuple[dict, LatencyHistogram]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Metric handles
+    # ------------------------------------------------------------------
+    def _get(self, table: dict, factory, name: str, labels: dict):
+        key = _label_key(labels)
+        with self._lock:
+            series = table.setdefault(name, {})
+            entry = series.get(key)
+            if entry is None:
+                entry = (dict(labels), factory())
+                series[key] = entry
+        return entry[1]
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> LatencyHistogram:
+        return self._get(self._histograms, LatencyHistogram, name, labels)
+
+    def time_block(self, name: str, **labels) -> _Timer:
+        """``with registry.time_block("stage_seconds", stage="x"): ...``"""
+        return _Timer(self.histogram(name, **labels))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str, **labels) -> float:
+        """Current value of a counter, 0.0 if it never fired."""
+        entry = self._counters.get(name, {}).get(_label_key(labels))
+        return entry[1].value if entry else 0.0
+
+    def gauge_value(self, name: str, **labels) -> float:
+        entry = self._gauges.get(name, {}).get(_label_key(labels))
+        return entry[1].value if entry else 0.0
+
+    def histogram_summary(self, name: str, **labels) -> "dict | None":
+        """Digest of one histogram series, or None if it never fired."""
+        entry = self._histograms.get(name, {}).get(_label_key(labels))
+        return entry[1].summary() if entry else None
+
+    def counter_series(self, name: str) -> list[tuple[dict, float]]:
+        """All (labels, value) pairs recorded under a counter name."""
+        return [
+            (dict(labels), metric.value)
+            for labels, metric in self._counters.get(name, {}).values()
+        ]
+
+    def snapshot(self) -> dict:
+        """The whole registry as a JSON-compatible dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: [
+                        {"labels": dict(labels), "value": metric.value}
+                        for labels, metric in series.values()
+                    ]
+                    for name, series in self._counters.items()
+                },
+                "gauges": {
+                    name: [
+                        {"labels": dict(labels), "value": metric.value}
+                        for labels, metric in series.values()
+                    ]
+                    for name, series in self._gauges.items()
+                },
+                "histograms": {
+                    name: [
+                        {"labels": dict(labels), **metric.summary()}
+                        for labels, metric in series.values()
+                    ]
+                    for name, series in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and long-lived services)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

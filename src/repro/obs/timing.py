@@ -1,0 +1,53 @@
+"""Timing helpers: ``@timed`` and ``time_block``.
+
+Two ways to feed a :class:`~repro.obs.registry.LatencyHistogram`
+without writing ``perf_counter`` arithmetic by hand:
+
+* ``time_block(histogram)`` — context manager for ad-hoc regions;
+* ``timed(registry, name, **labels)`` — decorator for whole functions.
+
+Hot loops that cannot afford a context-manager frame per iteration
+(e.g. the per-transform timing inside
+:meth:`HistogramPredictor.median_counts`) call ``perf_counter``
+directly and ``observe`` the accumulated total once.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from time import perf_counter
+
+from repro.obs.registry import LatencyHistogram, MetricsRegistry
+
+
+@contextmanager
+def time_block(histogram: LatencyHistogram):
+    """Record the wall-clock of the enclosed block into ``histogram``."""
+    start = perf_counter()
+    try:
+        yield
+    finally:
+        histogram.observe(perf_counter() - start)
+
+
+def timed(registry: MetricsRegistry, name: str, **labels):
+    """Decorator: record every call's wall-clock under ``name``.
+
+        @timed(registry, "ppc_stage_seconds", stage="rebuild")
+        def rebuild(...): ...
+    """
+    histogram = registry.histogram(name, **labels)
+
+    def decorate(function):
+        @functools.wraps(function)
+        def wrapper(*args, **kwargs):
+            start = perf_counter()
+            try:
+                return function(*args, **kwargs)
+            finally:
+                histogram.observe(perf_counter() - start)
+
+        return wrapper
+
+    return decorate

@@ -24,6 +24,7 @@ import numpy as np
 from repro.config import PPCConfig
 from repro.core.framework import ExecutionRecord, PPCFramework
 from repro.exceptions import ConfigurationError, WorkloadError
+from repro.obs import names as metric_names, render_prometheus
 from repro.optimizer.catalog import Catalog
 from repro.optimizer.expressions import QueryTemplate
 from repro.optimizer.plan_space import PlanSpace
@@ -125,6 +126,104 @@ class PlanCachingService:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Full observability snapshot of the pipeline (JSON-ready).
+
+        Per template: stage latency digests (p50/p95/p99, seconds),
+        invocation-reason counts, positive-feedback outcomes, drift
+        events, cache hit rate, predictor transform/range-query
+        timings, and the current synopsis footprint; plus governor
+        reclamation totals and the raw metric registry.
+        """
+        registry = self.framework.metrics
+        templates: dict[str, dict] = {}
+        for name in self._binders:
+            session = self.framework.session(name)
+            registry.gauge(
+                metric_names.SYNOPSIS_BYTES, template=name
+            ).set(session.online.space_bytes())
+            registry.gauge(
+                metric_names.CACHE_PLANS, template=name
+            ).set(len(session.cache))
+
+            stages = {}
+            for stage in metric_names.STAGES:
+                digest = registry.histogram_summary(
+                    metric_names.STAGE_SECONDS, template=name, stage=stage
+                )
+                if digest is not None:
+                    stages[stage] = digest
+            cache = session.cache
+            templates[name] = {
+                "executions": int(
+                    registry.counter_value(
+                        metric_names.EXECUTIONS_TOTAL, template=name
+                    )
+                ),
+                "stage_seconds": stages,
+                "invocation_reasons": {
+                    reason: int(
+                        registry.counter_value(
+                            metric_names.INVOCATIONS_TOTAL,
+                            template=name,
+                            reason=reason,
+                        )
+                    )
+                    for reason in metric_names.INVOCATION_REASONS
+                },
+                "optimizer_invocations": session.optimizer_invocations,
+                "positive_feedback": {
+                    outcome: int(
+                        registry.counter_value(
+                            metric_names.POSITIVE_FEEDBACK_TOTAL,
+                            template=name,
+                            outcome=outcome,
+                        )
+                    )
+                    for outcome in ("accepted", "rejected")
+                },
+                "drift_events": session.drift_events,
+                "cache": {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "evictions": cache.evictions,
+                    "hit_rate": cache.hit_rate,
+                    "size": len(cache),
+                },
+                "predictor": {
+                    "transform_seconds": registry.histogram_summary(
+                        metric_names.PREDICT_TRANSFORM_SECONDS,
+                        template=name,
+                    ),
+                    "range_query_seconds": registry.histogram_summary(
+                        metric_names.PREDICT_RANGE_QUERY_SECONDS,
+                        template=name,
+                    ),
+                },
+                "synopsis_bytes": session.online.space_bytes(),
+            }
+
+        governor = self.framework.governor
+        governor_summary = None
+        if governor is not None:
+            governor_summary = {
+                "budget_bytes": governor.budget_bytes,
+                "total_bytes": governor.total_bytes,
+                "reclaimed_bytes": governor.reclaimed_bytes,
+                "shrinks": governor.shrinks,
+                "drops": governor.drops,
+            }
+        return {
+            "templates": templates,
+            "governor": governor_summary,
+            "registry": registry.snapshot(),
+        }
+
+    def prometheus(self) -> str:
+        """The metric registry as Prometheus text exposition."""
+        self.metrics()  # refresh the gauges
+        return render_prometheus(self.framework.metrics)
+
     def report(self) -> dict[str, dict[str, float]]:
         """Per-template caching outcome so far."""
         summary = {}

@@ -35,6 +35,9 @@ class RuntimeBreakdown:
     overhead_ms: float = 0.0
     optimizer_invocations: int = 0
     cumulative_ms: list[float] = field(default_factory=list)
+    #: Observability snapshot of the session that produced this
+    #: breakdown (PPC regime only; the closed-form replays have none).
+    metrics: "dict | None" = None
 
     @property
     def total_ms(self) -> float:
@@ -114,5 +117,6 @@ class RuntimeSimulator:
                 overhead=overhead,
             )
         ppc.optimizer_invocations = session.optimizer_invocations
+        ppc.metrics = session.metrics.snapshot()
 
         return {"NO-CACHING": no_cache, "PPC": ppc, "IDEAL": ideal}

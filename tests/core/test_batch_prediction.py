@@ -93,6 +93,93 @@ class TestHistogramPredictBatch:
         assert batch_time < scalar_time
 
 
+def _assert_parity(predictor, points):
+    """predict_batch must agree with per-point predict exactly."""
+    scalar = [predictor.predict(points[i]) for i in range(points.shape[0])]
+    batch = predictor.predict_batch(points)
+    assert len(batch) == len(scalar)
+    for s, b in zip(scalar, batch):
+        assert (s is None) == (b is None)
+        if s is None:
+            continue
+        assert s.plan_id == b.plan_id
+        assert s.confidence == pytest.approx(b.confidence, abs=1e-9)
+        if s.estimated_cost is None:
+            assert b.estimated_cost is None
+        else:
+            assert s.estimated_cost == pytest.approx(b.estimated_cost)
+    return scalar, batch
+
+
+class TestScalarBatchParity:
+    """predict vs predict_batch on unstructured random pools."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("kind", ["maxdiff", "incremental"])
+    def test_random_pools(self, seed, kind):
+        rng = np.random.default_rng(seed)
+        pool = SamplePool(2)
+        coords = rng.uniform(size=(150, 2))
+        plan_ids = rng.integers(0, 3, size=150)
+        costs = rng.uniform(1.0, 10.0, size=150)
+        for x, plan, cost in zip(coords, plan_ids, costs):
+            pool.add(x, int(plan), cost=float(cost))
+        predictor = HistogramPredictor(
+            pool,
+            transforms=3,
+            radius=0.08,
+            confidence_threshold=0.4,
+            noise_fraction=0.01,
+            histogram_kind=kind,
+            seed=seed + 10,
+        )
+        test = sample_points(2, 120, seed=seed + 20)
+        _assert_parity(predictor, test)
+
+    def test_noise_elimination_parity_includes_nulls(self):
+        predictor = HistogramPredictor(
+            _pool(),
+            transforms=5,
+            radius=0.1,
+            confidence_threshold=0.0,
+            noise_fraction=0.05,
+            seed=1,
+        )
+        test = sample_points(2, 200, seed=5)
+        __, batch = _assert_parity(predictor, test)
+        # The parity check must actually exercise both branches.
+        assert any(b is None for b in batch)
+        assert any(b is not None for b in batch)
+
+    def test_unsupported_winner_yields_cost_none_in_both(self):
+        class ForcedWinner(ConfidenceModel):
+            """Forces a plan no training point supports."""
+
+            def decide(self, counts, threshold):
+                return 2, 1.0
+
+            def decide_batch(self, counts, threshold):
+                m = counts.shape[0]
+                return np.full(m, 2, dtype=int), np.ones(m)
+
+        predictor = HistogramPredictor(
+            _pool(),
+            plan_count=3,
+            transforms=5,
+            radius=0.1,
+            confidence_threshold=0.0,
+            noise_fraction=None,
+            seed=1,
+            confidence_model=ForcedWinner(),
+        )
+        test = sample_points(2, 50, seed=9)
+        __, batch = _assert_parity(predictor, test)
+        # Plan 2 has zero support everywhere: a prediction is still
+        # produced, but with no cost estimate — in both code paths.
+        assert all(b is not None for b in batch)
+        assert all(b.estimated_cost is None for b in batch)
+
+
 class TestBaselinePredictBatch:
     def test_matches_scalar(self):
         from repro.core.baseline import BaselinePredictor

@@ -50,6 +50,13 @@ class TestConfidenceProperties:
         arr = np.array(count_list)
         if arr.max() <= 0 or (arr > 0).sum() < 2:
             return
+        # A minority mass below float resolution (sum - max == 0) is a
+        # *pure* neighborhood to the model, and pure confidence is
+        # count-dependent by design — only the chord path is scale-free.
+        if arr.sum() - arr.max() <= 0.0 or (
+            (arr * 7.0).sum() - (arr * 7.0).max() <= 0.0
+        ):
+            return
         __, confidence = model.decide(arr, threshold=2.0)
         __, scaled = model.decide(arr * 7.0, threshold=2.0)
         assert scaled == pytest.approx(confidence, abs=1e-9)

@@ -89,6 +89,102 @@ class TestIncrementalMode:
         assert predictor.total_points == 1
 
 
+class TestAtomicInsert:
+    def test_static_reject_leaves_counts_untouched(self):
+        predictor = HistogramPredictor(
+            _pool(), histogram_kind="maxdiff", seed=1
+        )
+        before = [
+            [h.range_count(-1.0, 2.0) for h in row]
+            for row in predictor._histograms
+        ]
+        with pytest.raises(PredictionError):
+            predictor.insert(np.array([0.5, 0.5]), 0)
+        after = [
+            [h.range_count(-1.0, 2.0) for h in row]
+            for row in predictor._histograms
+        ]
+        assert after == before
+        assert predictor.total_points == 200
+        assert predictor.total_mass == 200.0
+
+    def test_mixed_insertability_mutates_nothing(self):
+        """A non-insertable histogram in any transform row must abort
+        the insert before earlier transforms are touched."""
+        from repro.histograms import MaxDiffHistogram
+
+        predictor = HistogramPredictor(
+            SamplePool(2),
+            plan_count=2,
+            histogram_kind="incremental",
+            seed=1,
+        )
+        predictor.insert(np.array([0.3, 0.3]), 0, cost=1.0)
+        # Sabotage the LAST transform's plan-0 histogram: the loop
+        # would mutate every earlier transform before hitting it.
+        static = MaxDiffHistogram.build(
+            np.array([]), np.array([]), bucket_count=8
+        )
+        predictor._histograms[-1][0] = static
+        before = [
+            row[0].range_count(-1.0, 2.0)
+            for row in predictor._histograms[:-1]
+        ]
+        with pytest.raises(PredictionError):
+            predictor.insert(np.array([0.3, 0.3]), 0, cost=1.0)
+        after = [
+            row[0].range_count(-1.0, 2.0)
+            for row in predictor._histograms[:-1]
+        ]
+        assert after == before
+        assert predictor.total_points == 1
+        assert predictor.total_mass == 1.0
+
+    def test_nonpositive_weight_rejected_without_mutation(self):
+        predictor = HistogramPredictor(
+            SamplePool(2),
+            plan_count=2,
+            histogram_kind="incremental",
+            seed=1,
+        )
+        for bad in (0.0, -0.5):
+            with pytest.raises(PredictionError):
+                predictor.insert(np.array([0.3, 0.3]), 0, weight=bad)
+        assert predictor.total_points == 0
+        assert predictor.total_mass == 0.0
+
+
+class TestCountVersusMass:
+    def test_weighted_inserts_keep_point_count_integral(self):
+        predictor = HistogramPredictor(
+            SamplePool(2),
+            plan_count=2,
+            histogram_kind="incremental",
+            seed=1,
+        )
+        predictor.insert(np.array([0.3, 0.3]), 0, cost=1.0)
+        predictor.insert(np.array([0.31, 0.31]), 0, cost=1.0)
+        predictor.insert(np.array([0.32, 0.32]), 0, cost=1.0, weight=0.25)
+        assert predictor.total_points == 3
+        assert isinstance(predictor.total_points, int)
+        assert predictor.total_mass == pytest.approx(2.25)
+
+    def test_static_build_counts_pool_points(self):
+        predictor = HistogramPredictor(_pool(), histogram_kind="maxdiff", seed=1)
+        assert predictor.total_points == 200
+        assert isinstance(predictor.total_points, int)
+        assert predictor.total_mass == pytest.approx(200.0)
+
+    def test_drop_resets_both(self):
+        predictor = HistogramPredictor(
+            _pool(), histogram_kind="incremental", seed=1
+        )
+        predictor.insert(np.array([0.3, 0.3]), 0, weight=0.5)
+        predictor.drop()
+        assert predictor.total_points == 0
+        assert predictor.total_mass == 0.0
+
+
 class TestNoiseElimination:
     def test_sparse_support_suppressed(self):
         pool = _pool()

@@ -79,7 +79,11 @@ class TestOnlineIntegration:
             x, Prediction(0, confidence=1.0), observed_cost=5.0
         )
         assert inserted
-        assert online.sample_count == pytest.approx(1.25)
+        # The sample count stays an integer; the discount shows up in
+        # the separately tracked weighted mass.
+        assert online.sample_count == 2
+        assert isinstance(online.sample_count, int)
+        assert online.predictor.total_mass == pytest.approx(1.25)
 
     def test_no_policy_means_no_positive_feedback(self):
         online = OnlinePredictor(2, 2, seed=0)

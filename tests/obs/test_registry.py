@@ -1,0 +1,244 @@
+"""Unit tests for the observability layer (registry + exporters)."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    render_prometheus,
+    time_block,
+    timed,
+)
+from repro.obs.registry import BUCKET_MIN
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        counter = Counter()
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+        assert counter.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_digest(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.quantile(0.5) == 0.0
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["min"] == 0.0
+        assert summary["mean"] == 0.0
+
+    def test_exact_stats_are_tracked(self):
+        hist = LatencyHistogram()
+        samples = [0.001, 0.002, 0.004, 0.010]
+        for s in samples:
+            hist.observe(s)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(sum(samples))
+        assert hist.min == pytest.approx(0.001)
+        assert hist.max == pytest.approx(0.010)
+        assert hist.mean == pytest.approx(sum(samples) / 4)
+
+    def test_quantiles_within_bucket_resolution(self):
+        # 1000 samples spread geometrically across three decades; the
+        # log-bucket scheme bounds relative error at one bucket width
+        # (10**0.1 ~ 1.26), so allow ~30 %.
+        hist = LatencyHistogram()
+        samples = [1e-4 * (10 ** (3 * i / 999)) for i in range(1000)]
+        for s in samples:
+            hist.observe(s)
+        samples.sort()
+        for q in (0.50, 0.95, 0.99):
+            exact = samples[int(q * len(samples)) - 1]
+            estimate = hist.quantile(q)
+            assert estimate == pytest.approx(exact, rel=0.30)
+
+    def test_quantile_clamped_to_observed_range(self):
+        hist = LatencyHistogram()
+        hist.observe(0.005)
+        # A single sample: every quantile is the sample itself, up to
+        # bucket interpolation clamped by min/max.
+        assert hist.quantile(0.0) <= 0.005 <= hist.quantile(1.0) * 1.0001
+        assert hist.quantile(1.0) == pytest.approx(0.005, rel=1e-9)
+
+    def test_negative_and_tiny_durations_fold_into_first_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(-1.0)
+        hist.observe(BUCKET_MIN / 10)
+        assert hist.count == 2
+        assert hist.counts[0] == 2
+
+    def test_huge_durations_fold_into_last_bucket(self):
+        hist = LatencyHistogram()
+        hist.observe(1e9)
+        assert hist.counts[-1] == 1
+        assert hist.max == 1e9
+
+    def test_quantile_validates_range(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+
+
+class TestMetricsRegistry:
+    def test_handles_are_stable_per_label_set(self):
+        registry = MetricsRegistry()
+        a = registry.counter("events_total", kind="x")
+        b = registry.counter("events_total", kind="x")
+        c = registry.counter("events_total", kind="y")
+        assert a is b
+        assert a is not c
+        a.inc()
+        assert registry.counter_value("events_total", kind="x") == 1.0
+        assert registry.counter_value("events_total", kind="y") == 0.0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("t", x="1", y="2")
+        b = registry.counter("t", y="2", x="1")
+        assert a is b
+
+    def test_unknown_series_read_as_zero_or_none(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("nope") == 0.0
+        assert registry.gauge_value("nope") == 0.0
+        assert registry.histogram_summary("nope") is None
+
+    def test_counter_series_lists_all_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", template="Q1").inc(3)
+        registry.counter("hits", template="Q5").inc(7)
+        series = dict(
+            (labels["template"], value)
+            for labels, value in registry.counter_series("hits")
+        )
+        assert series == {"Q1": 3.0, "Q5": 7.0}
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", kind="x").inc(2)
+        registry.gauge("bytes", template="Q1").set(128)
+        registry.histogram("lat_seconds", stage="predict").observe(0.01)
+        snapshot = registry.snapshot()
+        round_trip = json.loads(json.dumps(snapshot))
+        assert round_trip["counters"]["events_total"][0]["value"] == 2
+        assert round_trip["gauges"]["bytes"][0]["labels"] == {
+            "template": "Q1"
+        }
+        hist = round_trip["histograms"]["lat_seconds"][0]
+        assert hist["count"] == 1
+        assert set(hist) >= {"p50", "p95", "p99", "sum", "mean", "labels"}
+
+    def test_time_block_records_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.time_block("lat_seconds", stage="s"):
+            pass
+        summary = registry.histogram_summary("lat_seconds", stage="s")
+        assert summary["count"] == 1
+        assert summary["sum"] >= 0.0
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(0.1)
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestTimingHelpers:
+    def test_time_block_helper_observes_once(self):
+        hist = LatencyHistogram()
+        with time_block(hist):
+            math.sqrt(2.0)
+        assert hist.count == 1
+
+    def test_time_block_records_on_exception(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            with time_block(hist):
+                raise ValueError("boom")
+        assert hist.count == 1
+
+    def test_timed_decorator(self):
+        registry = MetricsRegistry()
+
+        @timed(registry, "calls_seconds", fn="f")
+        def f(x):
+            return x * 2
+
+        assert f(21) == 42
+        assert f(1) == 2
+        summary = registry.histogram_summary("calls_seconds", fn="f")
+        assert summary["count"] == 2
+
+    def test_timed_decorator_records_on_exception(self):
+        registry = MetricsRegistry()
+
+        @timed(registry, "calls_seconds", fn="g")
+        def g():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            g()
+        assert registry.histogram_summary("calls_seconds", fn="g")[
+            "count"
+        ] == 1
+
+
+class TestPrometheusRendering:
+    def test_renders_all_metric_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("ppc_events_total", kind="hit").inc(3)
+        registry.gauge("ppc_bytes", template="Q1").set(64)
+        registry.histogram("ppc_lat_seconds", stage="predict").observe(0.01)
+        text = render_prometheus(registry)
+
+        assert "# TYPE ppc_events_total counter" in text
+        assert 'ppc_events_total{kind="hit"} 3' in text
+        assert "# TYPE ppc_bytes gauge" in text
+        assert 'ppc_bytes{template="Q1"} 64' in text
+        assert "# TYPE ppc_lat_seconds summary" in text
+        assert 'quantile="0.5"' in text
+        assert 'quantile="0.95"' in text
+        assert 'quantile="0.99"' in text
+        assert 'ppc_lat_seconds_count{stage="predict"} 1' in text
+        assert text.endswith("\n")
+
+    def test_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c", q='say "hi"\n').inc()
+        text = render_prometheus(registry)
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+
+    def test_unlabeled_series_render_bare(self):
+        registry = MetricsRegistry()
+        registry.counter("total").inc(5)
+        text = render_prometheus(registry)
+        assert "total 5" in text.splitlines()

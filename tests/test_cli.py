@@ -47,6 +47,48 @@ class TestSession:
         assert "optimizer invocations" in out
 
 
+class TestStats:
+    def test_table_renders_stage_latencies(self, capsys):
+        assert main(
+            ["stats", "Q1", "--instances", "80", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "template Q1: 80 instances" in out
+        assert "p50 ms" in out
+        assert "predict" in out
+        assert "invocation reasons" in out
+        assert "plan cache" in out
+
+    def test_json_format_is_parseable(self, capsys):
+        import json
+
+        assert main(
+            ["stats", "Q1", "--instances", "50", "--format", "json"]
+        ) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["templates"]["Q1"]["executions"] == 50
+
+    def test_prom_format_is_exposition_text(self, capsys):
+        assert main(
+            ["stats", "Q1", "--instances", "50", "--format", "prom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE ppc_stage_seconds summary" in out
+        assert 'ppc_executions_total{template="Q1"} 50' in out
+
+    def test_budget_prints_governor_line(self, capsys):
+        assert main(
+            [
+                "stats", "Q1", "Q5",
+                "--instances", "60",
+                "--budget", "500",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "governor:" in out
+        assert "reclaimed=" in out
+
+
 class TestAssumptions:
     def test_prints_probability_table(self, capsys):
         assert main(

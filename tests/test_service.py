@@ -1,5 +1,7 @@
 """The value-level plan-caching service."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -69,3 +71,65 @@ class TestExecution:
         report = service.report()
         assert set(report) == {"Q1"}
         assert {"instances", "precision", "recall"} <= set(report["Q1"])
+
+
+class TestMetrics:
+    def test_metrics_snapshot_after_mixed_workload(self, service):
+        workload = RandomTrajectoryWorkload(2, spread=0.02, seed=9).generate(
+            100
+        )
+        for point in workload:
+            service.execute(service.instance_at("Q1", point))
+        snapshot = service.metrics()
+        json.dumps(snapshot)  # must be JSON-ready
+
+        q1 = snapshot["templates"]["Q1"]
+        assert q1["executions"] >= 100
+        # Per-stage latency digests with p50/p95.
+        predict = q1["stage_seconds"]["predict"]
+        assert predict["count"] == q1["executions"]
+        assert {"p50", "p95", "p99", "count", "sum"} <= set(predict)
+        assert predict["p95"] >= predict["p50"] >= 0.0
+        # Invocation reasons tile the optimizer invocations exactly.
+        reasons = q1["invocation_reasons"]
+        assert set(reasons) == {
+            "null_prediction",
+            "exploration",
+            "cache_miss",
+            "negative_feedback",
+        }
+        assert sum(reasons.values()) == q1["optimizer_invocations"]
+        # Cache hit rate and synopsis footprint.
+        assert 0.0 <= q1["cache"]["hit_rate"] <= 1.0
+        assert q1["cache"]["hits"] > 0
+        assert q1["synopsis_bytes"] > 0
+        assert q1["predictor"]["transform_seconds"]["count"] >= 100
+        # No budget configured: governor section absent.
+        assert snapshot["governor"] is None
+        assert {"counters", "gauges", "histograms"} <= set(
+            snapshot["registry"]
+        )
+
+    def test_prometheus_exposition(self, service):
+        text = service.prometheus()
+        assert "# TYPE ppc_stage_seconds summary" in text
+        assert 'ppc_executions_total{template="Q1"}' in text
+        assert 'ppc_synopsis_bytes{template="Q1"}' in text
+        assert 'quantile="0.95"' in text
+
+    def test_governor_section_present_with_budget(self):
+        service = PlanCachingService.tpch(
+            scale_factor=0.1,
+            config=PPCConfig(drift_response=False),
+            memory_budget_bytes=10**9,
+            seed=0,
+        )
+        service.register("Q1")
+        governor = service.metrics()["governor"]
+        assert governor == {
+            "budget_bytes": 10**9,
+            "total_bytes": governor["total_bytes"],
+            "reclaimed_bytes": 0,
+            "shrinks": 0,
+            "drops": 0,
+        }
