@@ -23,7 +23,7 @@ Quickstart::
     print(session.ground_truth_metrics())
 """
 
-from repro.config import PPCConfig
+from repro.config import PPCConfig, ResilienceConfig
 from repro.core import (
     BaselinePredictor,
     ConfidenceModel,
@@ -41,9 +41,21 @@ from repro.core import (
     SamplePool,
     TemplateSession,
 )
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    PersistenceError,
+    PredictionError,
+    ReproError,
+    ResilienceError,
+)
 from repro.obs import MetricsRegistry, render_prometheus
 from repro.optimizer import Optimizer, PlanSpace, QueryTemplate
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    VirtualClock,
+)
 from repro.service import PlanCachingService
 from repro.tpch import build_catalog, build_statistics, plan_space_for
 
@@ -51,7 +63,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PPCConfig",
+    "ResilienceConfig",
     "BaselinePredictor",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "VirtualClock",
     "ConfidenceModel",
     "CostFeedbackDetector",
     "ExecutionRecord",
@@ -67,6 +85,9 @@ __all__ = [
     "SamplePool",
     "TemplateSession",
     "ReproError",
+    "PersistenceError",
+    "PredictionError",
+    "ResilienceError",
     "MetricsRegistry",
     "render_prometheus",
     "Optimizer",

@@ -12,6 +12,10 @@ Small utilities for poking at the reproduction without writing code:
   value-level service and render the observability snapshot (stage
   latencies, invocation reasons, cache hit rates, governor totals) as
   a table, JSON, or Prometheus text;
+* ``faults Q1 --instances 2000`` — fault-injection bench: run a
+  workload with a failing optimizer/predictor and torn persistence
+  writes, and report degradations, fallback servings, breaker state
+  and snapshot recovery (exits 1 on any uncaught exception);
 * ``assumptions Q1`` — validate plan choice predictability on a template.
 """
 
@@ -196,6 +200,208 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         _render_stats_table(service.metrics())
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Fault-injection bench: prove the pipeline degrades, never dies.
+
+    Runs an interleaved workload with deterministic faults injected
+    into the optimizer, the predictor, and persistence snapshots, then
+    reports the full resilience accounting.  Exit status 1 if any
+    instance raised instead of returning an executable plan.
+    """
+    import json
+    import pathlib
+    import tempfile
+
+    from repro.core.histogram_predictor import HistogramPredictor
+    from repro.core.persistence import load_predictor
+    from repro.core.point import SamplePool
+    from repro.exceptions import PersistenceError, ReproError
+    from repro.obs import names as metric_names
+    from repro.resilience import FaultInjector, FaultSpec, VirtualClock
+
+    if args.instances < 1:
+        print("--instances must be >= 1", file=sys.stderr)
+        return 1
+    clock = VirtualClock()
+    injector = FaultInjector(
+        {
+            "optimizer": FaultSpec(
+                failure_probability=args.optimizer_failure
+            ),
+            "predictor": FaultSpec(
+                failure_probability=args.predictor_failure
+            ),
+            "predictor_insert": FaultSpec(
+                failure_probability=args.predictor_failure
+            ),
+            "persistence": FaultSpec(
+                torn_write_probability=args.torn_write
+            ),
+        },
+        seed=args.seed,
+        sleep=clock.sleep,
+    )
+    framework = PPCFramework(
+        PPCConfig(confidence_threshold=args.gamma),
+        seed=args.seed,
+        fault_injector=injector,
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    workloads = {}
+    for offset, template in enumerate(args.templates):
+        space = plan_space_for(template)
+        framework.register(space)
+        workloads[template] = RandomTrajectoryWorkload(
+            space.dimensions, spread=args.spread, seed=args.seed + offset
+        ).generate(args.instances)
+
+    state_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-faults-"))
+    uncaught = 0
+    snapshots = {"attempts": 0, "torn": 0}
+    for index in range(args.instances):
+        for template in args.templates:
+            try:
+                framework.execute(template, workloads[template][index])
+            except ReproError as exc:
+                uncaught += 1
+                print(
+                    f"uncaught failure on {template}: {exc}",
+                    file=sys.stderr,
+                )
+            # Each instance advances simulated wall-clock, so breaker
+            # recovery windows actually elapse.
+            clock.advance(0.001)
+        if args.snapshot_every and (index + 1) % args.snapshot_every == 0:
+            for template in args.templates:
+                snapshots["attempts"] += 1
+                try:
+                    injector.save_predictor(
+                        framework.session(template).online.predictor,
+                        state_dir / f"{template}.json",
+                    )
+                except ReproError:
+                    snapshots["torn"] += 1
+
+    # Boot-time recovery: every (possibly torn) state file must load
+    # with strict=False — from the file, a backup, or a cold start.
+    recovery = {}
+    for template in args.templates:
+        path = state_dir / f"{template}.json"
+        if not path.exists():
+            continue
+        session = framework.session(template)
+        try:
+            load_predictor(path)
+            kind = "intact"
+        except PersistenceError:
+            kind = "recovered"
+        restored = load_predictor(
+            path,
+            strict=False,
+            cold=lambda s=session: HistogramPredictor(
+                SamplePool(s.plan_space.dimensions),
+                plan_count=s.plan_space.plan_count,
+                histogram_kind="incremental",
+                seed=0,
+            ),
+        )
+        if kind == "recovered" and restored.total_points == 0:
+            kind = "cold"
+        recovery[template] = kind
+
+    registry = framework.metrics
+
+    def _series_total(name: str) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for labels, value in registry.counter_series(name):
+            key = (
+                labels.get("component")
+                or labels.get("source")
+                or labels.get("reason")
+                or labels.get("state")
+                or labels.get("template", "")
+            )
+            totals[key] = totals.get(key, 0) + int(value)
+        return totals
+
+    fallback_records = [
+        r
+        for template in args.templates
+        for r in framework.session(template).records
+        if r.fallback_source
+    ]
+    report = {
+        "instances": args.instances * len(args.templates),
+        "uncaught_exceptions": uncaught,
+        "injected": injector.summary(),
+        "degraded": _series_total(metric_names.DEGRADED_TOTAL),
+        "fallback_served": _series_total(
+            metric_names.FALLBACK_SERVED_TOTAL
+        ),
+        "optimizer_retries": sum(
+            _series_total(metric_names.OPTIMIZER_RETRIES_TOTAL).values()
+        ),
+        "breaker": {
+            template: {
+                "state": framework.session(template).breaker.state,
+                "transitions": dict(
+                    framework.session(template).breaker.transitions
+                ),
+            }
+            for template in args.templates
+        },
+        "fallback_suboptimality": {
+            "count": len(fallback_records),
+            "mean": (
+                float(
+                    np.mean([r.suboptimality for r in fallback_records])
+                )
+                if fallback_records
+                else 1.0
+            ),
+            "max": (
+                float(max(r.suboptimality for r in fallback_records))
+                if fallback_records
+                else 1.0
+            ),
+        },
+        "snapshots": {**snapshots, "recovery": recovery},
+    }
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"instances executed   : {report['instances']} "
+            f"({len(args.templates)} templates x {args.instances})"
+        )
+        print(f"uncaught exceptions  : {uncaught}")
+        for component, kinds in report["injected"].items():
+            injected = ", ".join(
+                f"{kind}={count}" for kind, count in kinds.items()
+            )
+            print(f"injected {component:<12s}: {injected}")
+        print(f"degraded             : {report['degraded']}")
+        print(f"fallback served      : {report['fallback_served']}")
+        print(f"optimizer retries    : {report['optimizer_retries']}")
+        for template, breaker in report["breaker"].items():
+            print(
+                f"breaker {template:<13s}: state={breaker['state']} "
+                f"transitions={breaker['transitions']}"
+            )
+        subopt = report["fallback_suboptimality"]
+        print(
+            "fallback suboptimality: "
+            f"count={subopt['count']} mean={subopt['mean']:.4f} "
+            f"max={subopt['max']:.4f}"
+        )
+        print(
+            f"snapshots            : attempts={snapshots['attempts']} "
+            f"torn={snapshots['torn']} recovery={recovery}"
+        )
+    return 0 if uncaught == 0 else 1
 
 
 #: Experiment registry: name -> (import path, callable, kwargs for a
@@ -419,6 +625,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("table", "json", "prom"), default="table"
     )
     stats.set_defaults(handler=_cmd_stats)
+
+    faults = commands.add_parser(
+        "faults",
+        help="fault-injection bench: degraded components, zero crashes",
+    )
+    faults.add_argument(
+        "templates", choices=list(TEMPLATE_NAMES), nargs="+"
+    )
+    faults.add_argument("--instances", type=int, default=2000)
+    faults.add_argument("--optimizer-failure", type=float, default=0.2)
+    faults.add_argument("--predictor-failure", type=float, default=0.05)
+    faults.add_argument("--torn-write", type=float, default=0.5)
+    faults.add_argument("--snapshot-every", type=int, default=250)
+    faults.add_argument("--spread", type=float, default=0.02)
+    faults.add_argument("--gamma", type=float, default=0.8)
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument(
+        "--format", choices=("table", "json"), default="table"
+    )
+    faults.set_defaults(handler=_cmd_faults)
 
     profile = commands.add_parser(
         "profile", help="structural profile of a template's plan space"

@@ -8,9 +8,50 @@ invocation probability, cost error bound ``epsilon = 0.25``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Degraded-mode knobs of the guarded decision flow.
+
+    Optimizer invocations get ``retry_attempts`` tries with capped
+    exponential backoff under ``retry_deadline`` seconds; after
+    ``breaker_failure_threshold`` consecutive exhausted invocations the
+    per-template circuit breaker opens and the session serves the last
+    cached plan until ``breaker_recovery_time`` elapses (then admits
+    ``breaker_half_open_trials`` probes).  ``validate_points`` rejects
+    NaN/inf/out-of-domain instances up front with a clean
+    :class:`~repro.exceptions.PredictionError`.
+    """
+
+    retry_attempts: int = 3
+    retry_base_delay: float = 0.01
+    retry_multiplier: float = 2.0
+    retry_max_delay: float = 0.25
+    retry_deadline: "float | None" = 2.0
+    breaker_failure_threshold: int = 3
+    breaker_recovery_time: float = 5.0
+    breaker_half_open_trials: int = 1
+    validate_points: bool = True
+
+    def __post_init__(self) -> None:
+        if self.retry_attempts < 1:
+            raise ConfigurationError("retry attempts must be >= 1")
+        if self.retry_base_delay < 0.0 or self.retry_max_delay < 0.0:
+            raise ConfigurationError("retry delays must be >= 0")
+        if self.retry_multiplier < 1.0:
+            raise ConfigurationError("retry multiplier must be >= 1")
+        if self.retry_deadline is not None and self.retry_deadline <= 0.0:
+            raise ConfigurationError("retry deadline must be > 0")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError("breaker failure threshold must be >= 1")
+        if self.breaker_recovery_time < 0.0:
+            raise ConfigurationError("breaker recovery time must be >= 0")
+        if self.breaker_half_open_trials < 1:
+            raise ConfigurationError("breaker half-open trials must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -37,6 +78,10 @@ class PPCConfig:
     drift_min_observations: int = 30
     drift_response: bool = True
     cache_capacity: int = 32
+    #: Degraded-mode behavior (retry/backoff, circuit breaker, input
+    #: validation); the defaults cost nothing while dependencies are
+    #: healthy.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.transforms < 1:

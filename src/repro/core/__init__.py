@@ -30,7 +30,10 @@ from repro.core.monitor import PerformanceMonitor
 from repro.core.naive import NaivePredictor
 from repro.core.online import OnlinePredictor
 from repro.core.persistence import (
+    atomic_write_text,
+    dumps_predictor,
     load_predictor,
+    loads_predictor,
     predictor_from_state,
     predictor_to_state,
     save_predictor,
@@ -53,7 +56,10 @@ __all__ = [
     "ParameterRelevanceAnalyzer",
     "PositiveFeedbackPolicy",
     "apply_axis_weights",
+    "atomic_write_text",
+    "dumps_predictor",
     "load_predictor",
+    "loads_predictor",
     "predictor_from_state",
     "predictor_to_state",
     "save_predictor",

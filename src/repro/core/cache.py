@@ -99,6 +99,13 @@ class PlanCache:
         recency = list(self._plans).index(plan_id)
         return (precision, recency)
 
+    def most_recent(self) -> "int | None":
+        """Id of the most recently used resident plan, without touching
+        hit/miss accounting (the fallback chain's last resort)."""
+        if not self._plans:
+            return None
+        return next(reversed(self._plans))
+
     def clear(self) -> None:
         self._plans.clear()
 

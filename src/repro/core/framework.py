@@ -5,14 +5,30 @@ template: the online predictor (clustered plan-space synopses), the
 performance monitor, and the plan cache.  ``execute`` runs one query
 instance through the full decision flow:
 
-1. predict the plan from the clustered plan space;
-2. decide whether to invoke the optimizer anyway (NULL prediction,
+1. validate the instance (NaN/inf/out-of-domain points are rejected
+   with a clean :class:`~repro.exceptions.PredictionError`);
+2. predict the plan from the clustered plan space;
+3. decide whether to invoke the optimizer anyway (NULL prediction,
    random exploration, or plan missing from the cache);
-3. execute; afterwards compare the observed cost against the synopsis
+4. execute; afterwards compare the observed cost against the synopsis
    estimate and — on a suspected misprediction — invoke the optimizer
    and feed the corrective point back (negative feedback);
-4. update precision/recall estimators, trigger the drift response when
+5. update precision/recall estimators, trigger the drift response when
    estimated precision collapses.
+
+The flow is **guarded**: a degraded component never takes down query
+execution.  A predictor exception degrades to the optimizer (counted
+in :mod:`repro.obs`); optimizer invocations get retry with capped
+exponential backoff under a deadline, behind a per-template circuit
+breaker; when the optimizer is unavailable (retries exhausted or
+breaker open), the session answers from the fallback chain —
+
+    prediction (if cached) → last served plan → most recent cached plan
+
+— recording which source served and the suboptimality it accepted.
+Only when that chain is empty (optimizer down before any plan was ever
+cached) does execution fail, with
+:class:`~repro.exceptions.ResilienceError`.
 
 The plan-space oracle plays two roles, exactly as in the paper's
 prototype: it is the black-box optimizer the session invokes, and it
@@ -21,13 +37,14 @@ supplies the experimenter's ground truth recorded in every
 
 Every session reports into a :class:`~repro.obs.registry.MetricsRegistry`
 (per-stage wall-clock, invocation reasons, drift events, feedback
-outcomes); a framework shares one registry across all its sessions.
+outcomes, degradations, breaker state); a framework shares one registry
+across all its sessions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
+from time import monotonic, perf_counter, sleep as _real_sleep
 
 import numpy as np
 
@@ -36,10 +53,18 @@ from repro.core.cache import PlanCache
 from repro.core.monitor import PerformanceMonitor
 from repro.core.online import OnlinePredictor
 from repro.core.positive_feedback import PositiveFeedbackPolicy
+from repro.exceptions import PredictionError, ResilienceError
 from repro.metrics.classification import PrecisionRecall, summarize
 from repro.metrics.classification import PredictionOutcome
 from repro.obs import MetricsRegistry, names as metric_names
 from repro.optimizer.plan_space import PlanSpace
+from repro.resilience.breaker import BREAKER_STATE_VALUES, CircuitBreaker
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import (
+    RetryExhaustedError,
+    RetryPolicy,
+    retry_call,
+)
 
 
 @dataclass(frozen=True)
@@ -57,6 +82,12 @@ class ExecutionRecord:
     optimal_plan: int
     optimal_cost: float
     drift_triggered: bool
+    #: A guarded component failed while serving this instance (the
+    #: instance still executed, possibly suboptimally).
+    degraded: bool = False
+    #: Which fallback source answered when the optimizer was
+    #: unavailable ("" = the normal flow answered).
+    fallback_source: str = ""
 
     @property
     def correct(self) -> bool:
@@ -80,11 +111,31 @@ class TemplateSession:
         config: "PPCConfig | None" = None,
         seed: "int | np.random.Generator | None" = 0,
         metrics: "MetricsRegistry | None" = None,
+        fault_injector: "FaultInjector | None" = None,
+        clock=None,
+        sleep=None,
     ) -> None:
         self.plan_space = plan_space
         self.config = config or PPCConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         template = plan_space.template.name
+        resilience = self.config.resilience
+        self._clock = clock if clock is not None else monotonic
+        self._sleep = sleep if sleep is not None else _real_sleep
+        self.retry_policy = RetryPolicy(
+            attempts=resilience.retry_attempts,
+            base_delay=resilience.retry_base_delay,
+            multiplier=resilience.retry_multiplier,
+            max_delay=resilience.retry_max_delay,
+            deadline=resilience.retry_deadline,
+        )
+        self.breaker = CircuitBreaker(
+            failure_threshold=resilience.breaker_failure_threshold,
+            recovery_time=resilience.breaker_recovery_time,
+            half_open_trials=resilience.breaker_half_open_trials,
+            clock=self._clock,
+            on_transition=self._on_breaker_transition,
+        )
         self.monitor = PerformanceMonitor(
             window=self.config.monitor_window,
             drift_threshold=self.config.drift_threshold,
@@ -122,6 +173,23 @@ class TemplateSession:
         self.optimizer_invocations = 0
         self.drift_events = 0
         self.records: list[ExecutionRecord] = []
+        self._last_plan_id: "int | None" = None
+
+        # Fault-injectable call surfaces: the optimizer, the predictor's
+        # predict, and its insert.  Without an injector these are the
+        # bare bound methods (zero overhead).
+        if fault_injector is not None:
+            self._label = fault_injector.wrap("optimizer", plan_space.label)
+            self._predict = fault_injector.wrap(
+                "predictor", self.online.predict
+            )
+            self._observe = fault_injector.wrap(
+                "predictor_insert", self.online.observe
+            )
+        else:
+            self._label = plan_space.label
+            self._predict = self.online.predict
+            self._observe = self.online.observe
 
         # Stable metric handles: fetched once, updated lock-free in the
         # hot path below.
@@ -153,30 +221,163 @@ class TemplateSession:
         self._drift_counter = self.metrics.counter(
             metric_names.DRIFT_EVENTS_TOTAL, template=template
         )
+        self._degraded_counters = {
+            component: self.metrics.counter(
+                metric_names.DEGRADED_TOTAL,
+                template=template,
+                component=component,
+            )
+            for component in metric_names.DEGRADED_COMPONENTS
+        }
+        self._fallback_counters = {
+            source: self.metrics.counter(
+                metric_names.FALLBACK_SERVED_TOTAL,
+                template=template,
+                source=source,
+            )
+            for source in metric_names.FALLBACK_SOURCES
+        }
+        self._rejected_counters = {
+            reason: self.metrics.counter(
+                metric_names.REJECTED_INSTANCES_TOTAL,
+                template=template,
+                reason=reason,
+            )
+            for reason in metric_names.REJECTION_REASONS
+        }
+        self._retries_counter = self.metrics.counter(
+            metric_names.OPTIMIZER_RETRIES_TOTAL, template=template
+        )
+        self._fallback_suboptimality = self.metrics.histogram(
+            metric_names.FALLBACK_SUBOPTIMALITY, template=template
+        )
+        self._breaker_gauge = self.metrics.gauge(
+            metric_names.BREAKER_STATE, template=template
+        )
+        self._breaker_transition_counters = {
+            state: self.metrics.counter(
+                metric_names.BREAKER_TRANSITIONS_TOTAL,
+                template=template,
+                state=state,
+            )
+            for state in BREAKER_STATE_VALUES
+        }
+
+    def _on_breaker_transition(self, state: str) -> None:
+        self._breaker_gauge.set(BREAKER_STATE_VALUES[state])
+        self._breaker_transition_counters[state].inc()
 
     # ------------------------------------------------------------------
     # The decision flow
     # ------------------------------------------------------------------
-    def _invoke_optimizer(self, x: np.ndarray) -> tuple[int, float]:
-        """Black-box optimizer call: learn the true plan and cost at x."""
+    def _validate_point(self, x: np.ndarray) -> np.ndarray:
+        """Reject malformed instances before they enter the flow.
+
+        NaN poisons every density estimate downstream (NaN comparisons
+        are silently false), so the guard runs up front and raises a
+        clean :class:`PredictionError`, counted per rejection reason.
+        """
+        x = np.asarray(x, dtype=float).reshape(-1)
+        if x.shape[0] != self.plan_space.dimensions:
+            self._rejected_counters["bad_shape"].inc()
+            raise PredictionError(
+                f"expected a {self.plan_space.dimensions}-dimensional "
+                f"point, got {x.shape[0]}"
+            )
+        if not np.isfinite(x).all():
+            self._rejected_counters["non_finite"].inc()
+            raise PredictionError(
+                "plan-space point contains NaN or infinity"
+            )
+        if (x < 0.0).any() or (x > 1.0).any():
+            self._rejected_counters["out_of_domain"].inc()
+            raise PredictionError(
+                "plan-space point must lie in [0, 1]^r"
+            )
+        return x
+
+    def _invoke_optimizer(self, x: np.ndarray) -> "tuple[int, float] | None":
+        """Guarded black-box optimizer call.
+
+        Behind the circuit breaker, with retry + capped exponential
+        backoff under the configured deadline.  Returns the true
+        (plan id, cost) at ``x`` — inserted into the synopses and the
+        plan cache — or ``None`` when the optimizer is unavailable
+        (breaker open, or every attempt failed).
+        """
+        if not self.breaker.allow():
+            self._degraded_counters["optimizer"].inc()
+            return None
+        try:
+            ids, costs = retry_call(
+                lambda: self._label(x[None, :]),
+                self.retry_policy,
+                clock=self._clock,
+                sleep=self._sleep,
+                on_retry=self._retries_counter.inc,
+            )
+        except RetryExhaustedError:
+            self.breaker.record_failure()
+            self._degraded_counters["optimizer"].inc()
+            return None
+        self.breaker.record_success()
         self.optimizer_invocations += 1
-        ids, costs = self.plan_space.label(x[None, :])
         plan_id, cost = int(ids[0]), float(costs[0])
-        self.online.observe(x, plan_id, cost)
+        try:
+            self._observe(x, plan_id, cost)
+        except Exception:
+            # A lost training point degrades learning, never execution.
+            self._degraded_counters["predictor_insert"].inc()
         self.cache.put(plan_id, self.plan_space.plan(plan_id))
         return plan_id, cost
 
+    def _fallback_plan(self, prediction) -> tuple[int, str]:
+        """The optimizer is unavailable: serve the best plan we hold.
+
+        Preference order: the current prediction if its plan is still
+        cached, then the plan served for the previous instance, then
+        the most recently used resident plan.  Raises
+        :class:`ResilienceError` only when the cache is empty — before
+        the first successful optimization there is nothing to serve.
+        """
+        if prediction is not None and prediction.plan_id in self.cache:
+            self.cache.get(prediction.plan_id)
+            return prediction.plan_id, "prediction"
+        if self._last_plan_id is not None and self._last_plan_id in self.cache:
+            self.cache.get(self._last_plan_id)
+            return self._last_plan_id, "last_plan"
+        recent = self.cache.most_recent()
+        if recent is not None:
+            return recent, "cache"
+        raise ResilienceError(
+            f"optimizer unavailable for template "
+            f"{self.plan_space.template.name!r} and the plan cache is "
+            "empty: no executable plan exists"
+        )
+
     def execute(self, x: np.ndarray) -> ExecutionRecord:
         """Run one query instance through the PPC workflow."""
-        x = np.asarray(x, dtype=float).reshape(-1)
+        if self.config.resilience.validate_points:
+            x = self._validate_point(x)
+        else:
+            x = np.asarray(x, dtype=float).reshape(-1)
         self._executions_counter.inc()
+        invocations_before = self.optimizer_invocations
         # Experimenter-side ground truth; the session only learns it if
         # and when it invokes the optimizer below.
         true_ids, true_costs = self.plan_space.label(x[None, :])
         optimal_plan, optimal_cost = int(true_ids[0]), float(true_costs[0])
 
+        degraded = False
+        fallback_source = ""
         stage_start = perf_counter()
-        prediction = self.online.predict(x)
+        try:
+            prediction = self._predict(x)
+        except Exception:
+            # A broken predictor degrades to the optimizer path.
+            prediction = None
+            degraded = True
+            self._degraded_counters["predictor"].inc()
         self._stage_timers["predict"].observe(perf_counter() - stage_start)
 
         reason = ""
@@ -189,15 +390,34 @@ class TemplateSession:
 
         if reason:
             stage_start = perf_counter()
-            executed_plan, execution_cost = self._invoke_optimizer(x)
+            outcome = self._invoke_optimizer(x)
             self._stage_timers["optimize"].observe(
                 perf_counter() - stage_start
             )
-            if prediction is None:
-                self.monitor.record_null()
+            if outcome is not None:
+                executed_plan, execution_cost = outcome
+                if prediction is None:
+                    self.monitor.record_null()
+                else:
+                    self.monitor.record_prediction(
+                        prediction.plan_id,
+                        prediction.plan_id == executed_plan,
+                    )
             else:
-                self.monitor.record_prediction(
-                    prediction.plan_id, prediction.plan_id == executed_plan
+                # Optimizer down: answer from the fallback chain.  The
+                # estimators see nothing — there is no verified signal.
+                degraded = True
+                executed_plan, fallback_source = self._fallback_plan(
+                    prediction
+                )
+                execution_cost = float(
+                    self.plan_space.cost_at(x[None, :], executed_plan)[0]
+                )
+                self._fallback_counters[fallback_source].inc()
+                self._fallback_suboptimality.observe(
+                    execution_cost / optimal_cost
+                    if optimal_cost > 0.0
+                    else 1.0
                 )
         else:
             executed_plan = prediction.plan_id
@@ -212,19 +432,31 @@ class TemplateSession:
             stage_start = perf_counter()
             if self.online.suspect_error(prediction, execution_cost):
                 reason = "negative_feedback"
-                true_plan, __ = self._invoke_optimizer(x)
-                self.monitor.record_prediction(
-                    prediction.plan_id, prediction.plan_id == true_plan
-                )
+                outcome = self._invoke_optimizer(x)
+                if outcome is not None:
+                    true_plan, __ = outcome
+                    self.monitor.record_prediction(
+                        prediction.plan_id, prediction.plan_id == true_plan
+                    )
+                else:
+                    # Optimizer down: the suspicion stays unverified;
+                    # the executed plan stands and the estimators see
+                    # nothing.
+                    degraded = True
             else:
                 # No ground truth available: the cost estimator believes
                 # the prediction, and the estimators record that belief.
                 self.monitor.record_prediction(prediction.plan_id, True)
                 # Trusted execution: optionally offer the point as
                 # positive feedback (discounted + capped by the policy).
-                inserted = self.online.observe_unverified(
-                    x, prediction, execution_cost
-                )
+                try:
+                    inserted = self.online.observe_unverified(
+                        x, prediction, execution_cost
+                    )
+                except Exception:
+                    inserted = False
+                    degraded = True
+                    self._degraded_counters["predictor_insert"].inc()
                 if self.online.positive_feedback is not None:
                     outcome = "accepted" if inserted else "rejected"
                     self._feedback_counters[outcome].inc()
@@ -249,14 +481,18 @@ class TemplateSession:
             point=x,
             predicted=None if prediction is None else prediction.plan_id,
             confidence=0.0 if prediction is None else prediction.confidence,
-            optimizer_invoked=bool(reason) and reason != "",
+            optimizer_invoked=self.optimizer_invocations
+            > invocations_before,
             invocation_reason=reason,
             executed_plan=executed_plan,
             execution_cost=execution_cost,
             optimal_plan=optimal_plan,
             optimal_cost=optimal_cost,
             drift_triggered=drift,
+            degraded=degraded,
+            fallback_source=fallback_source,
         )
+        self._last_plan_id = executed_plan
         self.records.append(record)
         return record
 
@@ -294,9 +530,15 @@ class PPCFramework:
         memory_budget_bytes: "int | None" = None,
         governor_interval: int = 32,
         metrics: "MetricsRegistry | None" = None,
+        fault_injector: "FaultInjector | None" = None,
+        clock=None,
+        sleep=None,
     ) -> None:
         self.config = config or PPCConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.fault_injector = fault_injector
+        self._clock = clock
+        self._sleep = sleep
         if isinstance(seed, np.random.Generator):
             self._seed_root: "np.random.Generator | np.random.SeedSequence" = (
                 seed
@@ -324,7 +566,13 @@ class PPCFramework:
     def register(self, plan_space: PlanSpace) -> TemplateSession:
         """Start plan caching for a template."""
         session = TemplateSession(
-            plan_space, self.config, self._spawn_seed(), metrics=self.metrics
+            plan_space,
+            self.config,
+            self._spawn_seed(),
+            metrics=self.metrics,
+            fault_injector=self.fault_injector,
+            clock=self._clock,
+            sleep=self._sleep,
         )
         self.sessions[plan_space.template.name] = session
         if self.governor is not None:

@@ -1,4 +1,4 @@
-"""Predictor persistence: save and restore the clustering state.
+"""Predictor persistence: crash-safe save and restore of the synopses.
 
 A plan cache earns its keep across sessions: the synopses learned
 during one day's workload should survive a server restart.  This
@@ -8,25 +8,51 @@ the random transform parameters) to a plain JSON-compatible dict and
 restores it exactly: the reloaded predictor returns bit-identical
 predictions, because the random projections, translations, bucket
 contents and counters are all captured.
+
+On disk, format **v2** wraps the state in an envelope carrying a schema
+version and a CRC32 checksum of the canonical payload, and every write
+is atomic: temp file in the target directory, flush + fsync, then
+``os.replace``, optionally rotating the previous generation(s) to
+``<name>.bak1``, ``<name>.bak2``, …  A crash at any instant therefore
+leaves either the old complete file or the new complete file — never a
+torn hybrid.  :func:`load_predictor` detects truncation, bit flips and
+version mismatches; with ``strict=False`` it walks the backup chain and
+finally falls back to a caller-supplied cold predictor instead of
+raising mid-boot.  Legacy v1 files (bare state dict, no envelope)
+remain readable.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
+import zlib
 
 import numpy as np
 
 from repro.core.histogram_predictor import HistogramPredictor
 from repro.core.point import SamplePool
-from repro.exceptions import ConfigurationError
+from repro.exceptions import PersistenceError
 from repro.histograms import IncrementalHistogram
 from repro.histograms.base import Bucket
 from repro.lsh.grid import Grid
 from repro.lsh.transforms import PlanSpaceTransform
 
-#: Format marker for forward compatibility.
-STATE_VERSION = 1
+#: Current on-disk schema version (v1 = bare state dict, v2 = CRC
+#: envelope around the same state).
+STATE_VERSION = 2
+
+#: Versions :func:`predictor_from_state` can reconstruct.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Envelope type marker, so a v2 file is self-identifying.
+DOCUMENT_FORMAT = "repro-predictor"
+
+#: Default number of rotated ``.bakN`` generations kept by
+#: :func:`save_predictor`.
+DEFAULT_BACKUPS = 1
 
 
 def predictor_to_state(predictor: HistogramPredictor) -> dict:
@@ -81,8 +107,8 @@ def predictor_to_state(predictor: HistogramPredictor) -> dict:
 
 def predictor_from_state(state: dict) -> HistogramPredictor:
     """Reconstruct a predictor saved by :func:`predictor_to_state`."""
-    if state.get("version") != STATE_VERSION:
-        raise ConfigurationError(
+    if state.get("version") not in SUPPORTED_VERSIONS:
+        raise PersistenceError(
             f"unsupported predictor state version {state.get('version')!r}"
         )
     predictor = HistogramPredictor(
@@ -144,15 +170,211 @@ def predictor_from_state(state: dict) -> HistogramPredictor:
     return predictor
 
 
-def save_predictor(
-    predictor: HistogramPredictor, path: "str | pathlib.Path"
-) -> pathlib.Path:
-    """Write a predictor's state as JSON."""
+# ----------------------------------------------------------------------
+# The v2 document: CRC32 envelope around the canonical payload
+# ----------------------------------------------------------------------
+def _encode_document(state: dict) -> str:
+    """Wrap a state dict in the self-checking v2 envelope."""
+    payload = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return json.dumps(
+        {
+            "format": DOCUMENT_FORMAT,
+            "version": state.get("version", STATE_VERSION),
+            "crc32": zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF,
+            "payload": payload,
+        }
+    )
+
+
+def _decode_document(text: str, source: str = "<memory>") -> dict:
+    """Parse and verify a serialized predictor document.
+
+    Accepts both the v2 envelope and a legacy v1 bare state dict;
+    raises :class:`PersistenceError` on truncation, checksum mismatch,
+    or an unsupported schema version.
+    """
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(
+            f"{source}: truncated or corrupt predictor state (invalid JSON)"
+        ) from exc
+    if not isinstance(document, dict):
+        raise PersistenceError(
+            f"{source}: predictor state is not a JSON object"
+        )
+    if "payload" in document or document.get("format") == DOCUMENT_FORMAT:
+        payload = document.get("payload")
+        declared = document.get("crc32")
+        if not isinstance(payload, str) or not isinstance(declared, int):
+            raise PersistenceError(
+                f"{source}: malformed predictor envelope"
+            )
+        actual = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+        if actual != declared:
+            raise PersistenceError(
+                f"{source}: checksum mismatch "
+                f"(declared {declared:#010x}, actual {actual:#010x})"
+            )
+        try:
+            state = json.loads(payload)
+        except json.JSONDecodeError as exc:  # pragma: no cover - CRC
+            raise PersistenceError(
+                f"{source}: corrupt payload behind a valid checksum"
+            ) from exc
+    else:
+        # Legacy v1: the bare state dict, no envelope, no checksum.
+        state = document
+    if not isinstance(state, dict):
+        raise PersistenceError(f"{source}: predictor state is not a dict")
+    if state.get("version") not in SUPPORTED_VERSIONS:
+        raise PersistenceError(
+            f"{source}: unsupported predictor state version "
+            f"{state.get('version')!r}"
+        )
+    return state
+
+
+def dumps_predictor(predictor: HistogramPredictor) -> str:
+    """Serialize a predictor to the v2 document string."""
+    return _encode_document(predictor_to_state(predictor))
+
+
+def loads_predictor(text: str) -> HistogramPredictor:
+    """Parse a document produced by :func:`dumps_predictor` (or a
+    legacy v1 file's contents)."""
+    return predictor_from_state(_decode_document(text))
+
+
+# ----------------------------------------------------------------------
+# Crash-safe file I/O
+# ----------------------------------------------------------------------
+def backup_path(path: "str | pathlib.Path", generation: int) -> pathlib.Path:
+    """The ``generation``-th rotated backup of ``path`` (1 = newest)."""
     path = pathlib.Path(path)
-    path.write_text(json.dumps(predictor_to_state(predictor)))
+    return path.with_name(f"{path.name}.bak{generation}")
+
+
+def _rotate_backups(path: pathlib.Path, generations: int) -> None:
+    """Shift ``path`` into the ``.bak`` chain, dropping the oldest."""
+    oldest = backup_path(path, generations)
+    if oldest.exists():
+        oldest.unlink()
+    for generation in range(generations - 1, 0, -1):
+        source = backup_path(path, generation)
+        if source.exists():
+            os.replace(source, backup_path(path, generation + 1))
+    os.replace(path, backup_path(path, 1))
+
+
+def atomic_write_text(
+    path: "str | pathlib.Path", text: str, backups: int = 0
+) -> pathlib.Path:
+    """Write ``text`` so a crash never leaves a torn file.
+
+    The bytes land in a temp file in the target directory, are flushed
+    and fsynced, and only then renamed over the target; with
+    ``backups > 0`` the previous generation is rotated into the
+    ``.bakN`` chain first (each step an atomic rename).
+    """
+    path = pathlib.Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = pathlib.Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if backups > 0 and path.exists():
+            _rotate_backups(path, backups)
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise PersistenceError(f"failed to write {path}: {exc}") from exc
+    finally:
+        if tmp.exists():  # pragma: no cover - only on failure paths
+            tmp.unlink()
+    # Persist the directory entry too (best effort: not every platform
+    # or filesystem supports fsyncing a directory).
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return path
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(dir_fd)
     return path
 
 
-def load_predictor(path: "str | pathlib.Path") -> HistogramPredictor:
-    """Restore a predictor saved with :func:`save_predictor`."""
-    return predictor_from_state(json.loads(pathlib.Path(path).read_text()))
+def save_predictor(
+    predictor: HistogramPredictor,
+    path: "str | pathlib.Path",
+    backups: int = DEFAULT_BACKUPS,
+) -> pathlib.Path:
+    """Atomically write a predictor's state (v2 envelope + checksum),
+    rotating up to ``backups`` previous generations to ``.bakN``."""
+    if backups < 0:
+        raise PersistenceError("backups must be >= 0")
+    return atomic_write_text(path, dumps_predictor(predictor), backups)
+
+
+def load_predictor(
+    path: "str | pathlib.Path",
+    strict: bool = True,
+    cold: "HistogramPredictor | None" = None,
+):
+    """Restore a predictor saved with :func:`save_predictor`.
+
+    ``strict=True`` (the default) raises :class:`PersistenceError` on
+    any damage — missing file, truncation, bit flips (checksum
+    mismatch), or an unsupported schema version.  ``strict=False`` is
+    the boot-time mode: on damage it walks the rotated ``.bakN``
+    generations newest-first, and if none restores, returns ``cold``
+    (a pre-built cold predictor, or the result of calling it when it
+    is callable) instead of raising.  With no ``cold`` supplied,
+    non-strict loading re-raises the primary file's error.
+    """
+    path = pathlib.Path(path)
+    candidates = [path]
+    if not strict:
+        generation = 1
+        while True:
+            candidate = backup_path(path, generation)
+            if not candidate.exists():
+                break
+            candidates.append(candidate)
+            generation += 1
+    primary_error: "PersistenceError | None" = None
+    for candidate in candidates:
+        try:
+            text = candidate.read_text()
+        except OSError as exc:
+            error = PersistenceError(
+                f"cannot read predictor state {candidate}: {exc}"
+            )
+            error.__cause__ = exc
+            primary_error = primary_error or error
+            continue
+        try:
+            return predictor_from_state(
+                _decode_document(text, source=str(candidate))
+            )
+        except PersistenceError as exc:
+            primary_error = primary_error or exc
+            continue
+        except (KeyError, TypeError, ValueError, IndexError) as exc:
+            # Structurally mangled state that still parsed (possible
+            # only for legacy v1 files, which carry no checksum).
+            error = PersistenceError(
+                f"{candidate}: malformed predictor state ({exc})"
+            )
+            error.__cause__ = exc
+            primary_error = primary_error or error
+            continue
+    if not strict and cold is not None:
+        return cold() if callable(cold) else cold
+    raise primary_error  # type: ignore[misc]

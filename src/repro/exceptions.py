@@ -34,3 +34,15 @@ class WorkloadError(ReproError):
 
 class PredictionError(ReproError):
     """A predictor was used incorrectly (e.g. before any samples exist)."""
+
+
+class PersistenceError(ReproError):
+    """A predictor state file is missing, truncated, corrupt, or of an
+    unsupported version — distinct from :class:`ConfigurationError` so
+    boot code can catch storage damage specifically."""
+
+
+class ResilienceError(ReproError):
+    """The degraded-mode machinery itself failed: the optimizer is
+    unavailable (circuit open or retries exhausted) and no fallback
+    plan exists, or a fault-injection harness raised deliberately."""

@@ -6,7 +6,9 @@ Label conventions: ``template`` is the query-template name; ``stage``
 is one of :data:`STAGES`; ``reason`` is one of
 :data:`INVOCATION_REASONS`; ``event`` is one of :data:`CACHE_EVENTS`;
 ``outcome`` is ``accepted``/``rejected``; ``action`` is
-``shrink``/``drop``.
+``shrink``/``drop``; ``component`` is one of
+:data:`DEGRADED_COMPONENTS`; ``source`` is one of
+:data:`FALLBACK_SOURCES`; ``state`` is a circuit-breaker state.
 """
 
 from __future__ import annotations
@@ -50,6 +52,34 @@ SYNOPSIS_BYTES = "ppc_synopsis_bytes"
 #: Plans currently resident in the plan cache (labels: template) — gauge.
 CACHE_PLANS = "ppc_cache_plans"
 
+#: Optimizer circuit-breaker state (labels: template) — gauge;
+#: 0 = closed, 1 = half-open, 2 = open.
+BREAKER_STATE = "ppc_breaker_state"
+
+#: Breaker state transitions (labels: template, state) — counter.
+BREAKER_TRANSITIONS_TOTAL = "ppc_breaker_transitions_total"
+
+#: Component failures absorbed by the guarded decision flow
+#: (labels: template, component) — counter.
+DEGRADED_TOTAL = "ppc_degraded_total"
+
+#: Instances answered from the fallback chain because the optimizer
+#: was unavailable (labels: template, source) — counter.
+FALLBACK_SERVED_TOTAL = "ppc_fallback_served_total"
+
+#: Suboptimality ratio (executed cost / optimal cost) of instances
+#: served from the fallback chain (labels: template) — histogram,
+#: dimensionless (>= 1).
+FALLBACK_SUBOPTIMALITY = "ppc_fallback_suboptimality"
+
+#: Query instances rejected before entering the decision flow
+#: (labels: template, reason) — counter.
+REJECTED_INSTANCES_TOTAL = "ppc_rejected_instances_total"
+
+#: Optimizer invocation retries performed by the backoff loop
+#: (labels: template) — counter.
+OPTIMIZER_RETRIES_TOTAL = "ppc_optimizer_retries_total"
+
 #: The decision-flow stages timed inside ``TemplateSession.execute``.
 STAGES = ("predict", "optimize", "execute", "feedback")
 
@@ -63,3 +93,15 @@ INVOCATION_REASONS = (
 
 #: Plan-cache event labels.
 CACHE_EVENTS = ("hit", "miss", "eviction")
+
+#: Guarded components of the decision flow (``component`` label of
+#: :data:`DEGRADED_TOTAL`).
+DEGRADED_COMPONENTS = ("predictor", "predictor_insert", "optimizer")
+
+#: Fallback-chain sources, in preference order (``source`` label of
+#: :data:`FALLBACK_SERVED_TOTAL`).
+FALLBACK_SOURCES = ("prediction", "last_plan", "cache")
+
+#: Up-front validation failures (``reason`` label of
+#: :data:`REJECTED_INSTANCES_TOTAL`).
+REJECTION_REASONS = ("bad_shape", "non_finite", "out_of_domain")

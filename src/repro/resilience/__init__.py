@@ -1,0 +1,53 @@
+"""Resilience layer: degraded components never take down execution.
+
+The paper's premise — the synopsis is always cheaper than
+re-optimizing — only holds in production if the pipeline survives its
+dependencies failing.  This package supplies the three pieces the
+guarded decision flow in :mod:`repro.core.framework` is built from,
+plus the harness that proves they work:
+
+* :class:`FaultInjector` — deterministic, seedable fault injection
+  (exceptions, timeouts, slow calls, torn writes) over the optimizer,
+  predictor, and persistence surfaces;
+* :func:`retry_call` / :class:`RetryPolicy` — capped exponential
+  backoff with a wall-clock deadline for optimizer invocations;
+* :class:`CircuitBreaker` — per-template closed → open → half-open
+  isolation that serves the last cached plan while the optimizer is
+  considered down.
+"""
+
+from repro.resilience.breaker import (
+    BREAKER_STATE_VALUES,
+    BREAKER_STATES,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    InjectedTimeout,
+    VirtualClock,
+    bit_flip,
+    torn_copy,
+)
+from repro.resilience.retry import RetryExhaustedError, RetryPolicy, retry_call
+
+__all__ = [
+    "BREAKER_STATES",
+    "BREAKER_STATE_VALUES",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedTimeout",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "VirtualClock",
+    "bit_flip",
+    "retry_call",
+    "torn_copy",
+]

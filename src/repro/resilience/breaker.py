@@ -1,0 +1,160 @@
+"""Per-template circuit breaker over the optimizer.
+
+Retrying masks transient optimizer failures; a *persistently* failing
+optimizer would still be retried on every instance, paying the full
+backoff schedule each time.  The breaker cuts that cost: after
+``failure_threshold`` consecutive failures it **opens** and the session
+stops invoking the optimizer entirely, serving the last cached plan
+instead (recording the suboptimality it accepts).  After
+``recovery_time`` seconds it moves to **half-open** and admits a
+bounded number of trial calls; one success closes it again, one failure
+re-opens it.
+
+The clock is injectable so breaker recovery is scriptable in tests and
+fault storms (see :class:`~repro.resilience.faults.VirtualClock`).
+"""
+
+from __future__ import annotations
+
+from time import monotonic as _monotonic
+from typing import Callable
+
+from repro.exceptions import ResilienceError
+
+#: Breaker states, in gauge order (0 = closed, 1 = half-open, 2 = open).
+CLOSED = "closed"
+HALF_OPEN = "half_open"
+OPEN = "open"
+BREAKER_STATES = (CLOSED, HALF_OPEN, OPEN)
+BREAKER_STATE_VALUES = {state: i for i, state in enumerate(BREAKER_STATES)}
+
+
+class CircuitOpenError(ResilienceError):
+    """A guarded call was attempted while the breaker was open."""
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure isolation for one dependency.
+
+    ``on_transition(new_state)`` fires on every state change so callers
+    can publish breaker gauges/counters without the breaker depending
+    on the metrics layer.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_time: float = 5.0,
+        half_open_trials: int = 1,
+        clock: "Callable[[], float] | None" = None,
+        on_transition: "Callable[[str], None] | None" = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ResilienceError("failure threshold must be >= 1")
+        if recovery_time < 0.0:
+            raise ResilienceError("recovery time must be >= 0")
+        if half_open_trials < 1:
+            raise ResilienceError("half-open trials must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_trials = half_open_trials
+        self._clock = clock or _monotonic
+        self._on_transition = on_transition
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._trials_left = 0
+        self.transitions: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        self.transitions[state] = self.transitions.get(state, 0) + 1
+        if self._on_transition is not None:
+            self._on_transition(state)
+
+    @property
+    def state(self) -> str:
+        """Current state, recovering open → half-open lazily."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._trials_left = self.half_open_trials
+            self._transition(HALF_OPEN)
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller invoke the guarded dependency right now?"""
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and self._trials_left > 0:
+            self._trials_left -= 1
+            return True
+        return False
+
+    def call(self, fn: Callable):
+        """Guard one call: raises :class:`CircuitOpenError` when open,
+        otherwise delegates and records the outcome."""
+        if not self.allow():
+            raise CircuitOpenError(
+                "circuit is open; dependency considered unavailable"
+            )
+        try:
+            result = fn()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            self._open()
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+        elif self._state == OPEN:
+            # A failure recorded while open (e.g. a straggler) restarts
+            # the recovery window.
+            self._opened_at = self._clock()
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._trials_left = 0
+        self._transition(OPEN)
+
+    def reset(self) -> None:
+        """Force-close (administrative override / tests)."""
+        self._consecutive_failures = 0
+        self._trials_left = 0
+        self._transition(CLOSED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self._consecutive_failures})"
+        )
+
+
+__all__ = [
+    "BREAKER_STATES",
+    "BREAKER_STATE_VALUES",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+]

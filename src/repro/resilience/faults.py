@@ -1,0 +1,294 @@
+"""Deterministic fault injection for the plan-caching pipeline.
+
+The resilience layer is only trustworthy if its failure paths are
+exercised, and failure paths are only testable if failures happen *on
+demand and reproducibly*.  :class:`FaultInjector` wraps the pipeline's
+three external surfaces — the optimizer (``PlanSpace.label``), the
+predictor (``predict``/``insert``), and persistence I/O — with
+configurable, seedable fault distributions:
+
+* **exceptions** — the call raises :class:`InjectedFault`;
+* **timeouts** — the call raises :class:`InjectedTimeout` (a distinct
+  class so handlers can treat deadline expiry separately);
+* **slow calls** — the call succeeds after an injected latency (paid
+  through the injector's ``sleep``, so a :class:`VirtualClock` makes
+  storms run in microseconds);
+* **torn writes** — a predictor snapshot is cut mid-byte-stream and
+  left on disk, simulating a crash inside a non-atomic writer.
+
+Each component draws from its own :class:`numpy.random.Generator`
+stream, derived from the injector seed and a CRC of the component name,
+so the fault sequence seen by one component never depends on how often
+the others were called — two runs with the same seed and per-component
+call counts inject identical faults.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import zlib
+from dataclasses import dataclass
+from time import sleep as _real_sleep
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ResilienceError
+
+
+class InjectedFault(ResilienceError):
+    """A failure raised deliberately by a :class:`FaultInjector`."""
+
+
+class InjectedTimeout(InjectedFault):
+    """An injected fault presenting as a timeout / deadline expiry."""
+
+
+#: Fault kinds an injector can produce (the ``kind`` key of
+#: :attr:`FaultInjector.counts`).
+FAULT_KINDS = ("exception", "timeout", "slow", "torn_write")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure distribution of one wrapped component.
+
+    Probabilities are per call and drawn from one uniform roll, so
+    ``failure + timeout + slow`` must not exceed 1.
+    ``torn_write_probability`` applies only to persistence snapshots.
+    """
+
+    failure_probability: float = 0.0
+    timeout_probability: float = 0.0
+    slow_probability: float = 0.0
+    latency: float = 0.05
+    torn_write_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "failure_probability",
+            "timeout_probability",
+            "slow_probability",
+            "torn_write_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ResilienceError(f"{name} must lie in [0, 1]")
+        total = (
+            self.failure_probability
+            + self.timeout_probability
+            + self.slow_probability
+        )
+        if total > 1.0:
+            raise ResilienceError(
+                "failure + timeout + slow probabilities exceed 1"
+            )
+        if self.latency < 0.0:
+            raise ResilienceError("latency must be >= 0")
+
+    @property
+    def inert(self) -> bool:
+        return (
+            self.failure_probability == 0.0
+            and self.timeout_probability == 0.0
+            and self.slow_probability == 0.0
+            and self.torn_write_probability == 0.0
+        )
+
+
+class VirtualClock:
+    """A manually advanced monotonic clock whose ``sleep`` is free.
+
+    Injected into retry/backoff and circuit-breaker logic so fault
+    storms (thousands of retries and breaker recoveries) run without
+    real waiting, deterministically.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ResilienceError("clocks only move forward")
+        self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+    __call__ = now
+
+
+class FaultInjector:
+    """Seedable fault source for the pipeline's external surfaces.
+
+    ``specs`` maps component names (conventionally ``"optimizer"``,
+    ``"predictor"``, ``"predictor_insert"``, ``"persistence"``) to
+    :class:`FaultSpec` distributions; unlisted components pass through
+    untouched.  ``counts`` tallies every injected fault as
+    ``(component, kind) -> int``.
+    """
+
+    def __init__(
+        self,
+        specs: "dict[str, FaultSpec] | None" = None,
+        seed: int = 0,
+        sleep: "Callable[[float], None] | None" = None,
+    ) -> None:
+        self.specs = dict(specs or {})
+        self._seed = seed
+        self._sleep = sleep if sleep is not None else _real_sleep
+        self._streams: dict[str, np.random.Generator] = {}
+        self.counts: dict[tuple[str, str], int] = {}
+
+    @classmethod
+    def storm(
+        cls,
+        optimizer_failure: float = 0.2,
+        predictor_failure: float = 0.05,
+        torn_write: float = 0.5,
+        seed: int = 0,
+        sleep: "Callable[[float], None] | None" = None,
+    ) -> "FaultInjector":
+        """The acceptance-test mix: failing optimizer and predictor
+        plus torn persistence writes."""
+        return cls(
+            {
+                "optimizer": FaultSpec(failure_probability=optimizer_failure),
+                "predictor": FaultSpec(failure_probability=predictor_failure),
+                "predictor_insert": FaultSpec(
+                    failure_probability=predictor_failure
+                ),
+                "persistence": FaultSpec(torn_write_probability=torn_write),
+            },
+            seed=seed,
+            sleep=sleep,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _stream(self, component: str) -> np.random.Generator:
+        """Per-component RNG, independent of other components' usage."""
+        stream = self._streams.get(component)
+        if stream is None:
+            key = zlib.crc32(component.encode("utf-8"))
+            stream = np.random.default_rng(
+                np.random.SeedSequence(self._seed, spawn_key=(key,))
+            )
+            self._streams[component] = stream
+        return stream
+
+    def _record(self, component: str, kind: str) -> None:
+        key = (component, kind)
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Wrapping
+    # ------------------------------------------------------------------
+    def wrap(self, component: str, fn: Callable) -> Callable:
+        """A guarded version of ``fn`` that injects this component's
+        faults before delegating.  Inert specs return ``fn`` unwrapped
+        (zero overhead when a component is healthy)."""
+        spec = self.specs.get(component)
+        if spec is None or spec.inert:
+            return fn
+        stream = self._stream(component)
+
+        def guarded(*args, **kwargs):
+            roll = float(stream.random())
+            if roll < spec.failure_probability:
+                self._record(component, "exception")
+                raise InjectedFault(f"injected {component} failure")
+            roll -= spec.failure_probability
+            if roll < spec.timeout_probability:
+                self._record(component, "timeout")
+                raise InjectedTimeout(f"injected {component} timeout")
+            roll -= spec.timeout_probability
+            if roll < spec.slow_probability:
+                self._record(component, "slow")
+                self._sleep(spec.latency)
+            return fn(*args, **kwargs)
+
+        guarded.__name__ = f"faulty_{component}"
+        return guarded
+
+    # ------------------------------------------------------------------
+    # Persistence faults
+    # ------------------------------------------------------------------
+    def save_predictor(self, predictor, path) -> pathlib.Path:
+        """Snapshot ``predictor`` through the torn-write distribution.
+
+        With probability ``torn_write_probability`` the serialized
+        document is cut at a random byte and written *directly* to the
+        target path — exactly the artifact a crash inside a non-atomic
+        writer leaves behind — and :class:`InjectedFault` is raised.
+        Otherwise the real (atomic) writer runs.
+        """
+        from repro.core.persistence import dumps_predictor, save_predictor
+
+        path = pathlib.Path(path)
+        spec = self.specs.get("persistence")
+        if spec is not None and spec.torn_write_probability > 0.0:
+            stream = self._stream("persistence")
+            if float(stream.random()) < spec.torn_write_probability:
+                document = dumps_predictor(predictor)
+                cut = int(stream.integers(1, max(2, len(document))))
+                path.write_text(document[:cut])
+                self._record("persistence", "torn_write")
+                raise InjectedFault(
+                    f"injected torn write: {path} truncated at byte {cut}"
+                )
+        return save_predictor(predictor, path)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counts.values())
+
+    def summary(self) -> dict:
+        """JSON-ready tally of injected faults by component and kind."""
+        report: dict[str, dict[str, int]] = {}
+        for (component, kind), count in sorted(self.counts.items()):
+            report.setdefault(component, {})[kind] = count
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector(components={sorted(self.specs)}, "
+            f"injected={self.total_injected})"
+        )
+
+
+def torn_copy(document: str, fraction: float) -> str:
+    """Cut a serialized document at ``fraction`` of its length (test
+    helper for scripting exact truncation points)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ResilienceError("fraction must lie in [0, 1]")
+    return document[: max(1, int(len(document) * fraction))]
+
+
+def bit_flip(document: str, position: int) -> str:
+    """Flip one bit of a serialized document (test helper for
+    corruption that keeps the length intact)."""
+    data = bytearray(document.encode("utf-8"))
+    if not data:
+        raise ResilienceError("cannot bit-flip an empty document")
+    data[position % len(data)] ^= 0x01
+    return data.decode("utf-8", errors="replace")
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedTimeout",
+    "VirtualClock",
+    "bit_flip",
+    "torn_copy",
+]

@@ -1,0 +1,105 @@
+"""Retry with capped exponential backoff under a deadline.
+
+The optimizer is the expensive, occasionally flaky dependency of the
+decision flow: one failed invocation should not surface to the query,
+but unbounded retrying must not stall it either.  :func:`retry_call`
+makes that trade explicit — a bounded number of attempts, geometric
+backoff capped per sleep, and a wall-clock deadline that cuts the
+sequence short even when attempts remain.
+
+Both the clock and the sleep are injectable so tests and fault storms
+drive the schedule with a :class:`~repro.resilience.faults.VirtualClock`
+instead of real waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import monotonic as _monotonic, sleep as _real_sleep
+from typing import Callable
+
+from repro.exceptions import ResilienceError
+
+
+class RetryExhaustedError(ResilienceError):
+    """Every attempt failed (or the deadline expired); ``__cause__``
+    carries the last underlying exception."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for one guarded call.
+
+    ``attempts`` counts total tries (1 = no retry).  The sleep before
+    retry *k* (1-based) is ``min(max_delay, base_delay * multiplier**
+    (k-1))``.  ``deadline`` bounds the whole sequence, sleeps included,
+    in seconds; ``None`` disables it.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    deadline: "float | None" = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ResilienceError("attempts must be >= 1")
+        if self.base_delay < 0.0 or self.max_delay < 0.0:
+            raise ResilienceError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ResilienceError("multiplier must be >= 1")
+        if self.deadline is not None and self.deadline <= 0.0:
+            raise ResilienceError("deadline must be > 0")
+
+    def delay(self, retry_index: int) -> float:
+        """Sleep before the ``retry_index``-th retry (0-based)."""
+        return min(
+            self.max_delay, self.base_delay * self.multiplier**retry_index
+        )
+
+
+def retry_call(
+    fn: Callable,
+    policy: "RetryPolicy | None" = None,
+    *,
+    clock: "Callable[[], float] | None" = None,
+    sleep: "Callable[[float], None] | None" = None,
+    on_retry: "Callable[[], None] | None" = None,
+):
+    """Call ``fn()`` under ``policy``; raise :class:`RetryExhaustedError`
+    once attempts or the deadline run out.
+
+    ``on_retry`` fires once per retry (not for the first attempt), so
+    callers can count retries in their metrics.
+    """
+    policy = policy or RetryPolicy()
+    clock = clock or _monotonic
+    sleep = sleep if sleep is not None else _real_sleep
+    start = clock()
+    last_error: "Exception | None" = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - the guard's whole job
+            last_error = exc
+        if attempt == policy.attempts - 1:
+            break
+        delay = policy.delay(attempt)
+        if (
+            policy.deadline is not None
+            and clock() - start + delay > policy.deadline
+        ):
+            raise RetryExhaustedError(
+                f"deadline of {policy.deadline}s expired after "
+                f"{attempt + 1} attempt(s)"
+            ) from last_error
+        if on_retry is not None:
+            on_retry()
+        sleep(delay)
+    raise RetryExhaustedError(
+        f"all {policy.attempts} attempt(s) failed"
+    ) from last_error
+
+
+__all__ = ["RetryExhaustedError", "RetryPolicy", "retry_call"]

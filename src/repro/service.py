@@ -29,6 +29,8 @@ from repro.optimizer.catalog import Catalog
 from repro.optimizer.expressions import QueryTemplate
 from repro.optimizer.plan_space import PlanSpace
 from repro.optimizer.statistics import CatalogStatistics
+from repro.resilience.breaker import BREAKER_STATES
+from repro.resilience.faults import FaultInjector
 from repro.tpch import build_catalog, build_statistics, query_template
 from repro.workload.template import QueryInstance, TemplateBinder
 
@@ -43,6 +45,9 @@ class PlanCachingService:
         config: "PPCConfig | None" = None,
         memory_budget_bytes: "int | None" = None,
         seed: int = 0,
+        fault_injector: "FaultInjector | None" = None,
+        clock=None,
+        sleep=None,
     ) -> None:
         if statistics.catalog is not catalog:
             raise ConfigurationError(
@@ -51,7 +56,12 @@ class PlanCachingService:
         self.catalog = catalog
         self.statistics = statistics
         self.framework = PPCFramework(
-            config, seed=seed, memory_budget_bytes=memory_budget_bytes
+            config,
+            seed=seed,
+            memory_budget_bytes=memory_budget_bytes,
+            fault_injector=fault_injector,
+            clock=clock,
+            sleep=sleep,
         )
         self._binders: dict[str, TemplateBinder] = {}
         self._seed = seed
@@ -63,6 +73,9 @@ class PlanCachingService:
         config: "PPCConfig | None" = None,
         memory_budget_bytes: "int | None" = None,
         seed: int = 0,
+        fault_injector: "FaultInjector | None" = None,
+        clock=None,
+        sleep=None,
     ) -> "PlanCachingService":
         """A service over the modified TPC-H catalog of Appendix A."""
         catalog = build_catalog(scale_factor)
@@ -73,6 +86,9 @@ class PlanCachingService:
             config=config,
             memory_budget_bytes=memory_budget_bytes,
             seed=seed,
+            fault_injector=fault_injector,
+            clock=clock,
+            sleep=sleep,
         )
 
     # ------------------------------------------------------------------
@@ -132,7 +148,10 @@ class PlanCachingService:
         Per template: stage latency digests (p50/p95/p99, seconds),
         invocation-reason counts, positive-feedback outcomes, drift
         events, cache hit rate, predictor transform/range-query
-        timings, and the current synopsis footprint; plus governor
+        timings, the current synopsis footprint, and the resilience
+        picture (breaker state and transitions, degradation counts per
+        component, fallback servings by source, rejected instances,
+        retry totals, fallback suboptimality); plus governor
         reclamation totals and the raw metric registry.
         """
         registry = self.framework.metrics
@@ -201,6 +220,58 @@ class PlanCachingService:
                     ),
                 },
                 "synopsis_bytes": session.online.space_bytes(),
+                "resilience": {
+                    "breaker_state": session.breaker.state,
+                    "breaker_transitions": {
+                        state: int(
+                            registry.counter_value(
+                                metric_names.BREAKER_TRANSITIONS_TOTAL,
+                                template=name,
+                                state=state,
+                            )
+                        )
+                        for state in BREAKER_STATES
+                    },
+                    "degraded": {
+                        component: int(
+                            registry.counter_value(
+                                metric_names.DEGRADED_TOTAL,
+                                template=name,
+                                component=component,
+                            )
+                        )
+                        for component in metric_names.DEGRADED_COMPONENTS
+                    },
+                    "fallback_served": {
+                        source: int(
+                            registry.counter_value(
+                                metric_names.FALLBACK_SERVED_TOTAL,
+                                template=name,
+                                source=source,
+                            )
+                        )
+                        for source in metric_names.FALLBACK_SOURCES
+                    },
+                    "rejected_instances": {
+                        reason: int(
+                            registry.counter_value(
+                                metric_names.REJECTED_INSTANCES_TOTAL,
+                                template=name,
+                                reason=reason,
+                            )
+                        )
+                        for reason in metric_names.REJECTION_REASONS
+                    },
+                    "optimizer_retries": int(
+                        registry.counter_value(
+                            metric_names.OPTIMIZER_RETRIES_TOTAL,
+                            template=name,
+                        )
+                    ),
+                    "fallback_suboptimality": registry.histogram_summary(
+                        metric_names.FALLBACK_SUBOPTIMALITY, template=name
+                    ),
+                },
             }
 
         governor = self.framework.governor

@@ -11,7 +11,7 @@ from repro.core.persistence import (
     save_predictor,
 )
 from repro.core.point import SamplePool
-from repro.exceptions import ConfigurationError
+from repro.exceptions import PersistenceError
 from repro.workload import sample_points
 
 
@@ -83,7 +83,7 @@ class TestRoundTrip:
     def test_unknown_version_rejected(self, trained_predictor):
         state = predictor_to_state(trained_predictor)
         state["version"] = 99
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(PersistenceError):
             predictor_from_state(state)
 
     def test_axis_weights_survive(self):

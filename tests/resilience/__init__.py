@@ -1,0 +1,1 @@
+"""Resilience layer: faults, retry, breaker, guarded flow, recovery."""

@@ -1,0 +1,34 @@
+"""Shared builders for the resilience suite."""
+
+import numpy as np
+
+from repro.core.histogram_predictor import HistogramPredictor
+from repro.core.point import SamplePool
+
+
+def small_predictor(seed: int = 42) -> HistogramPredictor:
+    """A tiny two-plan trained predictor (fast to build and serialize)."""
+    pool = SamplePool(2)
+    rng = np.random.default_rng(seed)
+    for x in rng.uniform(0.0, 0.45, size=(40, 2)):
+        pool.add(x, 0, cost=5.0)
+    for x in rng.uniform(0.55, 1.0, size=(40, 2)):
+        pool.add(x, 1, cost=9.0)
+    return HistogramPredictor(
+        pool,
+        transforms=3,
+        radius=0.1,
+        confidence_threshold=0.7,
+        histogram_kind="incremental",
+        seed=seed,
+    )
+
+
+def cold_predictor(dimensions: int = 2, plan_count: int = 2):
+    return HistogramPredictor(
+        SamplePool(dimensions),
+        plan_count=plan_count,
+        transforms=3,
+        histogram_kind="incremental",
+        seed=0,
+    )

@@ -1,0 +1,147 @@
+"""Circuit breaker state machine under scripted fault sequences."""
+
+import pytest
+
+from repro.exceptions import ResilienceError
+from repro.resilience import CircuitBreaker, CircuitOpenError, VirtualClock
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+@pytest.fixture()
+def clock():
+    return VirtualClock()
+
+
+def make_breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 3)
+    kwargs.setdefault("recovery_time", 10.0)
+    return CircuitBreaker(clock=clock.now, **kwargs)
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = make_breaker(clock)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_recovery_time(self, clock):
+        breaker = make_breaker(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_admits_bounded_trials(self, clock):
+        breaker = make_breaker(clock, half_open_trials=1)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the single probe
+        assert not breaker.allow()  # no second call while undecided
+
+    def test_half_open_success_closes(self, clock):
+        breaker = make_breaker(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self, clock):
+        breaker = make_breaker(clock)
+        for __ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        # The recovery window restarts from the re-open.
+        clock.advance(5.0)
+        assert breaker.state == OPEN
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_scripted_fault_sequence(self, clock):
+        """fail fail ok fail fail fail -> open; recover; ok -> closed."""
+        breaker = make_breaker(clock)
+        script = ["fail", "fail", "ok", "fail", "fail", "fail"]
+        for step in script:
+            if step == "ok":
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.transitions == {OPEN: 1, HALF_OPEN: 1, CLOSED: 1}
+
+
+class TestCallGuard:
+    def test_call_records_outcomes(self, clock):
+        breaker = make_breaker(clock, failure_threshold=1)
+        with pytest.raises(RuntimeError):
+            breaker.call(lambda: (_ for _ in ()).throw(RuntimeError()))
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "ok")
+        clock.advance(10.0)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == CLOSED
+
+    def test_transition_callback_fires_once_per_change(self, clock):
+        events = []
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            recovery_time=10.0,
+            clock=clock.now,
+            on_transition=events.append,
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_failure()  # already open: no second event
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert events == [OPEN, HALF_OPEN, CLOSED]
+
+    def test_reset_force_closes(self, clock):
+        breaker = make_breaker(clock, failure_threshold=1)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        breaker.reset()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+
+class TestValidation:
+    def test_thresholds_validated(self, clock):
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(failure_threshold=0, clock=clock.now)
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(recovery_time=-1.0, clock=clock.now)
+        with pytest.raises(ResilienceError):
+            CircuitBreaker(half_open_trials=0, clock=clock.now)

@@ -1,0 +1,224 @@
+"""FaultInjector: deterministic, seedable, component-independent."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ResilienceError
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    InjectedTimeout,
+    VirtualClock,
+    bit_flip,
+    torn_copy,
+)
+
+
+def _outcomes(injector, component, calls):
+    wrapped = injector.wrap(component, lambda: "ok")
+    outcomes = []
+    for __ in range(calls):
+        try:
+            outcomes.append(wrapped())
+        except InjectedTimeout:
+            outcomes.append("timeout")
+        except InjectedFault:
+            outcomes.append("fault")
+    return outcomes
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_sequence(self):
+        a = FaultInjector(
+            {"optimizer": FaultSpec(failure_probability=0.3)}, seed=7
+        )
+        b = FaultInjector(
+            {"optimizer": FaultSpec(failure_probability=0.3)}, seed=7
+        )
+        assert _outcomes(a, "optimizer", 200) == _outcomes(
+            b, "optimizer", 200
+        )
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(
+            {"optimizer": FaultSpec(failure_probability=0.3)}, seed=7
+        )
+        b = FaultInjector(
+            {"optimizer": FaultSpec(failure_probability=0.3)}, seed=8
+        )
+        assert _outcomes(a, "optimizer", 200) != _outcomes(
+            b, "optimizer", 200
+        )
+
+    def test_components_draw_independent_streams(self):
+        """Using one component must not perturb another's sequence."""
+        spec = {
+            "optimizer": FaultSpec(failure_probability=0.3),
+            "predictor": FaultSpec(failure_probability=0.3),
+        }
+        alone = FaultInjector(spec, seed=3)
+        optimizer_alone = _outcomes(alone, "optimizer", 100)
+        mixed = FaultInjector(spec, seed=3)
+        _outcomes(mixed, "predictor", 57)  # interleave the other stream
+        assert _outcomes(mixed, "optimizer", 100) == optimizer_alone
+
+
+class TestDistribution:
+    def test_failure_rate_close_to_configured(self):
+        injector = FaultInjector(
+            {"x": FaultSpec(failure_probability=0.2)}, seed=0
+        )
+        outcomes = _outcomes(injector, "x", 5000)
+        rate = outcomes.count("fault") / len(outcomes)
+        assert 0.17 < rate < 0.23
+        assert injector.counts[("x", "exception")] == outcomes.count("fault")
+
+    def test_timeouts_distinct_from_failures(self):
+        injector = FaultInjector(
+            {
+                "x": FaultSpec(
+                    failure_probability=0.2, timeout_probability=0.2
+                )
+            },
+            seed=1,
+        )
+        outcomes = _outcomes(injector, "x", 2000)
+        assert outcomes.count("timeout") > 0
+        assert outcomes.count("fault") > 0
+        assert injector.counts[("x", "timeout")] == outcomes.count("timeout")
+
+    def test_slow_calls_pay_latency_through_injected_sleep(self):
+        clock = VirtualClock()
+        injector = FaultInjector(
+            {"x": FaultSpec(slow_probability=1.0, latency=0.25)},
+            seed=0,
+            sleep=clock.sleep,
+        )
+        wrapped = injector.wrap("x", lambda: "ok")
+        assert wrapped() == "ok"
+        assert clock.now() == pytest.approx(0.25)
+        assert injector.counts[("x", "slow")] == 1
+
+    def test_unlisted_component_passes_through_unwrapped(self):
+        injector = FaultInjector(
+            {"x": FaultSpec(failure_probability=1.0)}, seed=0
+        )
+        fn = lambda: "ok"  # noqa: E731
+        assert injector.wrap("other", fn) is fn
+
+    def test_inert_spec_passes_through_unwrapped(self):
+        injector = FaultInjector({"x": FaultSpec()}, seed=0)
+        fn = lambda: "ok"  # noqa: E731
+        assert injector.wrap("x", fn) is fn
+
+
+class TestSpecValidation:
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(failure_probability=1.5)
+
+    def test_probabilities_summing_over_one_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(
+                failure_probability=0.6,
+                timeout_probability=0.3,
+                slow_probability=0.2,
+            )
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(latency=-1.0)
+
+
+class TestVirtualClock:
+    def test_sleep_advances_now(self):
+        clock = VirtualClock(start=10.0)
+        clock.sleep(2.5)
+        assert clock.now() == pytest.approx(12.5)
+        assert clock() == clock.now()
+
+    def test_clock_refuses_to_rewind(self):
+        clock = VirtualClock()
+        with pytest.raises(ResilienceError):
+            clock.advance(-1.0)
+
+
+class TestCorruptionHelpers:
+    def test_torn_copy_truncates(self):
+        assert torn_copy("abcdefgh", 0.5) == "abcd"
+        assert torn_copy("abcdefgh", 0.0) == "a"
+
+    def test_bit_flip_changes_exactly_one_byte(self):
+        original = '{"key": "value"}'
+        flipped = bit_flip(original, 3)
+        assert len(flipped) == len(original)
+        assert flipped != original
+        diffs = sum(a != b for a, b in zip(original, flipped))
+        assert diffs == 1
+
+
+class TestTornWrites:
+    def test_torn_write_leaves_truncated_file_and_raises(self, tmp_path):
+        from repro.core.persistence import dumps_predictor
+        from tests.resilience.helpers import small_predictor
+
+        predictor = small_predictor()
+        injector = FaultInjector(
+            {"persistence": FaultSpec(torn_write_probability=1.0)}, seed=0
+        )
+        path = tmp_path / "state.json"
+        with pytest.raises(InjectedFault):
+            injector.save_predictor(predictor, path)
+        assert path.exists()
+        complete = dumps_predictor(predictor)
+        torn = path.read_text()
+        assert len(torn) < len(complete)
+        assert complete.startswith(torn)
+        assert injector.counts[("persistence", "torn_write")] == 1
+
+    def test_zero_probability_writes_atomically(self, tmp_path):
+        from repro.core.persistence import load_predictor
+        from tests.resilience.helpers import small_predictor
+
+        predictor = small_predictor()
+        injector = FaultInjector(
+            {"persistence": FaultSpec(torn_write_probability=0.0)}, seed=0
+        )
+        path = injector.save_predictor(predictor, tmp_path / "state.json")
+        assert (
+            load_predictor(path).total_points == predictor.total_points
+        )
+
+
+class TestStormPreset:
+    def test_storm_covers_all_components(self):
+        injector = FaultInjector.storm(seed=0)
+        assert set(injector.specs) == {
+            "optimizer",
+            "predictor",
+            "predictor_insert",
+            "persistence",
+        }
+
+    def test_reporting_shapes(self):
+        injector = FaultInjector(
+            {"x": FaultSpec(failure_probability=1.0)}, seed=0
+        )
+        wrapped = injector.wrap("x", lambda: None)
+        for __ in range(3):
+            with pytest.raises(InjectedFault):
+                wrapped()
+        assert injector.total_injected == 3
+        assert injector.summary() == {"x": {"exception": 3}}
+
+
+def test_rng_streams_match_numpy_spawn_convention():
+    """The per-component stream is a plain Generator over a spawn-keyed
+    SeedSequence — stable across sessions and platforms."""
+    injector = FaultInjector(
+        {"x": FaultSpec(failure_probability=0.5)}, seed=123
+    )
+    stream = injector._stream("x")
+    assert isinstance(stream, np.random.Generator)
+    assert injector._stream("x") is stream
