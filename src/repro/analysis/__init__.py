@@ -1,0 +1,53 @@
+"""Project-specific static analysis: the invariant linter.
+
+PR 1 and PR 2 made several conventions load-bearing — spawn-keyed RNG
+streams for reproducible sampling, an injectable clock for retry and
+breaker logic, a central metric-name registry, atomic fsync+rename
+persistence — but conventions that nothing enforces decay.  This
+package is the enforcement layer: a small AST-based rule framework
+(:mod:`repro.analysis.core`), the eight project rules
+(:mod:`repro.analysis.rules`, codes ``RPR001``–``RPR008``), inline
+``# repro: noqa[RULE]`` suppressions, a committed baseline for
+incremental burn-down (:mod:`repro.analysis.baseline`), and text/JSON
+reporters (:mod:`repro.analysis.report`).
+
+Run it as ``repro lint`` or ``python -m repro.analysis``; CI gates on
+both the repository tree being clean and the rules themselves firing
+on known-bad snippets (``--selftest``).
+"""
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    rule_registry,
+)
+from repro.analysis.report import render_json, render_text
+from repro.analysis.selftest import SELFTEST_CASES, run_selftest
+
+__all__ = [
+    "BaselineEntry",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "SELFTEST_CASES",
+    "all_rules",
+    "apply_baseline",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "rule_registry",
+    "run_selftest",
+    "write_baseline",
+]

@@ -1,0 +1,149 @@
+"""Committed baseline: pre-existing findings burned down incrementally.
+
+A new rule lands with the violations it finds already in the tree; the
+baseline lets the rule gate *new* violations immediately while the old
+ones are fixed over time (or kept, with a written justification).
+Entries match findings by ``(rule, path, stripped source line)`` — not
+line numbers — so unrelated edits that shift code do not invalidate
+the baseline, while any edit to the offending line itself forces a
+fresh decision.
+
+Entries that no longer match anything are *stale* and reported: a
+baseline only shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.analysis.core import Finding
+from repro.exceptions import ConfigurationError
+
+#: Schema version of the baseline document.
+BASELINE_VERSION = 1
+
+#: Default committed baseline location, repo-root relative.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted pre-existing finding, with its justification."""
+
+    rule: str
+    path: str
+    snippet: str
+    reason: str = ""
+
+    @property
+    def key(self) -> "tuple[str, str, str]":
+        return (self.rule, self.path, self.snippet)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "reason": self.reason,
+        }
+
+
+def load_baseline(path: "str | pathlib.Path") -> list[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"unreadable lint baseline {path}: {exc}"
+        ) from exc
+    if (
+        not isinstance(document, dict)
+        or document.get("version") != BASELINE_VERSION
+        or not isinstance(document.get("entries"), list)
+    ):
+        raise ConfigurationError(
+            f"{path}: not a version-{BASELINE_VERSION} lint baseline"
+        )
+    entries = []
+    for raw in document["entries"]:
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    snippet=raw["snippet"],
+                    reason=raw.get("reason", ""),
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise ConfigurationError(
+                f"{path}: malformed baseline entry {raw!r}"
+            ) from exc
+    return entries
+
+
+def write_baseline(
+    findings: Iterable[Finding],
+    path: "str | pathlib.Path",
+    reason: str = "pre-existing; burn down or justify",
+) -> int:
+    """Write the current findings as the new baseline; returns the
+    entry count.  Duplicate keys collapse to one entry."""
+    entries: dict[tuple, BaselineEntry] = {}
+    for finding in findings:
+        entry = BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            snippet=finding.snippet,
+            reason=reason,
+        )
+        entries.setdefault(entry.key, entry)
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            entry.to_dict()
+            for entry in sorted(
+                entries.values(), key=lambda e: (e.path, e.rule, e.snippet)
+            )
+        ],
+    }
+    pathlib.Path(path).write_text(  # repro: noqa[RPR005] - dev tooling
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding],
+    baseline: Iterable[BaselineEntry],
+) -> "tuple[list[Finding], list[Finding], list[BaselineEntry]]":
+    """Split findings against a baseline.
+
+    Returns ``(fresh, accepted, stale)``: findings not covered by the
+    baseline, findings the baseline accepts, and baseline entries that
+    matched nothing (candidates for deletion).
+    """
+    by_key: dict[tuple, BaselineEntry] = {
+        entry.key: entry for entry in baseline
+    }
+    matched: set = set()
+    fresh: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        if key in by_key:
+            matched.add(key)
+            accepted.append(finding)
+        else:
+            fresh.append(finding)
+    stale = [
+        entry for key, entry in by_key.items() if key not in matched
+    ]
+    return fresh, accepted, stale

@@ -1,0 +1,316 @@
+"""Visitor core of the invariant linter.
+
+One parse per file: a :class:`ModuleContext` wraps the AST together
+with everything rules keep re-deriving — the dotted module name (which
+drives per-rule scoping), import alias tables for resolving attribute
+chains like ``np.random.default_rng`` back to real dotted names, the
+raw source lines, and the ``# repro: noqa[RULE]`` suppression map.
+Rules are small classes registered with :func:`register_rule`; each
+yields ``(node, message)`` pairs and the driver turns them into
+:class:`Finding` records, dropping any that a suppression covers.
+
+The framework is deliberately tiny (no config files, no plugins): the
+rules *are* the configuration, and their scoping lives in class
+attributes (``only_modules`` / ``exempt_modules``) where a reviewer can
+see it next to the check itself.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pathlib
+import re
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+#: Severities a rule can carry; ``error`` gates the exit status.
+SEVERITIES = ("warning", "error")
+
+#: Inline suppression: ``# repro: noqa`` (all rules) or
+#: ``# repro: noqa[RPR001]`` / ``# repro: noqa[RPR001,RPR002]``.
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+#: Sentinel stored in the suppression map when a bare ``noqa`` (no
+#: bracketed code list) silences every rule on the line.
+ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: The stripped source line — the stable part of the fingerprint,
+    #: so baselines survive unrelated edits shifting line numbers.
+    snippet: str = ""
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used for baseline matching."""
+        digest = hashlib.sha256(
+            f"{self.rule}\x00{self.path}\x00{self.snippet}".encode()
+        )
+        return digest.hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class ModuleContext:
+    """Everything the rules need about one parsed module."""
+
+    def __init__(
+        self,
+        source: str,
+        path: str = "<memory>",
+        module: "str | None" = None,
+    ) -> None:
+        self.source = source
+        self.path = path
+        self.module = module if module is not None else _module_name(path)
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        #: alias -> dotted module, from ``import x.y as z`` (and plain
+        #: ``import x.y``, under the first component).
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> fully dotted origin, from ``from m import n``.
+        self.imported_names: dict[str, str] = {}
+        self._collect_imports()
+        self.suppressions = _collect_suppressions(self.lines)
+
+    # ------------------------------------------------------------------
+    # Import resolution
+    # ------------------------------------------------------------------
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.asname and alias.name or local
+                    self.module_aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imported_names[local] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.AST) -> "str | None":
+        """Dotted origin of a ``Name``/``Attribute`` chain, if statically
+        knowable — ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` given ``import numpy as np``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        base = self.module_aliases.get(
+            root, self.imported_names.get(root, root)
+        )
+        return ".".join([base, *reversed(parts)]) if parts else base
+
+    # ------------------------------------------------------------------
+    # Source access
+    # ------------------------------------------------------------------
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        codes = self.suppressions.get(lineno)
+        return codes is not None and (ALL_RULES in codes or rule in codes)
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(node, message)`` pairs.  ``only_modules`` restricts the
+    rule to dotted-module prefixes; ``exempt_modules`` carves out the
+    packages allowed to break it (e.g. the clock sources themselves).
+    """
+
+    code = "RPR000"
+    title = ""
+    severity = "error"
+    rationale = ""
+    only_modules: "tuple[str, ...] | None" = None
+    exempt_modules: "tuple[str, ...]" = ()
+
+    def applies_to(self, module: str) -> bool:
+        if any(_prefixed(module, prefix) for prefix in self.exempt_modules):
+            return False
+        if self.only_modules is None:
+            return True
+        return any(_prefixed(module, prefix) for prefix in self.only_modules)
+
+    def check(self, ctx: ModuleContext) -> "Iterator[tuple[ast.AST, str]]":
+        raise NotImplementedError
+
+
+def _prefixed(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if rule_class.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_class.code}")
+    if rule_class.severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {rule_class.severity!r}")
+    _REGISTRY[rule_class.code] = rule_class
+    return rule_class
+
+
+def rule_registry() -> dict[str, type[Rule]]:
+    """Registered rule classes, keyed by code (imports the built-ins)."""
+    import repro.analysis.rules  # noqa: F401 - registration side effect
+
+    return dict(_REGISTRY)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, code order."""
+    return [cls() for __, cls in sorted(rule_registry().items())]
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def _module_name(path: str) -> str:
+    """Dotted module name for scoping: anchor at the ``repro`` package
+    when present, else fall back to the bare stem (fixtures, scratch
+    files)."""
+    parts = pathlib.PurePath(path).parts
+    stem = pathlib.PurePath(path).stem
+    if "repro" in parts:
+        anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+        dotted = list(parts[anchor:-1]) + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+def _collect_suppressions(lines: "list[str]") -> dict[int, set]:
+    suppressions: dict[int, set] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "#" not in text:
+            continue
+        match = _NOQA_PATTERN.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = {ALL_RULES}
+        else:
+            suppressions[lineno] = {
+                code.strip().upper()
+                for code in codes.split(",")
+                if code.strip()
+            }
+    return suppressions
+
+
+def lint_source(
+    source: str,
+    path: str = "<memory>",
+    module: "str | None" = None,
+    rules: "Iterable[Rule] | None" = None,
+) -> list[Finding]:
+    """Lint one in-memory module; the unit the file driver loops over."""
+    ctx = ModuleContext(source, path=path, module=module)
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        if not rule.applies_to(ctx.module):
+            continue
+        for node, message in rule.check(ctx):
+            lineno = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            if ctx.suppressed(lineno, rule.code):
+                continue
+            findings.append(
+                Finding(
+                    rule=rule.code,
+                    severity=rule.severity,
+                    path=path,
+                    line=lineno,
+                    col=col + 1,
+                    message=message,
+                    snippet=ctx.line_text(lineno),
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: "Iterable[str | pathlib.Path]") -> list[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: dict[pathlib.Path, None] = {}
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    seen[candidate] = None
+        elif path.suffix == ".py":
+            seen[path] = None
+    return list(seen)
+
+
+def lint_paths(
+    paths: "Iterable[str | pathlib.Path]",
+    rules: "Iterable[Rule] | None" = None,
+) -> "tuple[list[Finding], list[str]]":
+    """Lint files and directories.
+
+    Returns ``(findings, errors)`` where ``errors`` are files that could
+    not be read or parsed — reported, and counted as a failure by the
+    CLI, but not silently skipped.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            errors.append(f"{path}: unreadable ({exc})")
+            continue
+        try:
+            findings.extend(
+                lint_source(source, path=path.as_posix(), rules=active)
+            )
+        except SyntaxError as exc:
+            errors.append(f"{path}: syntax error ({exc.msg}, line {exc.lineno})")
+    return findings, errors

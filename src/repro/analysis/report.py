@@ -1,0 +1,107 @@
+"""Reporters: findings as terminal text or machine-readable JSON.
+
+The text form mirrors compiler diagnostics (``path:line:col CODE
+message``) so editors jump straight to the offending line; the JSON
+form is what CI consumes (stable keys, a summary block, and the
+fingerprints baseline tooling works with).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.core import Finding, all_rules
+
+
+def summarize(findings: Iterable[Finding]) -> dict:
+    """Counts by rule and severity for a set of findings."""
+    by_rule: dict[str, int] = {}
+    by_severity: dict[str, int] = {}
+    total = 0
+    for finding in findings:
+        total += 1
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        by_severity[finding.severity] = (
+            by_severity.get(finding.severity, 0) + 1
+        )
+    return {
+        "total": total,
+        "by_rule": dict(sorted(by_rule.items())),
+        "by_severity": dict(sorted(by_severity.items())),
+    }
+
+
+def render_text(
+    fresh: "list[Finding]",
+    accepted: "list[Finding] | None" = None,
+    stale: "list[BaselineEntry] | None" = None,
+    errors: "list[str] | None" = None,
+) -> str:
+    """Human-readable report; one diagnostic per line."""
+    lines = []
+    for finding in fresh:
+        lines.append(
+            f"{finding.location} {finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+    for error in errors or []:
+        lines.append(f"error: {error}")
+    for entry in stale or []:
+        lines.append(
+            f"stale baseline entry: {entry.rule} {entry.path} "
+            f"{entry.snippet!r} (matched nothing; remove it)"
+        )
+    summary = summarize(fresh)
+    parts = [f"{summary['total']} finding(s)"]
+    if accepted:
+        parts.append(f"{len(accepted)} baselined")
+    if stale:
+        parts.append(f"{len(stale)} stale baseline entr(y/ies)")
+    if errors:
+        parts.append(f"{len(errors)} file error(s)")
+    if summary["by_rule"]:
+        parts.append(
+            "by rule: "
+            + ", ".join(
+                f"{rule}={count}"
+                for rule, count in summary["by_rule"].items()
+            )
+        )
+    lines.append("; ".join(parts))
+    return "\n".join(lines)
+
+
+def render_json(
+    fresh: "list[Finding]",
+    accepted: "list[Finding] | None" = None,
+    stale: "list[BaselineEntry] | None" = None,
+    errors: "list[str] | None" = None,
+) -> str:
+    """CI-facing report: findings plus summary, one JSON document."""
+    document = {
+        "findings": [finding.to_dict() for finding in fresh],
+        "baselined": [finding.to_dict() for finding in accepted or []],
+        "stale_baseline": [entry.to_dict() for entry in stale or []],
+        "file_errors": list(errors or []),
+        "summary": summarize(fresh),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """``--list-rules``: every rule with its scope and rationale."""
+    lines = []
+    for rule in all_rules():
+        scope = (
+            "all modules"
+            if rule.only_modules is None
+            else ", ".join(rule.only_modules)
+        )
+        lines.append(f"{rule.code} [{rule.severity}] {rule.title}")
+        lines.append(f"    scope : {scope}")
+        if rule.exempt_modules:
+            lines.append(f"    exempt: {', '.join(rule.exempt_modules)}")
+        lines.append(f"    fix   : {rule.rationale}")
+    return "\n".join(lines)

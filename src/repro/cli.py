@@ -16,6 +16,9 @@ Small utilities for poking at the reproduction without writing code:
   workload with a failing optimizer/predictor and torn persistence
   writes, and report degradations, fallback servings, breaker state
   and snapshot recovery (exits 1 on any uncaught exception);
+* ``lint`` — the AST-based invariant linter (rules RPR001-RPR008:
+  determinism, clock, metrics, persistence discipline; see
+  ``repro lint --list-rules``), exit 1 on fresh findings;
 * ``assumptions Q1`` — validate plan choice predictability on a template.
 """
 
@@ -538,6 +541,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint_args(lint_argv: list[str]) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(lint_argv)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _cmd_lint_args(args.lint_args)
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.optimizer.diagnostics import profile_plan_space
 
@@ -646,6 +659,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.set_defaults(handler=_cmd_faults)
 
+    lint = commands.add_parser(
+        "lint",
+        help="invariant linter (RPR rules); args pass through, "
+        "e.g. `repro lint src --format json` or `repro lint --selftest`",
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER)
+    lint.set_defaults(handler=_cmd_lint)
+
     profile = commands.add_parser(
         "profile", help="structural profile of a template's plan space"
     )
@@ -671,6 +692,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``lint`` forwards everything to the linter's own parser; argparse's
+    # REMAINDER would swallow leading flags (``repro lint --selftest``),
+    # so hand over before parsing.
+    if argv and argv[0] == "lint":
+        return _cmd_lint_args(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -43,8 +43,9 @@ across all its sessions.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from time import monotonic, perf_counter, sleep as _real_sleep
+from time import perf_counter
 
 import numpy as np
 
@@ -59,6 +60,7 @@ from repro.metrics.classification import PredictionOutcome
 from repro.obs import MetricsRegistry, names as metric_names
 from repro.optimizer.plan_space import PlanSpace
 from repro.resilience.breaker import BREAKER_STATE_VALUES, CircuitBreaker
+from repro.resilience.clocks import system_clock, system_sleep
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import (
     RetryExhaustedError,
@@ -112,16 +114,16 @@ class TemplateSession:
         seed: "int | np.random.Generator | None" = 0,
         metrics: "MetricsRegistry | None" = None,
         fault_injector: "FaultInjector | None" = None,
-        clock=None,
-        sleep=None,
+        clock: "Callable[[], float] | None" = None,
+        sleep: "Callable[[float], None] | None" = None,
     ) -> None:
         self.plan_space = plan_space
         self.config = config or PPCConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         template = plan_space.template.name
         resilience = self.config.resilience
-        self._clock = clock if clock is not None else monotonic
-        self._sleep = sleep if sleep is not None else _real_sleep
+        self._clock = clock if clock is not None else system_clock
+        self._sleep = sleep if sleep is not None else system_sleep
         self.retry_policy = RetryPolicy(
             attempts=resilience.retry_attempts,
             base_delay=resilience.retry_base_delay,
@@ -357,10 +359,11 @@ class TemplateSession:
 
     def execute(self, x: np.ndarray) -> ExecutionRecord:
         """Run one query instance through the PPC workflow."""
-        if self.config.resilience.validate_points:
-            x = self._validate_point(x)
-        else:
-            x = np.asarray(x, dtype=float).reshape(-1)
+        x = (
+            self._validate_point(x)
+            if self.config.resilience.validate_points
+            else np.asarray(x, dtype=float).reshape(-1)
+        )
         self._executions_counter.inc()
         invocations_before = self.optimizer_invocations
         # Experimenter-side ground truth; the session only learns it if
@@ -531,8 +534,8 @@ class PPCFramework:
         governor_interval: int = 32,
         metrics: "MetricsRegistry | None" = None,
         fault_injector: "FaultInjector | None" = None,
-        clock=None,
-        sleep=None,
+        clock: "Callable[[], float] | None" = None,
+        sleep: "Callable[[float], None] | None" = None,
     ) -> None:
         self.config = config or PPCConfig()
         self.metrics = metrics if metrics is not None else MetricsRegistry()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 from time import perf_counter
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,9 @@ from repro.lsh.transforms import TransformEnsemble
 from repro.lsh.zorder import ZOrderCurve
 
 from repro.geometry import ball_volume
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import MetricsRegistry
 
 _STATIC_BUILDERS = {
     "maxdiff": MaxDiffHistogram,
@@ -143,7 +147,7 @@ class HistogramPredictor(PlanPredictor):
         self._range_timer = None
         self._build_histograms(pool)
 
-    def bind_metrics(self, registry, **labels) -> None:
+    def bind_metrics(self, registry: "MetricsRegistry", **labels) -> None:
         """Publish per-predict transform / range-query timings.
 
         Called by the owning session once the registry and template
@@ -234,7 +238,7 @@ class HistogramPredictor(PlanPredictor):
             float(self._z_values(index, x[None, :])[0])
             for index in range(len(self.ensemble))
         ]
-        for histogram, z in zip(targets, z_values):
+        for histogram, z in zip(targets, z_values, strict=True):
             histogram.insert(z, cost, weight=weight)
         self.total_points += 1
         self.total_mass += weight
@@ -273,9 +277,12 @@ class HistogramPredictor(PlanPredictor):
 
     def predict(self, x: np.ndarray) -> "Prediction | None":
         counts = self.median_counts(x)
-        if self.noise_fraction is not None and self.total_mass > 0:
-            if counts.max() < self.noise_fraction * self.total_mass:
-                return None
+        if (
+            self.noise_fraction is not None
+            and self.total_mass > 0
+            and counts.max() < self.noise_fraction * self.total_mass
+        ):
+            return None
         plan_id, confidence = self.model.decide(
             counts, self.confidence_threshold
         )
@@ -315,10 +322,11 @@ class HistogramPredictor(PlanPredictor):
                 cost_estimates[i, plan] = histogram.range_cost_batch(
                     lo[i], hi[i]
                 )
-        if self.aggregation == "mean":
-            counts = estimates.mean(axis=0)  # (plans, m)
-        else:
-            counts = np.median(estimates, axis=0)
+        counts = (  # (plans, m)
+            estimates.mean(axis=0)
+            if self.aggregation == "mean"
+            else np.median(estimates, axis=0)
+        )
 
         winners, confidences = self.model.decide_batch(
             counts.T, self.confidence_threshold
@@ -334,10 +342,11 @@ class HistogramPredictor(PlanPredictor):
                 predictions.append(None)
                 continue
             supported = estimates[:, plan_id, j] > 0
-            if supported.any():
-                cost = float(np.median(cost_estimates[supported, plan_id, j]))
-            else:
-                cost = None
+            cost = (
+                float(np.median(cost_estimates[supported, plan_id, j]))
+                if supported.any()
+                else None
+            )
             predictions.append(
                 Prediction(plan_id, float(confidences[j]), cost)
             )

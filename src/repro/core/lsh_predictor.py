@@ -85,7 +85,7 @@ class LshPredictor(PlanPredictor):
             cells = self.grids[index].cell_ids(transform.apply(apply_axis_weights(coords, self.axis_weights)))
             counts = self._counts[index]
             cost_sums = self._cost_sums[index]
-            for cell, plan, cost in zip(cells, pool.plan_ids, pool.costs):
+            for cell, plan, cost in zip(cells, pool.plan_ids, pool.costs, strict=True):
                 counts[plan, cell] += 1.0
                 cost_sums[plan, cell] += cost
 

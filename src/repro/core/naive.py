@@ -56,7 +56,7 @@ class NaivePredictor(PlanPredictor):
 
     def _insert_pool(self, pool: SamplePool) -> None:
         cells = self.grid.cell_ids(pool.coords)
-        for cell, plan, cost in zip(cells, pool.plan_ids, pool.costs):
+        for cell, plan, cost in zip(cells, pool.plan_ids, pool.costs, strict=True):
             self._counts[plan, cell] += 1.0
             self._cost_sums[plan, cell] += cost
 

@@ -24,11 +24,13 @@ remain readable.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
 import tempfile
 import zlib
+from collections.abc import Callable
 
 import numpy as np
 
@@ -302,9 +304,8 @@ def atomic_write_text(
     except OSError:  # pragma: no cover - platform-dependent
         return path
     try:
-        os.fsync(dir_fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
+        with contextlib.suppress(OSError):  # pragma: no cover
+            os.fsync(dir_fd)
     finally:
         os.close(dir_fd)
     return path
@@ -325,8 +326,8 @@ def save_predictor(
 def load_predictor(
     path: "str | pathlib.Path",
     strict: bool = True,
-    cold: "HistogramPredictor | None" = None,
-):
+    cold: "HistogramPredictor | Callable[[], HistogramPredictor] | None" = None,
+) -> HistogramPredictor:
     """Restore a predictor saved with :func:`save_predictor`.
 
     ``strict=True`` (the default) raises :class:`PersistenceError` on

@@ -87,5 +87,5 @@ class SamplePool:
     def points(self) -> list[LabeledPoint]:
         return [
             LabeledPoint(c, p, v)
-            for c, p, v in zip(self._coords, self._plan_ids, self._costs)
+            for c, p, v in zip(self._coords, self._plan_ids, self._costs, strict=True)
         ]

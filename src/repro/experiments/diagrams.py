@@ -58,7 +58,7 @@ def plan_diagram(template: str = "Q1", resolution: int = 48) -> PlanDiagram:
     cells = ids.reshape(resolution, resolution)
     unique, counts = np.unique(ids, return_counts=True)
     fractions = {
-        int(u): float(c) / ids.size for u, c in zip(unique, counts)
+        int(u): float(c) / ids.size for u, c in zip(unique, counts, strict=True)
     }
     return PlanDiagram(template, resolution, cells, fractions)
 

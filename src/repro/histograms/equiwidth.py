@@ -47,7 +47,7 @@ class EquiWidthHistogram(Histogram):
         hist = cls(bucket_count, domain)
         if costs is None:
             costs = np.zeros(len(values))
-        for value, cost in zip(values, costs):
+        for value, cost in zip(values, costs, strict=True):
             hist.insert(float(value), float(cost))
         return hist
 

@@ -93,7 +93,7 @@ def _coarsen(
     """Pre-aggregate onto at most ``target`` groups of adjacent values."""
     groups = np.linspace(0, values.size, target + 1).astype(int)
     new_values, new_counts, new_costs = [], [], []
-    for start, stop in zip(groups, groups[1:]):
+    for start, stop in zip(groups, groups[1:], strict=False):
         if start == stop:
             continue
         mass = counts[start:stop].sum()

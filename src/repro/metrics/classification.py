@@ -75,7 +75,7 @@ def evaluate_predictions(
     if len(predicted) != len(actual):
         raise ValueError("predicted and actual series must align")
     outcomes = [
-        PredictionOutcome(p, int(a)) for p, a in zip(predicted, actual)
+        PredictionOutcome(p, int(a)) for p, a in zip(predicted, actual, strict=True)
     ]
     return summarize(outcomes)
 

@@ -78,7 +78,7 @@ def profile_plan_space(
     ids = plan_space.plan_at(points)
 
     unique, counts = np.unique(ids, return_counts=True)
-    fractions = {int(u): float(c) / samples for u, c in zip(unique, counts)}
+    fractions = {int(u): float(c) / samples for u, c in zip(unique, counts, strict=True)}
 
     # Gini over observed plan areas.
     areas = np.sort(counts / samples)

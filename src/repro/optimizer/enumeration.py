@@ -199,17 +199,19 @@ class PlanBuilder:
         selectivity: float,
     ) -> list[PlanNode]:
         """Merge joins, adding Sort enforcers where an order is missing."""
-        if outer.sort_order == outer_order:
-            sorted_outer = outer
-        else:
-            sorted_outer = Sort(outer, outer_order, self.model)
+        sorted_outer = (
+            outer
+            if outer.sort_order == outer_order
+            else Sort(outer, outer_order, self.model)
+        )
 
         candidates = []
         for inner_path in self.access_paths(inner_table):
-            if inner_path.sort_order == inner_order:
-                sorted_inner = inner_path
-            else:
-                sorted_inner = Sort(inner_path, inner_order, self.model)
+            sorted_inner = (
+                inner_path
+                if inner_path.sort_order == inner_order
+                else Sort(inner_path, inner_order, self.model)
+            )
             candidates.append(
                 MergeJoin(
                     sorted_outer,

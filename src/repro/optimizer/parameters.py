@@ -50,7 +50,7 @@ class ParameterMapping:
     ) -> None:
         if len(ranges) != len(scales):
             raise ConfigurationError("ranges and scales must align")
-        for (lo, hi), scale in zip(ranges, scales):
+        for (lo, hi), scale in zip(ranges, scales, strict=True):
             if not 0.0 < lo <= hi <= 1.0:
                 raise ConfigurationError(
                     f"selectivity range ({lo}, {hi}) must satisfy 0 < lo <= hi <= 1"

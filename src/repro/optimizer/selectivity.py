@@ -64,6 +64,6 @@ def instance_selectivities(
     return np.array(
         [
             predicate_selectivity(statistics, predicate, value)
-            for predicate, value in zip(predicates, values)
+            for predicate, value in zip(predicates, values, strict=True)
         ]
     )

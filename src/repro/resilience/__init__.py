@@ -22,6 +22,7 @@ from repro.resilience.breaker import (
     CircuitBreaker,
     CircuitOpenError,
 )
+from repro.resilience.clocks import system_clock, system_sleep
 from repro.resilience.faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -49,5 +50,7 @@ __all__ = [
     "VirtualClock",
     "bit_flip",
     "retry_call",
+    "system_clock",
+    "system_sleep",
     "torn_copy",
 ]

@@ -16,10 +16,11 @@ fault storms (see :class:`~repro.resilience.faults.VirtualClock`).
 
 from __future__ import annotations
 
-from time import monotonic as _monotonic
-from typing import Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.exceptions import ResilienceError
+from repro.resilience.clocks import system_clock
 
 #: Breaker states, in gauge order (0 = closed, 1 = half-open, 2 = open).
 CLOSED = "closed"
@@ -58,7 +59,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.recovery_time = recovery_time
         self.half_open_trials = half_open_trials
-        self._clock = clock or _monotonic
+        self._clock = clock or system_clock
         self._on_transition = on_transition
         self._state = CLOSED
         self._consecutive_failures = 0
@@ -98,7 +99,7 @@ class CircuitBreaker:
             return True
         return False
 
-    def call(self, fn: Callable):
+    def call(self, fn: Callable) -> Any:
         """Guard one call: raises :class:`CircuitOpenError` when open,
         otherwise delegates and records the outcome."""
         if not self.allow():

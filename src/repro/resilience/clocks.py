@@ -1,0 +1,29 @@
+"""Sanctioned wall-clock access points.
+
+Everything time-driven in the pipeline — retry backoff, breaker
+recovery windows, injected fault latency — takes an injectable
+``clock`` (``() -> float`` seconds, monotonic) and ``sleep``
+(``(float) -> None``), so tests and fault storms substitute a
+:class:`~repro.resilience.faults.VirtualClock` and run simulated hours
+in microseconds.  The *defaults* for those hooks live here, and only
+here: the invariant linter (rule RPR002) bans ``time.time`` /
+``time.monotonic`` / ``time.sleep`` everywhere outside
+``repro.resilience`` and ``repro.simulation``, which keeps "forgot to
+thread the clock" a lint failure instead of a flaky storm test.
+
+(``time.perf_counter`` stays allowed globally: latency *measurement*
+for metrics never drives control flow, so determinism is unaffected.)
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+#: Monotonic seconds — the default for every injectable ``clock``.
+system_clock: "Callable[[], float]" = time.monotonic
+
+#: Really wait — the default for every injectable ``sleep``.
+system_sleep: "Callable[[float], None]" = time.sleep
+
+__all__ = ["system_clock", "system_sleep"]

@@ -27,13 +27,17 @@ from __future__ import annotations
 
 import pathlib
 import zlib
+from collections.abc import Callable
 from dataclasses import dataclass
-from time import sleep as _real_sleep
-from typing import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import ResilienceError
+from repro.resilience.clocks import system_sleep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.histogram_predictor import HistogramPredictor
 
 
 class InjectedFault(ResilienceError):
@@ -139,7 +143,7 @@ class FaultInjector:
     ) -> None:
         self.specs = dict(specs or {})
         self._seed = seed
-        self._sleep = sleep if sleep is not None else _real_sleep
+        self._sleep = sleep if sleep is not None else system_sleep
         self._streams: dict[str, np.random.Generator] = {}
         self.counts: dict[tuple[str, str], int] = {}
 
@@ -218,7 +222,11 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Persistence faults
     # ------------------------------------------------------------------
-    def save_predictor(self, predictor, path) -> pathlib.Path:
+    def save_predictor(
+        self,
+        predictor: "HistogramPredictor",
+        path: "str | pathlib.Path",
+    ) -> pathlib.Path:
         """Snapshot ``predictor`` through the torn-write distribution.
 
         With probability ``torn_write_probability`` the serialized
@@ -236,7 +244,9 @@ class FaultInjector:
             if float(stream.random()) < spec.torn_write_probability:
                 document = dumps_predictor(predictor)
                 cut = int(stream.integers(1, max(2, len(document))))
-                path.write_text(document[:cut])
+                # The torn write is the *point*: leave exactly the
+                # artifact a crash inside a non-atomic writer leaves.
+                path.write_text(document[:cut])  # repro: noqa[RPR005]
                 self._record("persistence", "torn_write")
                 raise InjectedFault(
                     f"injected torn write: {path} truncated at byte {cut}"

@@ -14,11 +14,12 @@ instead of real waiting.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from time import monotonic as _monotonic, sleep as _real_sleep
-from typing import Callable
+from typing import Any
 
 from repro.exceptions import ResilienceError
+from repro.resilience.clocks import system_clock, system_sleep
 
 
 class RetryExhaustedError(ResilienceError):
@@ -66,7 +67,7 @@ def retry_call(
     clock: "Callable[[], float] | None" = None,
     sleep: "Callable[[float], None] | None" = None,
     on_retry: "Callable[[], None] | None" = None,
-):
+) -> Any:
     """Call ``fn()`` under ``policy``; raise :class:`RetryExhaustedError`
     once attempts or the deadline run out.
 
@@ -74,8 +75,8 @@ def retry_call(
     callers can count retries in their metrics.
     """
     policy = policy or RetryPolicy()
-    clock = clock or _monotonic
-    sleep = sleep if sleep is not None else _real_sleep
+    clock = clock or system_clock
+    sleep = sleep if sleep is not None else system_sleep
     start = clock()
     last_error: "Exception | None" = None
     for attempt in range(policy.attempts):

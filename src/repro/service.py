@@ -19,6 +19,8 @@ all registered templates.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from repro.config import PPCConfig
@@ -46,8 +48,8 @@ class PlanCachingService:
         memory_budget_bytes: "int | None" = None,
         seed: int = 0,
         fault_injector: "FaultInjector | None" = None,
-        clock=None,
-        sleep=None,
+        clock: "Callable[[], float] | None" = None,
+        sleep: "Callable[[float], None] | None" = None,
     ) -> None:
         if statistics.catalog is not catalog:
             raise ConfigurationError(
@@ -74,8 +76,8 @@ class PlanCachingService:
         memory_budget_bytes: "int | None" = None,
         seed: int = 0,
         fault_injector: "FaultInjector | None" = None,
-        clock=None,
-        sleep=None,
+        clock: "Callable[[], float] | None" = None,
+        sleep: "Callable[[float], None] | None" = None,
     ) -> "PlanCachingService":
         """A service over the modified TPC-H catalog of Appendix A."""
         catalog = build_catalog(scale_factor)

@@ -48,10 +48,13 @@ class RuntimeBreakdown:
         optimization: float = 0.0,
         execution: float = 0.0,
         overhead: float = 0.0,
+        invoked: bool = False,
     ) -> None:
         self.optimization_ms += optimization
         self.execution_ms += execution
         self.overhead_ms += overhead
+        if invoked:
+            self.optimizer_invocations += 1
         self.cumulative_ms.append(self.total_ms)
 
 
@@ -86,8 +89,9 @@ class RuntimeSimulator:
         seen_plans: set[int] = set()
         for i in range(workload.shape[0]):
             execution = self.timing.execution_ms(float(true_costs[i]))
-            no_cache.charge(optimization=optimize_ms, execution=execution)
-            no_cache.optimizer_invocations += 1
+            no_cache.charge(
+                optimization=optimize_ms, execution=execution, invoked=True
+            )
 
             plan = int(true_ids[i])
             if plan in seen_plans:
@@ -100,10 +104,13 @@ class RuntimeSimulator:
                     optimization=optimize_ms,
                     execution=execution,
                     overhead=self.timing.predict_ms + self.timing.insert_ms,
+                    invoked=True,
                 )
-                ideal.optimizer_invocations += 1
 
-        # PPC runs the real framework.
+        # PPC runs the real framework.  Each record's ``optimizer_invoked``
+        # flag accumulates into the breakdown (at most one invocation per
+        # instance), so the count matches ``session.optimizer_invocations``
+        # without mutating the breakdown from outside ``charge``.
         session = TemplateSession(self.plan_space, self.config, self._seed)
         for i in range(workload.shape[0]):
             record = session.execute(workload[i])
@@ -115,8 +122,8 @@ class RuntimeSimulator:
                 optimization=optimization,
                 execution=self.timing.execution_ms(record.execution_cost),
                 overhead=overhead,
+                invoked=record.optimizer_invoked,
             )
-        ppc.optimizer_invocations = session.optimizer_invocations
         ppc.metrics = session.metrics.snapshot()
 
         return {"NO-CACHING": no_cache, "PPC": ppc, "IDEAL": ideal}

@@ -39,16 +39,17 @@ def build_statistics(
     for table in catalog.tables.values():
         table_stats = TableStatistics(table.name, table.row_count)
         for column in table.columns.values():
-            if column.distribution == "gaussian":
-                sketch = ColumnStatistics.gaussian(
+            sketch = (
+                ColumnStatistics.gaussian(
                     column,
                     mean=DATE_SPAN / 2.0,
                     std=DATE_SPAN / 6.0,
                     sample_count=gaussian_samples,
                     seed=rng,
                 )
-            else:
-                sketch = ColumnStatistics.uniform(column)
+                if column.distribution == "gaussian"
+                else ColumnStatistics.uniform(column)
+            )
             table_stats.add(sketch)
         statistics.add_table(table_stats)
     return statistics

@@ -57,7 +57,7 @@ class MixtureWorkload:
         per_template = np.bincount(choices, minlength=len(self.templates))
         streams = {
             name: iter(self._generators[name].generate(int(n)))
-            for name, n in zip(self.templates, per_template)
+            for name, n in zip(self.templates, per_template, strict=True)
             if n > 0
         }
         workload = []

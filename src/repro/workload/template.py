@@ -84,6 +84,6 @@ class TemplateBinder:
         selectivities = self.mapping.to_selectivity(point)[0]
         values = tuple(
             value_for_selectivity(self.statistics, predicate, selectivity)
-            for predicate, selectivity in zip(self._predicates, selectivities)
+            for predicate, selectivity in zip(self._predicates, selectivities, strict=True)
         )
         return QueryInstance(self.template.name, values)

@@ -1,0 +1,12 @@
+"""Global RNG use in every disguise the resolver must see through."""
+import random
+from random import shuffle
+
+import numpy as np
+import numpy.random as npr
+
+values = np.random.rand(8)          # legacy module-level call
+jitter = npr.uniform(0.0, 1.0)      # aliased module import
+pick = random.choice([1, 2, 3])     # stdlib global RNG
+shuffle([])                         # from-import of a global-RNG name
+rng = np.random.default_rng()       # unseeded: draws OS entropy

@@ -1,0 +1,15 @@
+"""Wall-clock reads that make replay timing-dependent."""
+import time
+from time import monotonic
+
+
+def deadline(budget: float) -> float:
+    return monotonic() + budget
+
+
+def wait(seconds: float) -> None:
+    time.sleep(seconds)
+
+
+def stamp() -> float:
+    return time.time()

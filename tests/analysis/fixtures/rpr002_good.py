@@ -1,0 +1,19 @@
+"""Clock access through the injectable aliases (and perf_counter,
+which is allowed: latency measurement never drives control flow)."""
+from time import perf_counter
+
+from repro.resilience.clocks import system_clock, system_sleep
+
+
+def deadline(budget: float) -> float:
+    return system_clock() + budget
+
+
+def wait(seconds: float) -> None:
+    system_sleep(seconds)
+
+
+def measure(fn) -> float:
+    start = perf_counter()
+    fn()
+    return perf_counter() - start

@@ -1,0 +1,6 @@
+"""Ad-hoc metric names the dashboard will never find."""
+
+
+def record(registry, template: str) -> None:
+    registry.counter("ppc_surprise_total").inc()
+    registry.histogram(f"ppc_latency_{template}").observe(1.0)

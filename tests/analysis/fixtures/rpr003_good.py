@@ -1,0 +1,9 @@
+"""Metric names flow from the declared constants module."""
+from repro.obs import names as metric_names
+
+
+def record(registry, name: str) -> None:
+    registry.counter(metric_names.EXECUTIONS_TOTAL).inc()
+    registry.histogram(metric_names.STAGE_SECONDS).observe(1.0)
+    # A plain variable is allowed: callers thread constants through.
+    registry.counter(name).inc()

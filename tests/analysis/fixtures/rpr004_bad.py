@@ -1,0 +1,15 @@
+"""Exception handlers that erase the failure they caught."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+
+
+def probe(fn):
+    try:
+        fn()
+    except Exception:
+        pass

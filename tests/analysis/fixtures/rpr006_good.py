@@ -1,0 +1,12 @@
+"""Tolerance-based comparison; integer equality stays exact."""
+import math
+
+
+def on_boundary(distance: float, radius: float) -> bool:
+    return math.isclose(distance, 0.5, abs_tol=1e-9) or not math.isclose(
+        radius, 1.0, abs_tol=1e-9
+    )
+
+
+def same_cell(a: int, b: int) -> bool:
+    return a == b

@@ -1,0 +1,24 @@
+"""Fully annotated public surface; private helpers are exempt."""
+from collections.abc import Callable
+
+
+def execute(point: float) -> float:
+    return _clip(point)
+
+
+def _clip(point):
+    return max(0.0, min(1.0, point))
+
+
+class Session:
+    def __init__(
+        self, config: dict, clock: "Callable[[], float] | None" = None
+    ) -> None:
+        self.config = config
+        self.clock = clock
+
+    def predict(self, point: float) -> float:
+        return point
+
+    def _internal(self, raw):
+        return raw

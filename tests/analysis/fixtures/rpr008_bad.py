@@ -1,0 +1,7 @@
+"""Reaching into a session/framework and rewriting its state."""
+
+
+def tamper(framework, session):
+    framework.session("Q1").optimizer_invocations = 0
+    session.records = []
+    del framework.sessions

@@ -1,0 +1,18 @@
+"""Owners mutate their own state; outsiders call methods or read."""
+
+
+class Owner:
+    def __init__(self) -> None:
+        self.optimizer_invocations = 0
+        self.records = []
+
+    def reset(self) -> None:
+        self.optimizer_invocations = 0
+        self.records = []
+
+
+def inspect(session) -> int:
+    # Reads are fine; so are local names that merely shadow the
+    # protected attribute names.
+    records = session.records
+    return len(records)

@@ -1,0 +1,65 @@
+"""Exit-code contract of ``repro lint`` / ``python -m repro.analysis``."""
+
+import json
+
+from repro.analysis.cli import main
+
+BAD = "import time\ntime.sleep(1.0)\n"
+GOOD = "from repro.resilience.clocks import system_sleep\nsystem_sleep(1.0)\n"
+
+
+def _module_file(tmp_path, name, source):
+    path = tmp_path / "repro" / "core" / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    path = _module_file(tmp_path, "good.py", GOOD)
+    assert main([str(path), "--no-baseline"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_fresh_finding_exits_one(tmp_path, capsys):
+    path = _module_file(tmp_path, "bad.py", BAD)
+    assert main([str(path), "--no-baseline"]) == 1
+    assert "RPR002" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, capsys):
+    path = _module_file(tmp_path, "bad.py", BAD)
+    assert main([str(path), "--no-baseline", "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["summary"]["total"] == 1
+
+
+def test_write_baseline_then_clean(tmp_path, capsys):
+    path = _module_file(tmp_path, "bad.py", BAD)
+    baseline = tmp_path / "baseline.json"
+    assert main([str(path), "--baseline", str(baseline), "--write-baseline"]) == 0
+    assert baseline.exists()
+    # Baselined findings no longer fail the run...
+    assert main([str(path), "--baseline", str(baseline)]) == 0
+    # ...but ignoring the baseline surfaces them again.
+    capsys.readouterr()
+    assert main([str(path), "--no-baseline"]) == 1
+
+
+def test_malformed_baseline_exits_two(tmp_path, capsys):
+    path = _module_file(tmp_path, "bad.py", BAD)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text("{not json")
+    assert main([str(path), "--baseline", str(baseline)]) == 2
+
+
+def test_selftest_exits_zero(capsys):
+    assert main(["--selftest"]) == 0
+    assert "selftest OK" in capsys.readouterr().out
+
+
+def test_list_rules_mentions_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in (f"RPR00{i}" for i in range(1, 9)):
+        assert code in out

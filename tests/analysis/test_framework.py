@@ -1,0 +1,144 @@
+"""Framework mechanics: suppression, baseline round-trip, reporters."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BaselineEntry,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    render_json,
+    render_text,
+    run_selftest,
+    write_baseline,
+)
+from repro.exceptions import ConfigurationError
+
+BAD_SLEEP = "import time\ntime.sleep(1.0)\n"
+
+
+class TestSuppression:
+    def test_coded_noqa_suppresses_that_rule(self):
+        source = "import time\ntime.sleep(1.0)  # repro: noqa[RPR002]\n"
+        assert lint_source(source, module="repro.core.scratch") == []
+
+    def test_bare_noqa_suppresses_everything(self):
+        source = "import time\ntime.sleep(1.0)  # repro: noqa\n"
+        assert lint_source(source, module="repro.core.scratch") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "import time\ntime.sleep(1.0)  # repro: noqa[RPR001]\n"
+        findings = lint_source(source, module="repro.core.scratch")
+        assert [f.rule for f in findings] == ["RPR002"]
+
+    def test_noqa_is_line_scoped(self):
+        source = (
+            "import time\n"
+            "time.sleep(1.0)  # repro: noqa[RPR002]\n"
+            "time.sleep(2.0)\n"
+        )
+        findings = lint_source(source, module="repro.core.scratch")
+        assert [(f.rule, f.line) for f in findings] == [("RPR002", 3)]
+
+
+class TestBaseline:
+    def test_round_trip_accepts_known_findings(self, tmp_path):
+        findings = lint_source(
+            BAD_SLEEP, path="src/repro/core/x.py", module="repro.core.x"
+        )
+        assert findings
+        baseline_path = tmp_path / "baseline.json"
+        count = write_baseline(findings, baseline_path)
+        assert count == len(findings)
+
+        fresh, accepted, stale = apply_baseline(
+            findings, load_baseline(baseline_path)
+        )
+        assert fresh == []
+        assert accepted == findings
+        assert stale == []
+
+    def test_edited_line_escapes_the_baseline(self, tmp_path):
+        findings = lint_source(
+            BAD_SLEEP, path="src/repro/core/x.py", module="repro.core.x"
+        )
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(findings, baseline_path)
+
+        edited = lint_source(
+            "import time\ntime.sleep(2.0)\n",
+            path="src/repro/core/x.py",
+            module="repro.core.x",
+        )
+        fresh, accepted, stale = apply_baseline(
+            edited, load_baseline(baseline_path)
+        )
+        assert len(fresh) == 1
+        assert accepted == []
+        assert len(stale) == 1  # the old line's entry matched nothing
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(path)
+
+    def test_entry_key_matches_by_snippet_not_line(self):
+        entry = BaselineEntry(
+            rule="RPR002",
+            path="src/repro/core/x.py",
+            snippet="time.sleep(1.0)",
+        )
+        moved = lint_source(
+            "import time\n\n\n\ntime.sleep(1.0)\n",
+            path="src/repro/core/x.py",
+            module="repro.core.x",
+        )
+        fresh, accepted, _ = apply_baseline(moved, [entry])
+        assert fresh == []
+        assert len(accepted) == 1
+
+
+class TestReporters:
+    def _findings(self):
+        return lint_source(
+            BAD_SLEEP, path="src/repro/core/x.py", module="repro.core.x"
+        )
+
+    def test_text_report_names_rule_and_location(self):
+        text = render_text(self._findings(), [], [], [])
+        assert "src/repro/core/x.py:2" in text
+        assert "RPR002" in text
+        assert "1 finding(s)" in text
+
+    def test_json_report_is_machine_readable(self):
+        document = json.loads(render_json(self._findings(), [], [], []))
+        assert document["summary"]["total"] == 1
+        (finding,) = document["findings"]
+        assert finding["rule"] == "RPR002"
+        assert finding["line"] == 2
+        assert finding["snippet"] == "time.sleep(1.0)"
+
+
+class TestLintPaths:
+    def test_unparseable_file_is_reported_not_fatal(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "broken.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def broken(:\n")
+        findings, errors = lint_paths([bad])
+        assert findings == []
+        assert len(errors) == 1
+        assert "broken.py" in errors[0]
+
+
+def test_selftest_passes():
+    assert run_selftest() == []

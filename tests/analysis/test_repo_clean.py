@@ -1,0 +1,26 @@
+"""Meta-test: the repository's own source passes its own linter.
+
+This is the same gate CI runs (``python -m repro.analysis src``); having
+it in the suite means a violation fails locally before it fails CI.
+"""
+
+import pathlib
+
+from repro.analysis import (
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_repo_src_lints_clean():
+    findings, errors = lint_paths([REPO_ROOT / "src"])
+    assert errors == []
+    baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+    fresh, _accepted, stale = apply_baseline(findings, baseline)
+    assert fresh == [], "\n".join(
+        f"{f.path}:{f.line} {f.rule} {f.message}" for f in fresh
+    )
+    assert stale == [], "stale baseline entries: burn-down complete, delete them"

@@ -1,0 +1,63 @@
+"""Every RPR rule against its committed good/bad fixture pair."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import all_rules, lint_source
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+#: rule -> (module the fixtures are linted under, findings the bad
+#: fixture must produce).  The module drives rule scoping, so e.g. the
+#: RPR006 pair is linted as if it lived in ``repro.clustering``.
+CASES = {
+    "RPR001": ("repro.workload.scratch", 5),
+    # 4 = the from-import itself plus the three call sites.
+    "RPR002": ("repro.core.scratch", 4),
+    "RPR003": ("repro.core.scratch", 2),
+    "RPR004": ("repro.core.scratch", 2),
+    "RPR005": ("repro.core.scratch", 3),
+    "RPR006": ("repro.clustering.scratch", 2),
+    "RPR007": ("repro.core.scratch", 3),
+    "RPR008": ("repro.experiments.scratch", 3),
+}
+
+
+def _lint_fixture(rule: str, flavor: str):
+    module, _ = CASES[rule]
+    source = (FIXTURES / f"{rule.lower()}_{flavor}.py").read_text()
+    findings = lint_source(source, module=module)
+    return [finding for finding in findings if finding.rule == rule]
+
+
+class TestRuleFixtures:
+    def test_every_registered_rule_has_a_case(self):
+        assert {rule.code for rule in all_rules()} == set(CASES)
+
+    @pytest.mark.parametrize("rule", sorted(CASES))
+    def test_bad_fixture_fires(self, rule):
+        findings = _lint_fixture(rule, "bad")
+        assert len(findings) == CASES[rule][1]
+        assert all(finding.severity == "error" for finding in findings)
+
+    @pytest.mark.parametrize("rule", sorted(CASES))
+    def test_good_fixture_is_clean(self, rule):
+        assert _lint_fixture(rule, "good") == []
+
+
+class TestRuleScoping:
+    def test_scoped_rule_ignores_out_of_scope_modules(self):
+        source = (FIXTURES / "rpr006_bad.py").read_text()
+        findings = lint_source(source, module="repro.workload.scratch")
+        assert [f for f in findings if f.rule == "RPR006"] == []
+
+    def test_exempt_module_is_skipped(self):
+        source = (FIXTURES / "rpr002_bad.py").read_text()
+        findings = lint_source(source, module="repro.resilience.scratch")
+        assert [f for f in findings if f.rule == "RPR002"] == []
+
+    def test_annotation_rule_only_guards_public_surface(self):
+        source = (FIXTURES / "rpr007_bad.py").read_text()
+        findings = lint_source(source, module="repro.histograms.scratch")
+        assert [f for f in findings if f.rule == "RPR007"] == []

@@ -58,7 +58,7 @@ class TestHistogramPredictBatch:
         test = sample_points(2, 200, seed=3)
         scalar = [predictor.predict(test[i]) for i in range(200)]
         batch = predictor.predict_batch(test)
-        for s, b in zip(scalar, batch):
+        for s, b in zip(scalar, batch, strict=True):
             assert (s is None) == (b is None)
             if s is not None:
                 assert s.plan_id == b.plan_id
@@ -98,7 +98,7 @@ def _assert_parity(predictor, points):
     scalar = [predictor.predict(points[i]) for i in range(points.shape[0])]
     batch = predictor.predict_batch(points)
     assert len(batch) == len(scalar)
-    for s, b in zip(scalar, batch):
+    for s, b in zip(scalar, batch, strict=True):
         assert (s is None) == (b is None)
         if s is None:
             continue
@@ -122,7 +122,7 @@ class TestScalarBatchParity:
         coords = rng.uniform(size=(150, 2))
         plan_ids = rng.integers(0, 3, size=150)
         costs = rng.uniform(1.0, 10.0, size=150)
-        for x, plan, cost in zip(coords, plan_ids, costs):
+        for x, plan, cost in zip(coords, plan_ids, costs, strict=True):
             pool.add(x, int(plan), cost=float(cost))
         predictor = HistogramPredictor(
             pool,
@@ -192,7 +192,7 @@ class TestBaselinePredictBatch:
             BaselinePredictor.predict(predictor, test[i]) for i in range(300)
         ]
         batch = predictor.predict_batch(test, chunk_size=64)
-        for s, b in zip(scalar, batch):
+        for s, b in zip(scalar, batch, strict=True):
             assert (s is None) == (b is None)
             if s is not None:
                 assert s.plan_id == b.plan_id
@@ -209,7 +209,7 @@ class TestBaselinePredictBatch:
         test = sample_points(2, 100, seed=7)
         small = predictor.predict_batch(test, chunk_size=7)
         large = predictor.predict_batch(test, chunk_size=1000)
-        for a, b in zip(small, large):
+        for a, b in zip(small, large, strict=True):
             assert (a is None) == (b is None)
             if a is not None:
                 assert a.plan_id == b.plan_id

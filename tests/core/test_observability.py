@@ -200,7 +200,7 @@ class TestGovernorMetrics:
         q5_workload = RandomTrajectoryWorkload(
             q5_space.dimensions, spread=0.05, seed=2
         ).generate(120)
-        for a, b in zip(q1_workload, q5_workload):
+        for a, b in zip(q1_workload, q5_workload, strict=True):
             framework.execute("Q1", a)
             framework.execute("Q5", b)
         governor = framework.governor

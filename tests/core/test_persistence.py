@@ -41,7 +41,7 @@ class TestRoundTrip:
         test = sample_points(2, 200, seed=1)
         original = trained_predictor.predict_batch(test)
         restored = reloaded.predict_batch(test)
-        for a, b in zip(original, restored):
+        for a, b in zip(original, restored, strict=True):
             assert (a is None) == (b is None)
             if a is not None:
                 assert a.plan_id == b.plan_id

@@ -29,7 +29,7 @@ class TestBatchMatchesScalar:
         los = np.array([min(a, b) for a, b in queries])
         his = np.array([max(a, b) for a, b in queries])
         batch = hist.range_count_batch(los, his)
-        scalar = [hist.range_count(lo, hi) for lo, hi in zip(los, his)]
+        scalar = [hist.range_count(lo, hi) for lo, hi in zip(los, his, strict=True)]
         assert batch == pytest.approx(scalar)
 
     @given(
@@ -45,7 +45,7 @@ class TestBatchMatchesScalar:
         los = np.array([min(a, b) for a, b in queries])
         his = np.array([max(a, b) for a, b in queries])
         batch = hist.range_cost_batch(los, his)
-        scalar = [hist.range_cost(lo, hi) for lo, hi in zip(los, his)]
+        scalar = [hist.range_cost(lo, hi) for lo, hi in zip(los, his, strict=True)]
         assert batch == pytest.approx(scalar)
 
     def test_empty_histogram_batch(self):

@@ -73,7 +73,7 @@ class TestMerging:
         rng = np.random.default_rng(1)
         for v in rng.uniform(0, 1, 300):
             hist.insert(float(v))
-        for left, right in zip(hist.buckets, hist.buckets[1:]):
+        for left, right in zip(hist.buckets, hist.buckets[1:], strict=False):
             assert left.hi <= right.lo
 
 

@@ -99,6 +99,6 @@ class TestOptimality:
         best = np.inf
         for split in itertools.combinations(range(1, 5), b - 1):
             edges = [0, *split, 5]
-            bounds = list(zip(edges, edges[1:]))
+            bounds = list(zip(edges, edges[1:], strict=False))
             best = min(best, error(bounds))
         assert error(dp_bounds) == pytest.approx(best)

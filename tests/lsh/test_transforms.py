@@ -24,7 +24,7 @@ class TestHypersphereRadius:
 
     def test_radius_grows_with_dimension(self):
         radii = [hypersphere_radius(r) for r in range(1, 8)]
-        assert all(a < b for a, b in zip(radii, radii[1:]))
+        assert all(a < b for a, b in zip(radii, radii[1:], strict=False))
 
     def test_invalid_dimension(self):
         with pytest.raises(ConfigurationError):
@@ -121,7 +121,7 @@ class TestEnsemble:
         a = TransformEnsemble(3, 2, seed=5)
         b = TransformEnsemble(3, 2, seed=5)
         points = np.random.default_rng(0).uniform(0, 1, (20, 2))
-        for ta, tb in zip(a, b):
+        for ta, tb in zip(a, b, strict=True):
             assert np.allclose(ta.apply(points), tb.apply(points))
 
     def test_apply_all_shapes(self):

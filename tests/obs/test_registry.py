@@ -180,9 +180,8 @@ class TestTimingHelpers:
 
     def test_time_block_records_on_exception(self):
         hist = LatencyHistogram()
-        with pytest.raises(ValueError):
-            with time_block(hist):
-                raise ValueError("boom")
+        with pytest.raises(ValueError), time_block(hist):
+            raise ValueError("boom")
         assert hist.count == 1
 
     def test_timed_decorator(self):

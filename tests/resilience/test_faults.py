@@ -154,7 +154,7 @@ class TestCorruptionHelpers:
         flipped = bit_flip(original, 3)
         assert len(flipped) == len(original)
         assert flipped != original
-        diffs = sum(a != b for a, b in zip(original, flipped))
+        diffs = sum(a != b for a, b in zip(original, flipped, strict=True))
         assert diffs == 1
 
 

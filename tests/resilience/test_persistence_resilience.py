@@ -229,7 +229,7 @@ class TestCrashSimulation:
         restored = load_predictor(path, strict=False)
         points = np.random.default_rng(5).uniform(0, 1, size=(100, 2))
         for a, b in zip(
-            predictor.predict_batch(points), restored.predict_batch(points)
+            predictor.predict_batch(points), restored.predict_batch(points), strict=True
         ):
             assert (a is None) == (b is None)
             if a is not None:

@@ -1,5 +1,6 @@
 """Foundational modules: geometry, rng, config, exceptions."""
 
+import dataclasses
 import math
 
 import numpy as np
@@ -100,7 +101,7 @@ class TestConfig:
 
     def test_frozen(self):
         config = PPCConfig()
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             config.transforms = 7
 
 

@@ -46,19 +46,19 @@ class TestGeneration:
         workload = mixture.generate(1000)
         points = [p for name, p in workload if name == "Q0"]
         steps = [
-            np.linalg.norm(b - a) for a, b in zip(points, points[1:])
+            np.linalg.norm(b - a) for a, b in zip(points, points[1:], strict=False)
         ]
         rng = np.random.default_rng(2)
         shuffled = [points[i] for i in rng.permutation(len(points))]
         random_steps = [
-            np.linalg.norm(b - a) for a, b in zip(shuffled, shuffled[1:])
+            np.linalg.norm(b - a) for a, b in zip(shuffled, shuffled[1:], strict=False)
         ]
         assert np.median(steps) < np.median(random_steps)
 
     def test_deterministic_under_seed(self):
         a = MixtureWorkload({"x": 2, "y": 2}, seed=7).generate(50)
         b = MixtureWorkload({"x": 2, "y": 2}, seed=7).generate(50)
-        for (na, pa), (nb, pb) in zip(a, b):
+        for (na, pa), (nb, pb) in zip(a, b, strict=True):
             assert na == nb
             assert (pa == pb).all()
 
