@@ -1,0 +1,89 @@
+"""Decision-tracing overhead on the predict/execute hot path.
+
+Three identically seeded sessions run the same trajectory workload
+with tracing disabled, at the default sampling policy (head + error
+bias — the shipped configuration), and fully traced (every execution
+records a complete span tree).  Sampling is deterministic and
+RNG-free, so the three sessions make bit-identical decisions and the
+comparison isolates pure tracing cost.
+
+The acceptance bar: the *sampled* default must stay within 10 % of the
+untraced baseline — the flight recorder is meant to be always-on.
+"""
+
+from time import perf_counter
+
+from _bench_utils import write_result
+from repro.config import PPCConfig, TraceConfig
+from repro.core.framework import TemplateSession
+from repro.tpch import plan_space_for
+from repro.workload import RandomTrajectoryWorkload
+
+WARMUP = 500
+PROBES = 1500
+REPEATS = 3
+
+MODES = (
+    ("off", TraceConfig(enabled=False)),
+    ("sampled", TraceConfig()),  # shipped default: head + error bias
+    ("full", TraceConfig(interval=1, capacity=4096, error_capacity=512)),
+)
+
+
+def _session(trace: TraceConfig) -> TemplateSession:
+    config = PPCConfig(
+        confidence_threshold=0.8,
+        mean_invocation_probability=0.05,
+        drift_response=False,
+        trace=trace,
+    )
+    return TemplateSession(plan_space_for("Q1"), config, seed=17)
+
+
+def _measure_modes() -> dict[str, float]:
+    """Best-of-N per-instance seconds for each tracing mode.
+
+    All sessions advance through the same instance stream in lockstep,
+    so repeat ``k`` times the same cache state in every mode and the
+    minimum over repeats is a like-for-like comparison.
+    """
+    sessions = {name: _session(cfg) for name, cfg in MODES}
+    warm = RandomTrajectoryWorkload(2, spread=0.02, seed=5).generate(WARMUP)
+    for x in warm:
+        for session in sessions.values():
+            session.execute(x)
+    probes = RandomTrajectoryWorkload(2, spread=0.02, seed=6).generate(
+        PROBES * REPEATS
+    )
+    best = dict.fromkeys(sessions, float("inf"))
+    for repeat in range(REPEATS):
+        batch = probes[repeat * PROBES : (repeat + 1) * PROBES]
+        for name, session in sessions.items():
+            t0 = perf_counter()
+            for x in batch:
+                session.execute(x)
+            best[name] = min(best[name], (perf_counter() - t0) / PROBES)
+    # Sanity: full mode actually recorded the probes it claims to time.
+    assert len(sessions["full"].tracer.traces()) > 0
+    assert len(sessions["off"].tracer.traces()) == 0
+    return best
+
+
+def test_trace_overhead(benchmark):
+    best = benchmark.pedantic(_measure_modes, rounds=1, iterations=1)
+    baseline = best["off"]
+    lines = [
+        "Decision-tracing overhead on the predict/execute path",
+        f"(Q1, {WARMUP} warmup + {REPEATS}x{PROBES} probes, best of "
+        f"{REPEATS})",
+        "",
+    ]
+    for name, __ in MODES:
+        overhead = best[name] / baseline - 1.0
+        lines.append(
+            f"{name:8s}: {best[name] * 1e6:8.2f} us/instance  "
+            f"({overhead:+.1%} vs off)"
+        )
+    write_result("trace_overhead", lines)
+    # The shipped default must be cheap enough to leave on.
+    assert best["sampled"] < 1.10 * baseline

@@ -5,8 +5,8 @@ streams for reproducible sampling, an injectable clock for retry and
 breaker logic, a central metric-name registry, atomic fsync+rename
 persistence — but conventions that nothing enforces decay.  This
 package is the enforcement layer: a small AST-based rule framework
-(:mod:`repro.analysis.core`), the eight project rules
-(:mod:`repro.analysis.rules`, codes ``RPR001``–``RPR008``), inline
+(:mod:`repro.analysis.core`), the nine project rules
+(:mod:`repro.analysis.rules`, codes ``RPR001``–``RPR009``), inline
 ``# repro: noqa[RULE]`` suppressions, a committed baseline for
 incremental burn-down (:mod:`repro.analysis.baseline`), and text/JSON
 reporters (:mod:`repro.analysis.report`).

@@ -39,7 +39,7 @@ def build_parser() -> argparse.ArgumentParser:
             "discipline (RPR002), metric-name registry (RPR003), "
             "exception hygiene (RPR004), atomic persistence (RPR005), "
             "float tolerance (RPR006), typed public API (RPR007), "
-            "session-state ownership (RPR008)"
+            "session-state ownership (RPR008), span discipline (RPR009)"
         ),
     )
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""The eight project rules, RPR001–RPR008.
+"""The nine project rules, RPR001–RPR009.
 
 Each rule guards one convention the pipeline's correctness story leans
 on (DESIGN.md §"Enforced invariants" maps them to the design decisions
@@ -593,3 +593,51 @@ def _chain_root(node: ast.Attribute) -> "str | None":
             else value.value
         )
     return value.id if isinstance(value, ast.Name) else None
+
+
+#: The tracer-internal span lifecycle primitives RPR009 confines to
+#: ``repro.obs.tracing`` (where the context manager is implemented).
+_SPAN_LIFECYCLE = frozenset({"open_span", "close_span"})
+
+
+@register_rule
+class SpanContextDiscipline(Rule):
+    """RPR009: spans open only via the tracer's context manager.
+
+    ``DecisionTrace.span(...)`` guarantees the close and records error
+    status on every exit path; a manual ``open_span``/``close_span``
+    pair leaks the span stack on the first exception between them, and
+    a hand-built ``Span`` never enters the trace tree at all.  Only the
+    tracing module itself (which implements the context manager) may
+    touch the primitives.
+    """
+
+    code = "RPR009"
+    title = "manual span lifecycle call outside the tracer"
+    rationale = (
+        "use `with trace.span(name, ...)` — the context manager closes "
+        "the span and records error status on every exit path"
+    )
+    exempt_modules = ("repro.obs.tracing",)
+
+    def check(self, ctx: ModuleContext) -> "Iterator[tuple[ast.AST, str]]":
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SPAN_LIFECYCLE
+            ):
+                yield (
+                    node,
+                    f"manual .{node.func.attr}() call; open spans with "
+                    "the `with trace.span(...)` context manager",
+                )
+                continue
+            dotted = ctx.resolve(node.func)
+            if dotted == "repro.obs.tracing.Span":
+                yield (
+                    node,
+                    "direct Span(...) construction; spans are created "
+                    "by the tracer's context manager",
+                )

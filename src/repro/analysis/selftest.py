@@ -148,6 +148,23 @@ SELFTEST_CASES = (
             "        self.optimizer_invocations = 0\n"
         ),
     ),
+    SelfTestCase(
+        rule="RPR009",
+        module="repro.core.scratch",
+        bad=(
+            "from repro.obs.tracing import Span\n"
+            "def annotate(trace):\n"
+            "    span = trace.open_span('predict')\n"
+            "    span.children.append(Span('manual'))\n"
+            "    trace.close_span()\n"
+        ),
+        good=(
+            "def annotate(trace):\n"
+            "    with trace.span('predict') as span:\n"
+            "        span.set(plan=3)\n"
+        ),
+        bad_findings=3,
+    ),
 )
 
 

@@ -12,12 +12,22 @@ Small utilities for poking at the reproduction without writing code:
   value-level service and render the observability snapshot (stage
   latencies, invocation reasons, cache hit rates, governor totals) as
   a table, JSON, or Prometheus text;
+* ``explain Q1 --point 0.3 0.7`` — warm a session, then run one
+  instance fully traced and print the decision's span tree: every LSH
+  transform's per-plan densities and vote, the confidence computation
+  against γ, noise elimination, and the fallback rung taken;
+* ``trace export Q1 --instances 300`` / ``trace audit Q1`` — run a
+  fully-traced workload and either export the flight recorder as JSON
+  Lines or render the misprediction regret audit (suboptimality
+  attributed to the pipeline stage that caused it);
 * ``faults Q1 --instances 2000`` — fault-injection bench: run a
   workload with a failing optimizer/predictor and torn persistence
   writes, and report degradations, fallback servings, breaker state
   and snapshot recovery (exits 1 on any uncaught exception);
-* ``lint`` — the AST-based invariant linter (rules RPR001-RPR008:
-  determinism, clock, metrics, persistence discipline; see
+  ``--trace-out traces.jsonl`` additionally dumps the error-biased
+  flight recorders for post-hoc diagnosis;
+* ``lint`` — the AST-based invariant linter (rules RPR001-RPR009:
+  determinism, clock, metrics, persistence, span discipline; see
   ``repro lint --list-rules``), exit 1 on fresh findings;
 * ``assumptions Q1`` — validate plan choice predictability on a template.
 """
@@ -205,6 +215,140 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_service(
+    templates: "list[str]",
+    gamma: float,
+    seed: int,
+    scale: float,
+    budget: "int | None" = None,
+):
+    """A service with full (every-execution) decision tracing."""
+    from repro.config import TraceConfig
+    from repro.service import PlanCachingService
+
+    config = PPCConfig(
+        confidence_threshold=gamma,
+        trace=TraceConfig(
+            interval=1, capacity=4096, error_capacity=512
+        ),
+    )
+    service = PlanCachingService.tpch(
+        scale_factor=scale,
+        config=config,
+        memory_budget_bytes=budget,
+        seed=seed,
+    )
+    for template in templates:
+        service.register(template)
+    return service
+
+
+def _run_trace_workload(
+    service, templates: "list[str]", instances: int, spread: float, seed: int
+) -> None:
+    """Interleaved trajectory workload (the ``stats`` shape)."""
+    trajectories = {}
+    for offset, template in enumerate(templates):
+        dimensions = service.framework.session(template).plan_space.dimensions
+        trajectories[template] = RandomTrajectoryWorkload(
+            dimensions, spread=spread, seed=seed + offset
+        ).generate(instances)
+    for index in range(instances):
+        for template in templates:
+            service.execute(
+                service.instance_at(template, trajectories[template][index])
+            )
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Run one instance fully traced and print the span tree."""
+    import json
+
+    from repro.exceptions import ReproError
+    from repro.obs.tracing import render_trace, trace_to_dict
+
+    service = _trace_service(
+        [args.template], args.gamma, args.seed, args.scale
+    )
+    session = service.framework.session(args.template)
+    if len(args.point) != session.plan_space.dimensions:
+        print(
+            f"{args.template} needs {session.plan_space.dimensions} "
+            "point coordinates",
+            file=sys.stderr,
+        )
+        return 1
+    if args.warmup:
+        _run_trace_workload(
+            service, [args.template], args.warmup, args.spread, args.seed
+        )
+    try:
+        trace = service.explain(
+            service.instance_at(args.template, np.array(args.point))
+        )
+    except ReproError as exc:
+        print(f"explain failed: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(trace_to_dict(trace), indent=2, sort_keys=True))
+    else:
+        print(render_trace(trace))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Flight-recorder tooling: JSONL export and the regret audit."""
+    from repro.core.persistence import atomic_write_text
+    from repro.obs.audit import regret_audit
+    from repro.obs.tracing import dumps_jsonl
+
+    if args.instances < 1:
+        print("--instances must be >= 1", file=sys.stderr)
+        return 1
+    service = _trace_service(
+        args.templates, args.gamma, args.seed, args.scale
+    )
+    _run_trace_workload(
+        service, args.templates, args.instances, args.spread, args.seed
+    )
+    traces = service.traces()
+    if args.action == "export":
+        text = dumps_jsonl(traces)
+        if args.out:
+            atomic_write_text(args.out, text)
+            print(f"wrote {len(traces)} traces to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    audit = regret_audit(traces)
+    print(
+        f"instances traced     : {audit['instances']}"
+    )
+    print(
+        f"suboptimal decisions : {audit['suboptimal']} "
+        f"(total regret {audit['total_regret']:.4f})"
+    )
+    if not audit["stages"]:
+        print("no regret to attribute")
+        return 0
+    print(
+        f"  {'stage':<22s} {'count':>6s} {'regret':>9s} "
+        f"{'mean x':>8s} {'max x':>8s} {'undetected':>10s}"
+    )
+    ranked = sorted(
+        audit["stages"].items(), key=lambda kv: -kv[1]["total_regret"]
+    )
+    for stage, bucket in ranked:
+        print(
+            f"  {stage:<22s} {bucket['count']:>6d} "
+            f"{bucket['total_regret']:>9.4f} "
+            f"{bucket['mean_suboptimality']:>8.4f} "
+            f"{bucket['max_suboptimality']:>8.4f} "
+            f"{bucket['undetected']:>10d}"
+        )
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     """Fault-injection bench: prove the pipeline degrades, never dies.
 
@@ -373,6 +517,22 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         },
         "snapshots": {**snapshots, "recovery": recovery},
     }
+    if args.trace_out:
+        # The default sampler is error-biased, so the dump holds the
+        # run-up to every degradation the storm caused.
+        from repro.core.persistence import atomic_write_text
+        from repro.obs.tracing import dumps_jsonl
+
+        traces = [
+            trace
+            for template in args.templates
+            for trace in framework.session(template).tracer.traces()
+        ]
+        atomic_write_text(args.trace_out, dumps_jsonl(traces))
+        report["traces"] = {
+            "recorded": len(traces),
+            "path": str(args.trace_out),
+        }
     if args.format == "json":
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -404,6 +564,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"snapshots            : attempts={snapshots['attempts']} "
             f"torn={snapshots['torn']} recovery={recovery}"
         )
+        if "traces" in report:
+            print(
+                f"flight recorder      : "
+                f"{report['traces']['recorded']} traces -> "
+                f"{report['traces']['path']}"
+            )
     return 0 if uncaught == 0 else 1
 
 
@@ -639,6 +805,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.set_defaults(handler=_cmd_stats)
 
+    explain = commands.add_parser(
+        "explain",
+        help="run one instance fully traced and print the span tree",
+    )
+    explain.add_argument(
+        "--template", choices=list(TEMPLATE_NAMES), required=True
+    )
+    explain.add_argument(
+        "--point", type=float, nargs="+", required=True,
+        help="plan-space coordinates in [0, 1]^r",
+    )
+    explain.add_argument(
+        "--warmup", type=int, default=200,
+        help="trajectory instances executed before the explained one",
+    )
+    explain.add_argument("--spread", type=float, default=0.02)
+    explain.add_argument("--gamma", type=float, default=0.8)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--scale", type=float, default=0.1)
+    explain.add_argument(
+        "--format", choices=("tree", "json"), default="tree"
+    )
+    explain.set_defaults(handler=_cmd_explain)
+
+    trace = commands.add_parser(
+        "trace",
+        help="flight-recorder tooling: JSONL export and the regret audit",
+    )
+    trace.add_argument("action", choices=("export", "audit"))
+    trace.add_argument(
+        "templates", choices=list(TEMPLATE_NAMES), nargs="+"
+    )
+    trace.add_argument("--instances", type=int, default=300)
+    trace.add_argument("--spread", type=float, default=0.02)
+    trace.add_argument("--gamma", type=float, default=0.8)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--scale", type=float, default=0.1)
+    trace.add_argument(
+        "--out", default=None,
+        help="JSONL destination for export (default: stdout)",
+    )
+    trace.set_defaults(handler=_cmd_trace)
+
     faults = commands.add_parser(
         "faults",
         help="fault-injection bench: degraded components, zero crashes",
@@ -656,6 +865,10 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=0)
     faults.add_argument(
         "--format", choices=("table", "json"), default="table"
+    )
+    faults.add_argument(
+        "--trace-out", default=None,
+        help="dump the flight-recorder traces as JSONL to this path",
     )
     faults.set_defaults(handler=_cmd_faults)
 

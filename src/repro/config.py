@@ -55,6 +55,39 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Sampling knobs of the per-template decision flight recorder.
+
+    Every ``TemplateSession.execute`` asks the sampler whether to build
+    a full :class:`~repro.obs.tracing.DecisionTrace`; unsampled
+    executions pay one no-op method call per stage and allocate
+    nothing.  Sampling is deterministic (no RNG): the first ``head``
+    executions are always traced, every ``interval``-th execution after
+    that (0 disables interval sampling), and — error-biased — the
+    ``error_burst`` executions following any degraded/fallback/raised
+    instance, so the recorder holds the run-up to every incident.
+    ``explain`` bypasses the sampler entirely (decision ``forced``).
+    """
+
+    enabled: bool = True
+    head: int = 8
+    interval: int = 0
+    error_burst: int = 4
+    capacity: int = 256
+    error_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.head < 0:
+            raise ConfigurationError("trace head must be >= 0")
+        if self.interval < 0:
+            raise ConfigurationError("trace interval must be >= 0")
+        if self.error_burst < 0:
+            raise ConfigurationError("trace error burst must be >= 0")
+        if self.capacity < 1 or self.error_capacity < 1:
+            raise ConfigurationError("trace capacities must be >= 1")
+
+
+@dataclass(frozen=True)
 class PPCConfig:
     """Knobs of one template's online plan-caching session."""
 
@@ -82,6 +115,9 @@ class PPCConfig:
     #: validation); the defaults cost nothing while dependencies are
     #: healthy.
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Decision-trace sampling and flight-recorder sizing; the default
+    #: traces the first few executions plus an error-biased burst.
+    trace: TraceConfig = field(default_factory=TraceConfig)
 
     def __post_init__(self) -> None:
         if self.transforms < 1:

@@ -133,6 +133,50 @@ class ConfidenceModel:
             return winner, value
         return None, value
 
+    def explain_decide(
+        self,
+        counts: "np.ndarray | list[float]",
+        threshold: float,
+    ) -> "tuple[int | None, float, dict]":
+        """:meth:`decide` plus its intermediate quantities.
+
+        Returns ``(plan_id, confidence, detail)`` where ``detail``
+        carries the winner, the ``c_max``/``sum(others)`` counts, their
+        ratio, which confidence model applied (``pure`` neighborhoods
+        use ``1 - (1 - chi)^alpha``, ``mixed`` ones the chord's
+        ``sin(theta)``), and the γ comparison — the payload of the
+        decision trace's ``confidence`` span.  The decision itself is
+        exactly :meth:`decide`'s.
+        """
+        counts = np.asarray(counts, dtype=float)
+        detail: dict = {"gamma": float(threshold)}
+        if counts.size == 0 or counts.max() <= 0.0:
+            detail.update(
+                winner=None,
+                max_count=0.0,
+                other_count=0.0,
+                ratio=None,
+                model="null",
+                sin_theta=0.0,
+                passed=False,
+            )
+            return None, 0.0, detail
+        winner = int(np.argmax(counts))
+        max_count = float(counts[winner])
+        other_count = float(counts.sum() - max_count)
+        value = self.confidence(max_count, other_count)
+        passed = value > threshold
+        detail.update(
+            winner=winner,
+            max_count=max_count,
+            other_count=other_count,
+            ratio=None if other_count <= 0.0 else max_count / other_count,
+            model="pure" if other_count <= 0.0 else "mixed",
+            sin_theta=value,
+            passed=passed,
+        )
+        return (winner if passed else None), value, detail
+
     def decide_batch(
         self,
         counts: np.ndarray,

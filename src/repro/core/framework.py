@@ -58,6 +58,7 @@ from repro.exceptions import PredictionError, ResilienceError
 from repro.metrics.classification import PrecisionRecall, summarize
 from repro.metrics.classification import PredictionOutcome
 from repro.obs import MetricsRegistry, names as metric_names
+from repro.obs.tracing import DecisionTrace, DecisionTracer, NoopTrace
 from repro.optimizer.plan_space import PlanSpace
 from repro.resilience.breaker import BREAKER_STATE_VALUES, CircuitBreaker
 from repro.resilience.clocks import system_clock, system_sleep
@@ -172,6 +173,9 @@ class TemplateSession:
             seed=seed,
         )
         self.online.predictor.bind_metrics(self.metrics, template=template)
+        self.tracer = DecisionTracer(
+            template, config=self.config.trace, metrics=self.metrics
+        )
         self.optimizer_invocations = 0
         self.drift_events = 0
         self.records: list[ExecutionRecord] = []
@@ -359,11 +363,56 @@ class TemplateSession:
 
     def execute(self, x: np.ndarray) -> ExecutionRecord:
         """Run one query instance through the PPC workflow."""
-        x = (
-            self._validate_point(x)
-            if self.config.resilience.validate_points
-            else np.asarray(x, dtype=float).reshape(-1)
-        )
+        trace = self.tracer.begin()
+        return self._run(x, trace)
+
+    def explain(self, x: np.ndarray) -> DecisionTrace:
+        """Run one instance fully traced; returns its decision trace.
+
+        Bypasses the sampler (decision ``forced``) but is otherwise a
+        normal execution: the session's state advances exactly as an
+        untraced ``execute`` would (sampling consumes no RNG), which is
+        what the explain/execute parity test pins down.  The produced
+        :class:`ExecutionRecord` is ``self.records[-1]``; its summary
+        is the trace's ``outcome``.
+        """
+        trace = self.tracer.begin(force=True)
+        self._run(x, trace)
+        return trace
+
+    def _run(
+        self, x: np.ndarray, trace: "DecisionTrace | NoopTrace"
+    ) -> ExecutionRecord:
+        """Drive one decision, sealing the trace on every exit path."""
+        try:
+            record = self._decide_and_execute(x, trace)
+        except BaseException as exc:
+            self.tracer.finish(trace, error=exc)
+            raise
+        self.tracer.finish(trace, record=record)
+        return record
+
+    def _decide_and_execute(
+        self, x: np.ndarray, trace: "DecisionTrace | NoopTrace"
+    ) -> ExecutionRecord:
+        """The Figure-1 decision flow, annotated onto ``trace``.
+
+        All trace attribute computation hides behind ``trace.active``
+        so the unsampled path stays behaviorally and metrically
+        identical to the untraced flow — and allocation-free.
+        """
+        with trace.span("normalize"):
+            x = (
+                self._validate_point(x)
+                if self.config.resilience.validate_points
+                else np.asarray(x, dtype=float).reshape(-1)
+            )
+            if trace.active:
+                trace.point = [float(v) for v in x]
+                trace.annotate(
+                    dimensions=int(x.shape[0]),
+                    validated=self.config.resilience.validate_points,
+                )
         self._executions_counter.inc()
         invocations_before = self.optimizer_invocations
         # Experimenter-side ground truth; the session only learns it if
@@ -374,13 +423,28 @@ class TemplateSession:
         degraded = False
         fallback_source = ""
         stage_start = perf_counter()
-        try:
-            prediction = self._predict(x)
-        except Exception:
-            # A broken predictor degrades to the optimizer path.
-            prediction = None
-            degraded = True
-            self._degraded_counters["predictor"].inc()
+        with trace.span("predict") as predict_span:
+            try:
+                prediction = (
+                    self._predict(x, trace=trace)
+                    if trace.active
+                    else self._predict(x)
+                )
+            except Exception:
+                # A broken predictor degrades to the optimizer path.
+                prediction = None
+                degraded = True
+                self._degraded_counters["predictor"].inc()
+                predict_span.set(degraded=True, status_detail="predictor raised")
+            if trace.active:
+                if prediction is None:
+                    predict_span.set(plan=None)
+                else:
+                    predict_span.set(
+                        plan=prediction.plan_id,
+                        confidence=prediction.confidence,
+                        estimated_cost=prediction.estimated_cost,
+                    )
         self._stage_timers["predict"].observe(perf_counter() - stage_start)
 
         reason = ""
@@ -390,10 +454,37 @@ class TemplateSession:
             reason = "exploration"
         elif prediction.plan_id not in self.cache:
             reason = "cache_miss"
+        if trace.active:
+            # Membership via ``in`` is accounting-free — the real
+            # lookup below still owns the hit/miss counters.
+            with trace.span("decide") as decide_span:
+                decide_span.set(
+                    action=reason or "serve_prediction",
+                    plan_cached=prediction is not None
+                    and prediction.plan_id in self.cache,
+                )
 
         if reason:
             stage_start = perf_counter()
-            outcome = self._invoke_optimizer(x)
+            with trace.span("optimize") as optimize_span:
+                if trace.active:
+                    optimize_span.set(
+                        reason=reason, breaker_before=self.breaker.state
+                    )
+                retries_before = self._retries_counter.value
+                outcome = self._invoke_optimizer(x)
+                if trace.active:
+                    optimize_span.set(
+                        breaker_after=self.breaker.state,
+                        retries=int(
+                            self._retries_counter.value - retries_before
+                        ),
+                        available=outcome is not None,
+                    )
+                    if outcome is not None:
+                        optimize_span.set(
+                            plan=outcome[0], cost=outcome[1]
+                        )
             self._stage_timers["optimize"].observe(
                 perf_counter() - stage_start
             )
@@ -410,12 +501,21 @@ class TemplateSession:
                 # Optimizer down: answer from the fallback chain.  The
                 # estimators see nothing — there is no verified signal.
                 degraded = True
-                executed_plan, fallback_source = self._fallback_plan(
-                    prediction
-                )
-                execution_cost = float(
-                    self.plan_space.cost_at(x[None, :], executed_plan)[0]
-                )
+                with trace.span("fallback") as fallback_span:
+                    executed_plan, fallback_source = self._fallback_plan(
+                        prediction
+                    )
+                    execution_cost = float(
+                        self.plan_space.cost_at(x[None, :], executed_plan)[0]
+                    )
+                    if trace.active:
+                        fallback_span.set(
+                            source=fallback_source,
+                            plan=executed_plan,
+                            suboptimality=execution_cost / optimal_cost
+                            if optimal_cost > 0.0
+                            else 1.0,
+                        )
                 self._fallback_counters[fallback_source].inc()
                 self._fallback_suboptimality.observe(
                     execution_cost / optimal_cost
@@ -425,44 +525,83 @@ class TemplateSession:
         else:
             executed_plan = prediction.plan_id
             self.cache.get(executed_plan)
+            with trace.span("execute_plan") as execute_span:
+                stage_start = perf_counter()
+                execution_cost = float(
+                    self.plan_space.cost_at(x[None, :], executed_plan)[0]
+                )
+                self._stage_timers["execute"].observe(
+                    perf_counter() - stage_start
+                )
+                if trace.active:
+                    execute_span.set(plan=executed_plan, cost=execution_cost)
             stage_start = perf_counter()
-            execution_cost = float(
-                self.plan_space.cost_at(x[None, :], executed_plan)[0]
-            )
-            self._stage_timers["execute"].observe(
-                perf_counter() - stage_start
-            )
-            stage_start = perf_counter()
-            if self.online.suspect_error(prediction, execution_cost):
-                reason = "negative_feedback"
-                outcome = self._invoke_optimizer(x)
-                if outcome is not None:
-                    true_plan, __ = outcome
-                    self.monitor.record_prediction(
-                        prediction.plan_id, prediction.plan_id == true_plan
+            with trace.span("feedback") as feedback_span:
+                suspect = self.online.suspect_error(
+                    prediction, execution_cost
+                )
+                if trace.active:
+                    feedback_span.set(
+                        estimated_cost=prediction.estimated_cost,
+                        observed_cost=execution_cost,
+                        suspect=suspect,
                     )
+                if suspect:
+                    reason = "negative_feedback"
+                    with trace.span("optimize") as verify_span:
+                        if trace.active:
+                            verify_span.set(
+                                reason=reason,
+                                breaker_before=self.breaker.state,
+                            )
+                        outcome = self._invoke_optimizer(x)
+                        if trace.active:
+                            verify_span.set(
+                                breaker_after=self.breaker.state,
+                                available=outcome is not None,
+                            )
+                            if outcome is not None:
+                                verify_span.set(
+                                    plan=outcome[0], cost=outcome[1]
+                                )
+                    if outcome is not None:
+                        true_plan, __ = outcome
+                        self.monitor.record_prediction(
+                            prediction.plan_id,
+                            prediction.plan_id == true_plan,
+                        )
+                        if trace.active:
+                            feedback_span.set(verified_plan=true_plan)
+                    else:
+                        # Optimizer down: the suspicion stays
+                        # unverified; the executed plan stands and the
+                        # estimators see nothing.
+                        degraded = True
+                        if trace.active:
+                            feedback_span.set(verified=False)
                 else:
-                    # Optimizer down: the suspicion stays unverified;
-                    # the executed plan stands and the estimators see
-                    # nothing.
-                    degraded = True
-            else:
-                # No ground truth available: the cost estimator believes
-                # the prediction, and the estimators record that belief.
-                self.monitor.record_prediction(prediction.plan_id, True)
-                # Trusted execution: optionally offer the point as
-                # positive feedback (discounted + capped by the policy).
-                try:
-                    inserted = self.online.observe_unverified(
-                        x, prediction, execution_cost
-                    )
-                except Exception:
-                    inserted = False
-                    degraded = True
-                    self._degraded_counters["predictor_insert"].inc()
-                if self.online.positive_feedback is not None:
-                    outcome = "accepted" if inserted else "rejected"
-                    self._feedback_counters[outcome].inc()
+                    # No ground truth available: the cost estimator
+                    # believes the prediction, and the estimators record
+                    # that belief.
+                    self.monitor.record_prediction(prediction.plan_id, True)
+                    # Trusted execution: optionally offer the point as
+                    # positive feedback (discounted + capped by the
+                    # policy).
+                    try:
+                        inserted = self.online.observe_unverified(
+                            x, prediction, execution_cost
+                        )
+                    except Exception:
+                        inserted = False
+                        degraded = True
+                        self._degraded_counters["predictor_insert"].inc()
+                    if self.online.positive_feedback is not None:
+                        outcome_label = "accepted" if inserted else "rejected"
+                        self._feedback_counters[outcome_label].inc()
+                        if trace.active:
+                            feedback_span.set(
+                                positive_feedback=outcome_label
+                            )
             self._stage_timers["feedback"].observe(
                 perf_counter() - stage_start
             )
@@ -475,9 +614,14 @@ class TemplateSession:
             drift = True
             self.drift_events += 1
             self._drift_counter.inc()
-            self.online.drop()
-            self.monitor.reset()
-            self.cache.clear()
+            with trace.span("drift") as drift_span:
+                self.online.drop()
+                self.monitor.reset()
+                self.cache.clear()
+                if trace.active:
+                    drift_span.set(
+                        response=["drop_synopses", "reset_monitor", "clear_cache"]
+                    )
 
         record = ExecutionRecord(
             template=self.plan_space.template.name,
@@ -594,6 +738,27 @@ class PPCFramework:
             if self._executions % self.governor_interval == 0:
                 self.governor.enforce()
         return record
+
+    def explain(self, template_name: str, x: np.ndarray) -> DecisionTrace:
+        """Run one instance fully traced and return its decision trace."""
+        trace = self.sessions[template_name].explain(x)
+        if self.governor is not None:
+            self.governor.touch(template_name)
+            self._executions += 1
+            if self._executions % self.governor_interval == 0:
+                self.governor.enforce()
+        return trace
+
+    @property
+    def clock_source(self) -> str:
+        """Which clock times the resilience machinery (not wall-clock
+        by contract — tests and storms inject a ``VirtualClock``)."""
+        if self._clock is None:
+            return "repro.resilience.clocks.system_clock"
+        name = getattr(self._clock, "__qualname__", None)
+        if name is None:
+            name = type(self._clock).__name__
+        return name
 
     @property
     def optimizer_invocations(self) -> int:

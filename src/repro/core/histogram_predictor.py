@@ -48,6 +48,7 @@ from repro.geometry import ball_volume
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import MetricsRegistry
+    from repro.obs.tracing import DecisionTrace
 
 _STATIC_BUILDERS = {
     "maxdiff": MaxDiffHistogram,
@@ -246,9 +247,19 @@ class HistogramPredictor(PlanPredictor):
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
-    def median_counts(self, x: np.ndarray) -> np.ndarray:
+    def median_counts(
+        self, x: np.ndarray, trace: "DecisionTrace | None" = None
+    ) -> np.ndarray:
         """Per-plan range-count aggregated across the ``t`` transforms
-        (median by default; mean under the ablation setting)."""
+        (median by default; mean under the ablation setting).
+
+        With an active ``trace``, every transform's density lookup gets
+        its own span (z-value, per-plan counts and average costs, the
+        transform's argmax vote) plus an ``aggregate`` span; the
+        returned counts are identical either way.
+        """
+        if trace is not None and trace.active:
+            return self._median_counts_traced(x, trace)
         x = self._check_point(x)
         record = self._metrics is not None
         transform_seconds = 0.0
@@ -275,7 +286,65 @@ class HistogramPredictor(PlanPredictor):
             return estimates.mean(axis=0)
         return np.median(estimates, axis=0)
 
-    def predict(self, x: np.ndarray) -> "Prediction | None":
+    def _median_counts_traced(
+        self, x: np.ndarray, trace: "DecisionTrace"
+    ) -> np.ndarray:
+        """Traced twin of :meth:`median_counts`: same estimates, plus a
+        span per transform.  Traced lookups also answer the per-plan
+        ``range_cost`` queries (for the avg-cost attribute), extra work
+        the untraced hot path never pays."""
+        x = self._check_point(x)
+        record = self._metrics is not None
+        transform_seconds = 0.0
+        range_seconds = 0.0
+        estimates = np.empty((len(self.ensemble), self.plan_count))
+        for index in range(len(self.ensemble)):
+            with trace.span("transform") as span:
+                started = perf_counter()
+                z = float(self._z_values(index, x[None, :])[0])
+                mid = perf_counter()
+                transform_seconds += mid - started
+                lo, hi = z - self.delta, z + self.delta
+                avg_costs: "list[float | None]" = []
+                for plan in range(self.plan_count):
+                    histogram = self._histograms[index][plan]
+                    count = histogram.range_count(lo, hi)
+                    estimates[index, plan] = count
+                    avg_costs.append(
+                        float(histogram.range_cost(lo, hi))
+                        if count > 0
+                        else None
+                    )
+                range_seconds += perf_counter() - mid
+                row = estimates[index]
+                span.set(
+                    index=index,
+                    z=z,
+                    z_range=[lo, hi],
+                    counts=[float(c) for c in row],
+                    avg_costs=avg_costs,
+                    vote=int(row.argmax()) if row.max() > 0.0 else None,
+                )
+        if record:
+            self._transform_timer.observe(transform_seconds)
+            self._range_timer.observe(range_seconds)
+        counts = (
+            estimates.mean(axis=0)
+            if self.aggregation == "mean"
+            else np.median(estimates, axis=0)
+        )
+        with trace.span("aggregate") as span:
+            span.set(
+                method=self.aggregation,
+                counts=[float(c) for c in counts],
+            )
+        return counts
+
+    def predict(
+        self, x: np.ndarray, trace: "DecisionTrace | None" = None
+    ) -> "Prediction | None":
+        if trace is not None and trace.active:
+            return self._predict_traced(x, trace)
         counts = self.median_counts(x)
         if (
             self.noise_fraction is not None
@@ -286,6 +355,42 @@ class HistogramPredictor(PlanPredictor):
         plan_id, confidence = self.model.decide(
             counts, self.confidence_threshold
         )
+        if plan_id is None:
+            return None
+        return Prediction(plan_id, confidence, self.estimated_cost(x, plan_id))
+
+    def _predict_traced(
+        self, x: np.ndarray, trace: "DecisionTrace"
+    ) -> "Prediction | None":
+        """Traced twin of :meth:`predict` — identical decision, with
+        noise-elimination and confidence (γ comparison) spans."""
+        counts = self.median_counts(x, trace=trace)
+        max_count = float(counts.max())
+        threshold = (
+            None
+            if self.noise_fraction is None
+            else self.noise_fraction * self.total_mass
+        )
+        eliminated = (
+            self.noise_fraction is not None
+            and self.total_mass > 0
+            and max_count < self.noise_fraction * self.total_mass
+        )
+        with trace.span("noise_elimination") as span:
+            span.set(
+                max_count=max_count,
+                total_mass=self.total_mass,
+                noise_fraction=self.noise_fraction,
+                threshold=threshold,
+                eliminated=eliminated,
+            )
+        if eliminated:
+            return None
+        with trace.span("confidence") as span:
+            plan_id, confidence, detail = self.model.explain_decide(
+                counts, self.confidence_threshold
+            )
+            span.set(**detail)
         if plan_id is None:
             return None
         return Prediction(plan_id, confidence, self.estimated_cost(x, plan_id))

@@ -11,6 +11,8 @@ approaches BASELINE at a fraction of the space.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.confidence import ConfidenceModel
@@ -20,6 +22,9 @@ from repro.core.relevance import apply_axis_weights
 from repro.exceptions import PredictionError
 from repro.lsh.grid import Grid
 from repro.lsh.transforms import TransformEnsemble
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import DecisionTrace
 
 
 class LshPredictor(PlanPredictor):
@@ -100,24 +105,61 @@ class LshPredictor(PlanPredictor):
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
-    def median_counts(self, x: np.ndarray) -> np.ndarray:
+    def median_counts(
+        self, x: np.ndarray, trace: "DecisionTrace | None" = None
+    ) -> np.ndarray:
         """Per-plan bucket count aggregated across the ``t`` transforms
-        (median by default; mean under the ablation setting)."""
+        (median by default; mean under the ablation setting).
+
+        With an active ``trace``, each transform's grid-cell lookup
+        gets a span (cell id, per-plan counts, the transform's argmax
+        vote) plus an ``aggregate`` span; the counts are identical
+        either way.
+        """
         x = self._check_point(x)
+        traced = trace is not None and trace.active
         estimates = np.empty((len(self.grids), self.plan_count))
         for index, transform in enumerate(self.ensemble):
             cell = int(self.grids[index].cell_ids(transform.apply(apply_axis_weights(x[None, :], self.axis_weights)))[0])
             estimates[index] = self._counts[index][:, cell]
-        if self.aggregation == "mean":
-            return estimates.mean(axis=0)
-        return np.median(estimates, axis=0)
-
-    def predict(self, x: np.ndarray) -> "Prediction | None":
-        x = self._check_point(x)
-        counts = self.median_counts(x)
-        plan_id, confidence = self.model.decide(
-            counts, self.confidence_threshold
+            if traced:
+                row = estimates[index]
+                with trace.span("transform") as span:
+                    span.set(
+                        index=index,
+                        cell=cell,
+                        counts=[float(c) for c in row],
+                        vote=int(row.argmax()) if row.max() > 0.0 else None,
+                    )
+        counts = (
+            estimates.mean(axis=0)
+            if self.aggregation == "mean"
+            else np.median(estimates, axis=0)
         )
+        if traced:
+            with trace.span("aggregate") as span:
+                span.set(
+                    method=self.aggregation,
+                    counts=[float(c) for c in counts],
+                )
+        return counts
+
+    def predict(
+        self, x: np.ndarray, trace: "DecisionTrace | None" = None
+    ) -> "Prediction | None":
+        x = self._check_point(x)
+        traced = trace is not None and trace.active
+        counts = self.median_counts(x, trace=trace)
+        if traced:
+            with trace.span("confidence") as span:
+                plan_id, confidence, detail = self.model.explain_decide(
+                    counts, self.confidence_threshold
+                )
+                span.set(**detail)
+        else:
+            plan_id, confidence = self.model.decide(
+                counts, self.confidence_threshold
+            )
         if plan_id is None:
             return None
         return Prediction(plan_id, confidence, self._median_cost(x, plan_id))

@@ -19,6 +19,8 @@ pieces bundled here:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.confidence import ConfidenceModel
@@ -29,6 +31,9 @@ from repro.core.positive_feedback import PositiveFeedbackPolicy
 from repro.core.predictor import PlanPredictor, Prediction
 from repro.exceptions import ConfigurationError
 from repro.rng import as_generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import DecisionTrace
 
 #: Default noise-elimination threshold: a prediction needs support of at
 #: least this fraction of all accumulated points (Section IV-C uses "a
@@ -84,8 +89,10 @@ class OnlinePredictor(PlanPredictor):
     # ------------------------------------------------------------------
     # PlanPredictor interface
     # ------------------------------------------------------------------
-    def predict(self, x: np.ndarray) -> "Prediction | None":
-        return self.predictor.predict(x)
+    def predict(
+        self, x: np.ndarray, trace: "DecisionTrace | None" = None
+    ) -> "Prediction | None":
+        return self.predictor.predict(x, trace=trace)
 
     def space_bytes(self) -> int:
         return self.predictor.space_bytes()

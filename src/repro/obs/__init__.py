@@ -10,7 +10,14 @@ A dependency-free metrics layer sized for a hot path:
 * :func:`~repro.obs.prometheus.render_prometheus` — Prometheus text
   exposition of a registry;
 * :mod:`repro.obs.names` — the canonical metric-name inventory the
-  instrumented pipeline emits.
+  instrumented pipeline emits;
+* :mod:`repro.obs.tracing` — span-based decision tracing with a
+  bounded, error-biased per-template flight recorder
+  (:class:`~repro.obs.tracing.DecisionTracer`), behind deterministic
+  sampling so the unsampled hot path stays allocation-free;
+* :mod:`repro.obs.audit` — the misprediction regret audit that joins
+  recorded traces against optimizer ground truth and blames the
+  pipeline stage that caused each suboptimal decision.
 
 Every :class:`~repro.core.framework.PPCFramework` (and therefore every
 :class:`~repro.service.PlanCachingService`) owns one registry; pass
@@ -26,14 +33,31 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.timing import time_block, timed
+from repro.obs.tracing import (
+    NOOP_TRACE,
+    DecisionTrace,
+    DecisionTracer,
+    FlightRecorder,
+    Span,
+    render_trace,
+)
+from repro.obs.audit import attribute_stage, regret_audit
 
 __all__ = [
+    "NOOP_TRACE",
     "Counter",
+    "DecisionTrace",
+    "DecisionTracer",
+    "FlightRecorder",
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "Span",
+    "attribute_stage",
     "names",
+    "regret_audit",
     "render_prometheus",
+    "render_trace",
     "time_block",
     "timed",
 ]

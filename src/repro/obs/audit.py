@@ -1,0 +1,140 @@
+"""Misprediction regret audit over recorded decision traces.
+
+Joins each trace's outcome against the optimizer ground truth it
+carries (every :class:`~repro.core.framework.ExecutionRecord` labels
+the optimal plan for accounting) and attributes the suboptimality of
+each wrong answer to the pipeline stage that caused it:
+
+``fallback:<source>``
+    The resilience chain served the plan — the predictor never got a
+    say (optimizer outage, breaker open).
+``density_lookup``
+    No transform's histogram vote matched the optimal plan: the
+    synopsis held no useful density at this point (sparse region,
+    stale after drift).
+``median_vote``
+    Some transforms voted for the optimal plan but the median/argmax
+    aggregation was outvoted — an LSH collision problem (paper §4.2's
+    motivation for taking the median over ``t`` transforms).
+``confidence_check``
+    A majority of transforms agreed with the optimal plan yet the
+    served plan still differed — the chord-model confidence
+    (``sin θ`` vs γ) admitted a wrong winner or the noise filter
+    intervened.
+
+Regret is ``suboptimality - 1`` (excess cost over optimal, as a
+fraction); ``undetected`` counts wrong answers the pipeline did not
+catch via negative feedback — the silent mispredictions Kepler-style
+auditing exists to surface.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.obs.tracing import DecisionTrace, trace_to_dict
+
+__all__ = ["attribute_stage", "regret_audit"]
+
+
+def _as_dict(trace: "DecisionTrace | Mapping[str, Any]") -> dict[str, Any]:
+    if isinstance(trace, DecisionTrace):
+        return trace_to_dict(trace)
+    return dict(trace)
+
+
+def _iter_spans(span: Mapping[str, Any]) -> Iterable[Mapping[str, Any]]:
+    for child in span.get("children", ()):
+        yield child
+        yield from _iter_spans(child)
+
+
+def attribute_stage(trace: "DecisionTrace | Mapping[str, Any]") -> str | None:
+    """Name the pipeline stage responsible for a suboptimal decision.
+
+    Returns None for optimal (or outcome-less) traces; otherwise one of
+    ``fallback:<source>``, ``density_lookup``, ``median_vote``,
+    ``confidence_check``, or ``unknown`` when the trace carries no
+    transform spans to inspect (e.g. sampled with tracing of the
+    predictor disabled).
+    """
+    payload = _as_dict(trace)
+    outcome = payload.get("outcome") or {}
+    if not outcome or outcome.get("error"):
+        return None
+    executed = outcome.get("executed_plan")
+    optimal = outcome.get("optimal_plan")
+    # Blame only decisions that *cost* something: a wrong prediction
+    # corrected by an optimizer invocation executed optimally and
+    # carries no regret.
+    if executed is None or optimal is None or executed == optimal:
+        return None
+    source = outcome.get("fallback_source")
+    if source:
+        return f"fallback:{source}"
+    votes: list[Any] = []
+    for span in _iter_spans(payload.get("root", {})):
+        if span.get("name") == "transform":
+            votes.append(span.get("attributes", {}).get("vote"))
+    if not votes:
+        return "unknown"
+    correct_votes = sum(1 for vote in votes if vote == optimal)
+    if correct_votes == 0:
+        return "density_lookup"
+    if correct_votes * 2 < len(votes):
+        return "median_vote"
+    return "confidence_check"
+
+
+def regret_audit(
+    traces: Iterable["DecisionTrace | Mapping[str, Any]"],
+) -> dict[str, Any]:
+    """Aggregate per-stage regret over a set of decision traces.
+
+    Returns ``{"instances", "suboptimal", "total_regret", "stages"}``
+    where ``stages`` maps each blamed stage to its count, total regret
+    (sum of ``suboptimality - 1``), mean/max suboptimality, and how
+    many of its mispredictions went undetected (served without
+    triggering negative feedback).
+    """
+    instances = 0
+    suboptimal = 0
+    total_regret = 0.0
+    stages: dict[str, dict[str, Any]] = {}
+    for trace in traces:
+        payload = _as_dict(trace)
+        outcome = payload.get("outcome") or {}
+        if not outcome or outcome.get("error"):
+            continue
+        instances += 1
+        stage = attribute_stage(payload)
+        if stage is None:
+            continue
+        suboptimal += 1
+        ratio = float(outcome.get("suboptimality", 1.0))
+        regret = max(0.0, ratio - 1.0)
+        total_regret += regret
+        bucket = stages.setdefault(
+            stage,
+            {
+                "count": 0,
+                "total_regret": 0.0,
+                "mean_suboptimality": 0.0,
+                "max_suboptimality": 1.0,
+                "undetected": 0,
+            },
+        )
+        bucket["count"] += 1
+        bucket["total_regret"] += regret
+        bucket["max_suboptimality"] = max(bucket["max_suboptimality"], ratio)
+        # Running mean keeps a single pass over arbitrarily many traces.
+        bucket["mean_suboptimality"] += (ratio - bucket["mean_suboptimality"]) / bucket["count"]
+        if outcome.get("invocation_reason") != "negative_feedback":
+            bucket["undetected"] += 1
+    return {
+        "instances": instances,
+        "suboptimal": suboptimal,
+        "total_regret": total_regret,
+        "stages": stages,
+    }

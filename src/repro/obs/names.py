@@ -80,6 +80,27 @@ REJECTED_INSTANCES_TOTAL = "ppc_rejected_instances_total"
 #: (labels: template) — counter.
 OPTIMIZER_RETRIES_TOTAL = "ppc_optimizer_retries_total"
 
+#: Spans closed inside recorded decision traces (labels: template)
+#: — counter.
+TRACE_SPANS_TOTAL = "ppc_trace_spans_total"
+
+#: Decision traces admitted to the flight recorder (labels: template)
+#: — counter.
+TRACE_RECORDED_TOTAL = "ppc_trace_recorded_total"
+
+#: Decision traces evicted from the flight recorder to admit newer
+#: ones (labels: template) — counter.
+TRACE_DROPPED_TOTAL = "ppc_trace_dropped_total"
+
+#: Trace-sampler verdicts, one per execution (labels: template,
+#: decision) — counter; ``decision`` is one of
+#: :data:`SAMPLER_DECISIONS`.
+TRACE_SAMPLER_TOTAL = "ppc_trace_sampler_total"
+
+#: Decision traces currently held by the flight recorder
+#: (labels: template) — gauge.
+TRACE_OCCUPANCY = "ppc_trace_occupancy"
+
 #: The decision-flow stages timed inside ``TemplateSession.execute``.
 STAGES = ("predict", "optimize", "execute", "feedback")
 
@@ -105,3 +126,7 @@ FALLBACK_SOURCES = ("prediction", "last_plan", "cache")
 #: Up-front validation failures (``reason`` label of
 #: :data:`REJECTED_INSTANCES_TOTAL`).
 REJECTION_REASONS = ("bad_shape", "non_finite", "out_of_domain")
+
+#: Trace-sampler verdicts (``decision`` label of
+#: :data:`TRACE_SAMPLER_TOTAL`), in evaluation order.
+SAMPLER_DECISIONS = ("forced", "head", "error_bias", "interval", "skipped")

@@ -1,0 +1,517 @@
+"""Span-based decision tracing for the plan-caching predict path.
+
+Every :meth:`TemplateSession.execute <repro.core.framework.TemplateSession.execute>`
+asks its :class:`DecisionTracer` for a trace.  Sampled executions get a
+:class:`DecisionTrace` — a tree of :class:`Span` nodes covering
+normalize → per-transform density lookup → confidence check → noise
+elimination → the resilience fallback chain — finished with the
+execution's outcome and admitted to a bounded per-template
+:class:`FlightRecorder`.  Unsampled executions get the shared
+:data:`NOOP_TRACE` singleton whose every method is a no-op, so the hot
+path stays O(1) and allocation-free when sampling is off; callers guard
+expensive attribute computation behind ``if trace.active:``.
+
+Sampling is deterministic — no RNG draw is consumed, so a traced run
+produces bit-identical decisions to an untraced one (see the parity
+test).  The sampler admits the first ``head`` executions, every
+``interval``-th after that, and an ``error_burst``-sized run after any
+degraded/fallback/raised execution; ``explain`` forces a trace.
+
+Traces serialize losslessly: :func:`trace_to_dict` /
+:func:`trace_from_dict` round-trip through JSON, and
+:func:`dumps_jsonl` / :func:`loads_jsonl` do the same for a recorder's
+worth of traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator, Mapping, Sequence
+from contextlib import contextmanager
+from time import perf_counter
+from typing import TYPE_CHECKING, Any
+
+import json
+
+from repro.config import TraceConfig
+from repro.obs import names
+from repro.obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.framework import ExecutionRecord
+
+__all__ = [
+    "NOOP_TRACE",
+    "DecisionTrace",
+    "DecisionTracer",
+    "FlightRecorder",
+    "NoopTrace",
+    "Span",
+    "dumps_jsonl",
+    "loads_jsonl",
+    "render_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays nested in span attributes to plain
+    Python values so traces serialize without a numpy dependency."""
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    # Before the scalar check: np.float64 subclasses float but should
+    # leave as a plain Python float.  tolist before item: arrays have
+    # both, but item() raises for size > 1.
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (str, bytes, bool, int, float)) or value is None:
+        return value
+    return str(value)
+
+
+class Span:
+    """One named, timed step of a decision, with nested children.
+
+    ``start`` and ``duration`` are seconds relative to the owning
+    trace's origin (``perf_counter`` based — monotonic, not wall-clock).
+    ``status`` is ``"ok"`` unless the guarded block raised.
+    """
+
+    __slots__ = ("attributes", "children", "duration", "name", "start", "status")
+
+    def __init__(self, name: str, start: float = 0.0) -> None:
+        self.name = name
+        self.start = start
+        self.duration = 0.0
+        self.attributes: dict[str, Any] = {}
+        self.children: list[Span] = []
+        self.status = "ok"
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.attributes:
+            out["attributes"] = _jsonable(self.attributes)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Span":
+        span = cls(str(payload["name"]), float(payload.get("start", 0.0)))
+        span.duration = float(payload.get("duration", 0.0))
+        span.status = str(payload.get("status", "ok"))
+        span.attributes = dict(payload.get("attributes", {}))
+        span.children = [cls.from_dict(c) for c in payload.get("children", ())]
+        return span
+
+
+class _NoopSpan:
+    """Stand-in span for unsampled executions: absorbs every call."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTrace:
+    """Shared do-nothing trace handed out when sampling declines.
+
+    ``active`` is False; callers use it to skip attribute computation.
+    A single module-level instance (:data:`NOOP_TRACE`) serves every
+    unsampled execution, so the disabled path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    active = False
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def annotate(self, **attributes: Any) -> None:
+        return None
+
+
+NOOP_TRACE = NoopTrace()
+
+
+class DecisionTrace:
+    """The full story of one cache prediction, as a tree of spans."""
+
+    __slots__ = ("_stack", "_t0", "decision", "outcome", "point", "root", "seq", "template")
+
+    active = True
+
+    def __init__(self, template: str, seq: int, decision: str) -> None:
+        self.template = template
+        self.seq = seq
+        self.decision = decision
+        self.point: list[float] | None = None
+        self.outcome: dict[str, Any] | None = None
+        self._t0 = perf_counter()
+        self.root = Span("decision")
+        self._stack: list[Span] = [self.root]
+
+    # The two methods below are the *only* sanctioned span lifecycle
+    # primitives, and RPR009 confines direct calls to this module —
+    # everyone else goes through the ``span()`` context manager, which
+    # guarantees the close and records error status on exceptions.
+    def open_span(self, name: str, **attributes: Any) -> Span:
+        span = Span(name, perf_counter() - self._t0)
+        if attributes:
+            span.attributes.update(attributes)
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return span
+
+    def close_span(self) -> None:
+        if len(self._stack) > 1:
+            span = self._stack.pop()
+            span.duration = perf_counter() - self._t0 - span.start
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a child span for the duration of the ``with`` block."""
+        span = self.open_span(name, **attributes)
+        try:
+            yield span
+        except BaseException:
+            span.status = "error"
+            raise
+        finally:
+            self.close_span()
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes to the innermost open span."""
+        self._stack[-1].attributes.update(attributes)
+
+    def finish(self, outcome: Mapping[str, Any]) -> None:
+        """Close any spans left open and seal the trace's outcome."""
+        while len(self._stack) > 1:
+            self.close_span()
+        self.root.duration = perf_counter() - self._t0
+        self.outcome = dict(outcome)
+
+    @property
+    def errored(self) -> bool:
+        """True when this execution degraded, fell back, or raised."""
+        if self.outcome is None:
+            return False
+        return bool(
+            self.outcome.get("error")
+            or self.outcome.get("degraded")
+            or self.outcome.get("fallback_source")
+        )
+
+    def spans(self, name: str | None = None) -> Iterator[Span]:
+        """Depth-first iteration over the span tree (root excluded)."""
+        stack = list(reversed(self.root.children))
+        while stack:
+            span = stack.pop()
+            if name is None or span.name == name:
+                yield span
+            stack.extend(reversed(span.children))
+
+    @property
+    def span_count(self) -> int:
+        return sum(1 for _ in self.spans())
+
+    def to_dict(self) -> dict[str, Any]:
+        return trace_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DecisionTrace":
+        return trace_from_dict(payload)
+
+
+def trace_to_dict(trace: DecisionTrace) -> dict[str, Any]:
+    """Serialize a trace to a JSON-ready dict (lossless round-trip)."""
+    return {
+        "template": trace.template,
+        "seq": trace.seq,
+        "decision": trace.decision,
+        "point": _jsonable(trace.point),
+        "outcome": _jsonable(trace.outcome),
+        "root": trace.root.to_dict(),
+    }
+
+
+def trace_from_dict(payload: Mapping[str, Any]) -> DecisionTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    trace = DecisionTrace(
+        template=str(payload["template"]),
+        seq=int(payload["seq"]),
+        decision=str(payload.get("decision", "forced")),
+    )
+    point = payload.get("point")
+    trace.point = None if point is None else [float(v) for v in point]
+    outcome = payload.get("outcome")
+    trace.outcome = None if outcome is None else dict(outcome)
+    trace.root = Span.from_dict(payload["root"])
+    trace._stack = [trace.root]
+    return trace
+
+
+def dumps_jsonl(traces: Sequence[DecisionTrace]) -> str:
+    """Render traces as JSON Lines, one trace per line."""
+    return "\n".join(
+        json.dumps(trace_to_dict(trace), separators=(",", ":")) for trace in traces
+    ) + ("\n" if traces else "")
+
+
+def loads_jsonl(text: str) -> list[DecisionTrace]:
+    """Parse :func:`dumps_jsonl` output back into traces."""
+    return [
+        trace_from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent decision traces.
+
+    Two buffers: errored traces (degraded / fallback / raised) live in
+    their own deque so a burst of healthy traffic cannot evict the
+    evidence of an incident.  ``recorded``/``dropped`` count admissions
+    and evictions over the recorder's lifetime.
+    """
+
+    def __init__(self, capacity: int = 256, error_capacity: int = 64) -> None:
+        if capacity < 1 or error_capacity < 1:
+            raise ValueError("recorder capacities must be >= 1")
+        self._normal: deque[DecisionTrace] = deque(maxlen=capacity)
+        self._errors: deque[DecisionTrace] = deque(maxlen=error_capacity)
+        self.recorded = 0
+        self.dropped = 0
+
+    def admit(self, trace: DecisionTrace) -> int:
+        """Store a finished trace; returns how many were evicted."""
+        buffer = self._errors if trace.errored else self._normal
+        evicted = 1 if len(buffer) == buffer.maxlen else 0
+        buffer.append(trace)
+        self.recorded += 1
+        self.dropped += evicted
+        return evicted
+
+    def traces(self) -> list[DecisionTrace]:
+        """All retained traces, oldest first (by execution sequence)."""
+        return sorted([*self._normal, *self._errors], key=lambda t: t.seq)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._normal) + len(self._errors)
+
+    def clear(self) -> None:
+        self._normal.clear()
+        self._errors.clear()
+
+
+class DecisionTracer:
+    """Per-template sampler + flight recorder for decision traces.
+
+    Owned by one :class:`~repro.core.framework.TemplateSession`;
+    ``begin`` is called once per execute and returns either a live
+    :class:`DecisionTrace` or :data:`NOOP_TRACE`, ``finish`` seals the
+    trace with the execution's outcome and arms the error-bias burst.
+    """
+
+    def __init__(
+        self,
+        template: str,
+        config: TraceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.template = template
+        self.config = config if config is not None else TraceConfig()
+        self.recorder = FlightRecorder(
+            capacity=self.config.capacity,
+            error_capacity=self.config.error_capacity,
+        )
+        self._seq = 0
+        self._burst_left = 0
+        registry = metrics if metrics is not None else MetricsRegistry()
+        self._spans_counter = registry.counter(
+            names.TRACE_SPANS_TOTAL, template=template
+        )
+        self._recorded_counter = registry.counter(
+            names.TRACE_RECORDED_TOTAL, template=template
+        )
+        self._dropped_counter = registry.counter(
+            names.TRACE_DROPPED_TOTAL, template=template
+        )
+        self._sampler_counters = {
+            decision: registry.counter(
+                names.TRACE_SAMPLER_TOTAL, template=template, decision=decision
+            )
+            for decision in names.SAMPLER_DECISIONS
+        }
+        self._sampled = dict.fromkeys(names.SAMPLER_DECISIONS, 0)
+
+    def begin(self, force: bool = False) -> DecisionTrace | NoopTrace:
+        """Sample this execution; deterministic, consumes no RNG."""
+        seq = self._seq
+        self._seq += 1
+        if force:
+            decision = "forced"
+        elif not self.config.enabled:
+            decision = "skipped"
+        elif seq < self.config.head:
+            decision = "head"
+        elif self._burst_left > 0:
+            self._burst_left -= 1
+            decision = "error_bias"
+        elif self.config.interval and seq % self.config.interval == 0:
+            decision = "interval"
+        else:
+            decision = "skipped"
+        self._sampler_counters[decision].inc()
+        self._sampled[decision] += 1
+        if decision == "skipped":
+            return NOOP_TRACE
+        return DecisionTrace(template=self.template, seq=seq, decision=decision)
+
+    def finish(
+        self,
+        trace: DecisionTrace | NoopTrace,
+        record: "ExecutionRecord | None" = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Seal + record a trace; arm the error-bias burst on incident.
+
+        The burst arms even when the incident execution itself was not
+        sampled, so the recorder captures the aftermath of every
+        degraded/fallback/raised decision.
+        """
+        incident = error is not None or (
+            record is not None and (record.degraded or bool(record.fallback_source))
+        )
+        if incident and self.config.enabled and self.config.error_burst:
+            self._burst_left = max(self._burst_left, self.config.error_burst)
+        if not isinstance(trace, DecisionTrace):
+            return
+        if error is not None:
+            outcome: dict[str, Any] = {
+                "error": f"{type(error).__name__}: {error}",
+            }
+        elif record is not None:
+            outcome = {
+                "predicted": record.predicted,
+                "confidence": record.confidence,
+                "optimizer_invoked": record.optimizer_invoked,
+                "invocation_reason": record.invocation_reason,
+                "executed_plan": record.executed_plan,
+                "execution_cost": record.execution_cost,
+                "optimal_plan": record.optimal_plan,
+                "optimal_cost": record.optimal_cost,
+                "suboptimality": record.suboptimality,
+                "drift_triggered": record.drift_triggered,
+                "degraded": record.degraded,
+                "fallback_source": record.fallback_source,
+                "correct": record.correct,
+            }
+        else:
+            outcome = {}
+        trace.finish(outcome)
+        evicted = self.recorder.admit(trace)
+        self._recorded_counter.inc()
+        if evicted:
+            self._dropped_counter.inc(evicted)
+        self._spans_counter.inc(trace.span_count)
+
+    def stats(self) -> dict[str, Any]:
+        """Recorder + sampler state for ``service.metrics()``."""
+        return {
+            "enabled": self.config.enabled,
+            "occupancy": self.recorder.occupancy,
+            "capacity": self.config.capacity,
+            "error_capacity": self.config.error_capacity,
+            "recorded": self.recorder.recorded,
+            "dropped": self.recorder.dropped,
+            "sampler": dict(self._sampled),
+        }
+
+    def traces(self) -> list[DecisionTrace]:
+        return self.recorder.traces()
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_format_value(v) for v in value) + "]"
+    return str(value)
+
+
+def _format_attributes(attributes: Mapping[str, Any]) -> str:
+    return " ".join(f"{key}={_format_value(val)}" for key, val in attributes.items())
+
+
+def _render_span(span: Span, prefix: str, is_last: bool, lines: list[str]) -> None:
+    connector = "└─ " if is_last else "├─ "
+    marker = " !" if span.status != "ok" else ""
+    attrs = _format_attributes(span.attributes)
+    body = f"{span.name}{marker} [{span.duration * 1e3:.3f} ms]"
+    if attrs:
+        body += f" {attrs}"
+    lines.append(prefix + connector + body)
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    for i, child in enumerate(span.children):
+        _render_span(child, child_prefix, i == len(span.children) - 1, lines)
+
+
+def render_trace(trace: DecisionTrace) -> str:
+    """Human-readable span tree for ``repro explain``."""
+    lines = [f"trace {trace.template}#{trace.seq} decision={trace.decision}"]
+    if trace.point is not None:
+        lines.append(f"point: ({', '.join(f'{v:.6g}' for v in trace.point)})")
+    for i, child in enumerate(trace.root.children):
+        _render_span(child, "", i == len(trace.root.children) - 1, lines)
+    outcome = trace.outcome or {}
+    if outcome.get("error"):
+        lines.append(f"outcome: error {outcome['error']}")
+    elif outcome:
+        plan = outcome.get("executed_plan")
+        optimal = outcome.get("optimal_plan")
+        verdict = (
+            "optimal"
+            if plan == optimal
+            else f"suboptimal x{outcome.get('suboptimality', float('nan')):.3f}"
+        )
+        via = []
+        if outcome.get("fallback_source"):
+            via.append(f"fallback={outcome['fallback_source']}")
+        if outcome.get("degraded"):
+            via.append("degraded")
+        if outcome.get("optimizer_invoked"):
+            via.append(f"optimizer({outcome.get('invocation_reason')})")
+        suffix = f" [{' '.join(via)}]" if via else ""
+        lines.append(
+            f"outcome: plan={plan} optimal={optimal} ({verdict}){suffix}"
+        )
+    return "\n".join(lines)

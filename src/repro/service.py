@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.config import PPCConfig
 from repro.core.framework import ExecutionRecord, PPCFramework
+from repro.obs.tracing import DecisionTrace
 from repro.exceptions import ConfigurationError, WorkloadError
 from repro.obs import names as metric_names, render_prometheus
 from repro.optimizer.catalog import Catalog
@@ -129,6 +130,41 @@ class PlanCachingService:
         point = binder.to_point(instance)
         return self.framework.execute(instance.template_name, point)
 
+    def explain(self, instance: QueryInstance) -> DecisionTrace:
+        """Run one instance fully traced; returns its decision trace.
+
+        A normal execution (state advances exactly as :meth:`execute`
+        would — trace sampling consumes no randomness), except the
+        sampler is bypassed so the full span tree is always captured
+        and recorded into the template's flight recorder.
+        """
+        binder = self._binders.get(instance.template_name)
+        if binder is None:
+            raise WorkloadError(
+                f"template {instance.template_name!r} is not registered"
+            )
+        point = binder.to_point(instance)
+        return self.framework.explain(instance.template_name, point)
+
+    def traces(
+        self, template_name: "str | None" = None
+    ) -> list[DecisionTrace]:
+        """Flight-recorder contents, oldest first.
+
+        One template's when named, otherwise every registered
+        template's, interleaved in recording order per template.
+        """
+        if template_name is not None:
+            if template_name not in self._binders:
+                raise WorkloadError(
+                    f"template {template_name!r} is not registered"
+                )
+            return self.framework.session(template_name).tracer.traces()
+        collected: list[DecisionTrace] = []
+        for name in self._binders:
+            collected.extend(self.framework.session(name).tracer.traces())
+        return collected
+
     def instance_at(
         self, template_name: str, point: np.ndarray
     ) -> QueryInstance:
@@ -153,8 +189,10 @@ class PlanCachingService:
         timings, the current synopsis footprint, and the resilience
         picture (breaker state and transitions, degradation counts per
         component, fallback servings by source, rejected instances,
-        retry totals, fallback suboptimality); plus governor
-        reclamation totals and the raw metric registry.
+        retry totals, fallback suboptimality) and the decision-trace
+        block (sampler verdicts, flight-recorder occupancy and
+        recorded/dropped totals); plus governor reclamation totals,
+        the active clock source, and the raw metric registry.
         """
         registry = self.framework.metrics
         templates: dict[str, dict] = {}
@@ -166,6 +204,9 @@ class PlanCachingService:
             registry.gauge(
                 metric_names.CACHE_PLANS, template=name
             ).set(len(session.cache))
+            registry.gauge(
+                metric_names.TRACE_OCCUPANCY, template=name
+            ).set(session.tracer.recorder.occupancy)
 
             stages = {}
             for stage in metric_names.STAGES:
@@ -274,6 +315,7 @@ class PlanCachingService:
                         metric_names.FALLBACK_SUBOPTIMALITY, template=name
                     ),
                 },
+                "trace": session.tracer.stats(),
             }
 
         governor = self.framework.governor
@@ -289,6 +331,9 @@ class PlanCachingService:
         return {
             "templates": templates,
             "governor": governor_summary,
+            # The resilience machinery runs on an injectable clock, not
+            # implicitly on wall time; say which source is active.
+            "clock": {"source": self.framework.clock_source},
             "registry": registry.snapshot(),
         }
 

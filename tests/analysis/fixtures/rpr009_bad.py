@@ -1,0 +1,11 @@
+"""Manual span lifecycle management: leaks the stack on exceptions."""
+
+from repro.obs.tracing import Span
+
+
+def annotate(trace, predictor, x):
+    span = trace.open_span("predict")
+    span.children.append(Span("manual"))
+    prediction = predictor.predict(x)
+    trace.close_span()
+    return prediction

@@ -1,0 +1,9 @@
+"""Spans opened through the tracer's context manager."""
+
+
+def annotate(trace, predictor, x):
+    with trace.span("predict") as span:
+        prediction = predictor.predict(x)
+        if trace.active:
+            span.set(plan=None if prediction is None else prediction.plan_id)
+    return prediction

@@ -21,6 +21,8 @@ CASES = {
     "RPR006": ("repro.clustering.scratch", 2),
     "RPR007": ("repro.core.scratch", 3),
     "RPR008": ("repro.experiments.scratch", 3),
+    # 3 = open_span + Span(...) construction + close_span.
+    "RPR009": ("repro.core.scratch", 3),
 }
 
 

@@ -1,0 +1,123 @@
+"""Misprediction regret audit: stage attribution + aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.config import PPCConfig, TraceConfig
+from repro.core.framework import TemplateSession
+from repro.obs.audit import attribute_stage, regret_audit
+from repro.obs.tracing import DecisionTrace
+
+
+def _trace(
+    executed: int,
+    optimal: int,
+    votes=(),
+    fallback_source: str = "",
+    suboptimality: float = 1.0,
+    invocation_reason: str = "none",
+) -> DecisionTrace:
+    trace = DecisionTrace("T", 0, "forced")
+    for vote in votes:
+        with trace.span("transform") as span:
+            span.set(vote=vote)
+    trace.finish(
+        {
+            "executed_plan": executed,
+            "optimal_plan": optimal,
+            "fallback_source": fallback_source,
+            "suboptimality": suboptimality,
+            "invocation_reason": invocation_reason,
+        }
+    )
+    return trace
+
+
+class TestAttribution:
+    def test_optimal_decisions_carry_no_blame(self):
+        assert attribute_stage(_trace(3, 3, votes=[1, 1, 1])) is None
+
+    def test_fallback_sources_named(self):
+        trace = _trace(2, 5, fallback_source="stale_cache")
+        assert attribute_stage(trace) == "fallback:stale_cache"
+
+    def test_no_correct_votes_blames_density_lookup(self):
+        assert attribute_stage(_trace(2, 5, votes=[2, 2, 2])) == "density_lookup"
+
+    def test_minority_correct_votes_blames_median_vote(self):
+        assert attribute_stage(_trace(2, 5, votes=[2, 2, 5])) == "median_vote"
+
+    def test_majority_correct_votes_blames_confidence_check(self):
+        assert attribute_stage(_trace(2, 5, votes=[5, 5, 2])) == "confidence_check"
+
+    def test_no_transform_spans_is_unknown(self):
+        assert attribute_stage(_trace(2, 5)) == "unknown"
+
+    def test_error_traces_skipped(self):
+        trace = DecisionTrace("T", 0, "forced")
+        trace.finish({"error": "RuntimeError: x"})
+        assert attribute_stage(trace) is None
+
+    def test_accepts_serialized_dicts(self):
+        trace = _trace(2, 5, votes=[2, 2, 2])
+        assert attribute_stage(trace.to_dict()) == "density_lookup"
+
+
+class TestRegretAudit:
+    def test_aggregates_per_stage(self):
+        traces = [
+            _trace(3, 3, votes=[3, 3, 3]),  # optimal: no blame
+            _trace(2, 5, votes=[2, 2, 2], suboptimality=1.5),
+            _trace(2, 5, votes=[2, 2, 2], suboptimality=2.5),
+            _trace(
+                2,
+                5,
+                votes=[5, 2, 2],
+                suboptimality=1.2,
+                invocation_reason="negative_feedback",
+            ),
+        ]
+        report = regret_audit(traces)
+        assert report["instances"] == 4
+        assert report["suboptimal"] == 3
+        assert report["total_regret"] == pytest.approx(0.5 + 1.5 + 0.2)
+        density = report["stages"]["density_lookup"]
+        assert density["count"] == 2
+        assert density["total_regret"] == pytest.approx(2.0)
+        assert density["mean_suboptimality"] == pytest.approx(2.0)
+        assert density["max_suboptimality"] == pytest.approx(2.5)
+        assert density["undetected"] == 2
+        vote = report["stages"]["median_vote"]
+        assert vote["count"] == 1
+        # Caught by negative feedback: not counted as undetected.
+        assert vote["undetected"] == 0
+
+    def test_empty_input(self):
+        report = regret_audit([])
+        assert report == {
+            "instances": 0,
+            "suboptimal": 0,
+            "total_regret": 0.0,
+            "stages": {},
+        }
+
+    def test_end_to_end_session_audit(self, tiny_space):
+        config = PPCConfig(
+            confidence_threshold=0.6,
+            mean_invocation_probability=0.05,
+            drift_response=False,
+            trace=TraceConfig(interval=1, capacity=512),
+        )
+        session = TemplateSession(tiny_space, config, seed=0)
+        rng = np.random.default_rng(7)
+        for x in rng.uniform(0, 1, (200, 2)):
+            session.execute(x)
+        report = regret_audit(session.tracer.traces())
+        assert report["instances"] > 150
+        assert report["suboptimal"] == sum(
+            bucket["count"] for bucket in report["stages"].values()
+        )
+        # Every blamed stage is a known pipeline stage.
+        known = {"density_lookup", "median_vote", "confidence_check", "unknown"}
+        for stage in report["stages"]:
+            assert stage in known or stage.startswith("fallback:")

@@ -142,3 +142,92 @@ class TestProfileCommand:
         out = capsys.readouterr().out
         assert "plans observed" in out
         assert "area" in out
+
+
+class TestExplain:
+    def test_prints_span_tree(self, capsys):
+        assert main(
+            [
+                "explain",
+                "--template", "Q1",
+                "--point", "0.3", "0.7",
+                "--warmup", "120",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace Q1#" in out
+        assert "decision=forced" in out
+        assert "transform" in out
+        assert "counts=" in out
+        assert "vote=" in out
+        assert "outcome:" in out
+
+    def test_json_format_is_parseable(self, capsys):
+        import json
+
+        assert main(
+            [
+                "explain",
+                "--template", "Q1",
+                "--point", "0.3", "0.7",
+                "--warmup", "50",
+                "--format", "json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["template"] == "Q1"
+        assert payload["decision"] == "forced"
+        assert payload["root"]["children"]
+
+    def test_arity_mismatch(self, capsys):
+        assert main(
+            ["explain", "--template", "Q1", "--point", "0.5"]
+        ) == 1
+        assert "coordinates" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_export_round_trips(self, tmp_path, capsys):
+        from repro.obs.tracing import loads_jsonl
+
+        out_path = tmp_path / "traces.jsonl"
+        assert main(
+            [
+                "trace", "export", "Q1",
+                "--instances", "40",
+                "--out", str(out_path),
+            ]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        traces = loads_jsonl(out_path.read_text())
+        assert len(traces) == 40
+        assert all(t.template == "Q1" for t in traces)
+        assert all(t.outcome is not None for t in traces)
+
+    def test_audit_prints_stage_table(self, capsys):
+        assert main(
+            ["trace", "audit", "Q1", "--instances", "150"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "instances traced" in out
+        assert "suboptimal" in out
+
+
+class TestFaultsTraceOut:
+    def test_flight_recorder_dumped_as_jsonl(self, tmp_path, capsys):
+        from repro.obs.tracing import loads_jsonl
+
+        out_path = tmp_path / "fault-traces.jsonl"
+        assert main(
+            [
+                "faults", "Q1",
+                "--instances", "300",
+                "--trace-out", str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flight recorder" in out
+        traces = loads_jsonl(out_path.read_text())
+        assert traces
+        # The error-biased sampler kept evidence of degraded decisions.
+        assert any(t.errored for t in traces)

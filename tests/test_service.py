@@ -133,3 +133,56 @@ class TestMetrics:
             "shrinks": 0,
             "drops": 0,
         }
+
+
+class TestTracing:
+    def test_explain_returns_forced_trace(self, service):
+        instance = service.instance_at("Q1", np.array([0.4, 0.6]))
+        trace = service.explain(instance)
+        assert trace.decision == "forced"
+        assert trace.template == "Q1"
+        span_names = {span.name for span in trace.spans()}
+        assert {"normalize", "predict"} <= span_names
+        assert trace.outcome is not None
+        assert trace.outcome["executed_plan"] >= 0
+
+    def test_explain_rejects_unregistered_template(self, service):
+        with pytest.raises(WorkloadError):
+            service.explain(QueryInstance("Q3", (1.0, 2.0, 3.0)))
+
+    def test_traces_accessor(self, service):
+        assert service.traces("Q1") == service.traces()
+        with pytest.raises(WorkloadError):
+            service.traces("Q3")
+        # Recorded traces are oldest-first by execution sequence.
+        seqs = [trace.seq for trace in service.traces("Q1")]
+        assert seqs == sorted(seqs)
+
+    def test_metrics_trace_block_and_clock_source(self, service):
+        snapshot = service.metrics()
+        trace = snapshot["templates"]["Q1"]["trace"]
+        assert trace["enabled"] is True
+        assert trace["occupancy"] <= trace["capacity"] + trace["error_capacity"]
+        assert trace["recorded"] >= trace["occupancy"]
+        assert set(trace["sampler"]) == {
+            "forced",
+            "head",
+            "error_bias",
+            "interval",
+            "skipped",
+        }
+        assert snapshot["clock"] == {
+            "source": "repro.resilience.clocks.system_clock"
+        }
+
+    def test_injected_clock_is_reported(self):
+        from repro.resilience.faults import VirtualClock
+
+        service = PlanCachingService.tpch(
+            scale_factor=0.1,
+            config=PPCConfig(drift_response=False),
+            clock=VirtualClock(),
+            seed=0,
+        )
+        service.register("Q1")
+        assert service.metrics()["clock"] == {"source": "VirtualClock"}
