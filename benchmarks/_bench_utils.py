@@ -29,6 +29,20 @@ def write_result(name: str, lines: "list[str] | str") -> pathlib.Path:
     return path
 
 
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark snapshot.
+
+    Written to ``benchmarks/results/BENCH_<name>.json`` so future PRs
+    can diff overhead percentages and p95 latencies against the
+    committed trajectory instead of eyeballing the text tables.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n===== {name} bench snapshot -> {path.name} =====")
+    return path
+
+
 def write_metrics(name: str, snapshot: "dict | None") -> "pathlib.Path | None":
     """Persist an observability snapshot next to a bench's result table.
 

@@ -13,9 +13,10 @@ untraced baseline — the flight recorder is meant to be always-on.
 
 from time import perf_counter
 
-from _bench_utils import write_result
+from _bench_utils import write_bench_json, write_result
 from repro.config import PPCConfig, TraceConfig
 from repro.core.framework import TemplateSession
+from repro.obs import names as metric_names
 from repro.tpch import plan_space_for
 from repro.workload import RandomTrajectoryWorkload
 
@@ -40,7 +41,7 @@ def _session(trace: TraceConfig) -> TemplateSession:
     return TemplateSession(plan_space_for("Q1"), config, seed=17)
 
 
-def _measure_modes() -> dict[str, float]:
+def _measure_modes() -> "tuple[dict[str, float], dict[str, TemplateSession]]":
     """Best-of-N per-instance seconds for each tracing mode.
 
     All sessions advance through the same instance stream in lockstep,
@@ -66,11 +67,20 @@ def _measure_modes() -> dict[str, float]:
     # Sanity: full mode actually recorded the probes it claims to time.
     assert len(sessions["full"].tracer.traces()) > 0
     assert len(sessions["off"].tracer.traces()) == 0
-    return best
+    return best, sessions
+
+
+def _predict_p95(session: TemplateSession) -> float:
+    digest = session.metrics.histogram_summary(
+        metric_names.STAGE_SECONDS, template="Q1", stage="predict"
+    )
+    return float(digest["p95"]) if digest else 0.0
 
 
 def test_trace_overhead(benchmark):
-    best = benchmark.pedantic(_measure_modes, rounds=1, iterations=1)
+    best, sessions = benchmark.pedantic(
+        _measure_modes, rounds=1, iterations=1
+    )
     baseline = best["off"]
     lines = [
         "Decision-tracing overhead on the predict/execute path",
@@ -78,12 +88,32 @@ def test_trace_overhead(benchmark):
         f"{REPEATS})",
         "",
     ]
+    modes_payload = {}
     for name, __ in MODES:
         overhead = best[name] / baseline - 1.0
         lines.append(
             f"{name:8s}: {best[name] * 1e6:8.2f} us/instance  "
             f"({overhead:+.1%} vs off)"
         )
+        modes_payload[name] = {
+            "us_per_instance": best[name] * 1e6,
+            "overhead_pct": overhead * 100.0,
+            "predict_p95_seconds": _predict_p95(sessions[name]),
+        }
     write_result("trace_overhead", lines)
+    write_bench_json(
+        "trace",
+        {
+            "bench": "trace_overhead",
+            "workload": {
+                "template": "Q1",
+                "warmup": WARMUP,
+                "probes": PROBES,
+                "repeats": REPEATS,
+            },
+            "modes": modes_payload,
+            "gate": {"mode": "sampled", "max_overhead_pct": 10.0},
+        },
+    )
     # The shipped default must be cheap enough to leave on.
     assert best["sampled"] < 1.10 * baseline

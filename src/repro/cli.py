@@ -26,6 +26,14 @@ Small utilities for poking at the reproduction without writing code:
   and snapshot recovery (exits 1 on any uncaught exception);
   ``--trace-out traces.jsonl`` additionally dumps the error-biased
   flight recorders for post-hoc diagnosis;
+* ``report Q1 --instances 400`` — run a seeded workload on a virtual
+  clock and render the cache-quality health report: per-template
+  synopsis scorecards (coverage/purity/entropy), rolling
+  accuracy/regret, SLO burn-rate states, and time-series sparklines —
+  as text, JSON, or a self-contained HTML page (``--fail-on-breach``
+  exits 1 when any SLO breaches);
+* ``watch Q1 --iterations 5`` — poll the same health signals between
+  workload batches, one status line per template per tick;
 * ``lint`` — the AST-based invariant linter (rules RPR001-RPR009:
   determinism, clock, metrics, persistence, span discipline; see
   ``repro lint --list-rules``), exit 1 on fresh findings;
@@ -573,6 +581,160 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if uncaught == 0 else 1
 
 
+def _telemetry_service(
+    templates: "list[str]",
+    gamma: float,
+    seed: int,
+    scale: float,
+    clock,
+):
+    """A fully-traced service on a virtual clock (report/watch shape).
+
+    Full tracing makes the scorecard's regret attribution meaningful;
+    the virtual clock lets a few hundred instances fill real-sized SLO
+    windows in milliseconds.
+    """
+    from repro.config import TraceConfig
+    from repro.service import PlanCachingService
+
+    config = PPCConfig(
+        confidence_threshold=gamma,
+        trace=TraceConfig(interval=1, capacity=1024, error_capacity=256),
+    )
+    service = PlanCachingService.tpch(
+        scale_factor=scale,
+        config=config,
+        seed=seed,
+        clock=clock,
+        sleep=clock.sleep,
+    )
+    for template in templates:
+        service.register(template)
+    return service
+
+
+def _run_report_workload(
+    service,
+    templates: "list[str]",
+    instances: int,
+    spread: float,
+    seed: int,
+    clock,
+    advance: float,
+) -> None:
+    """Interleaved trajectory workload, advancing the virtual clock one
+    ``advance`` step per round so telemetry windows actually fill."""
+    trajectories = {}
+    for offset, template in enumerate(templates):
+        dimensions = service.framework.session(template).plan_space.dimensions
+        trajectories[template] = RandomTrajectoryWorkload(
+            dimensions, spread=spread, seed=seed + offset
+        ).generate(instances)
+    for index in range(instances):
+        for template in templates:
+            service.execute(
+                service.instance_at(template, trajectories[template][index])
+            )
+        clock.advance(advance)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a seeded workload and render the health report."""
+    from repro.core.persistence import atomic_write_text
+    from repro.obs.report import (
+        render_report_html,
+        render_report_json,
+        render_report_text,
+    )
+    from repro.resilience import VirtualClock
+
+    if args.instances < 1:
+        print("--instances must be >= 1", file=sys.stderr)
+        return 1
+    clock = VirtualClock()
+    service = _telemetry_service(
+        args.templates, args.gamma, args.seed, args.scale, clock
+    )
+    _run_report_workload(
+        service,
+        args.templates,
+        args.instances,
+        args.spread,
+        args.seed,
+        clock,
+        args.advance,
+    )
+    report = service.health_report(tail=args.tail)
+    if args.format == "json":
+        text = render_report_json(report)
+    elif args.format == "html":
+        text = render_report_html(report)
+    else:
+        text = render_report_text(report)
+    if args.out:
+        atomic_write_text(args.out, text)
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(text, end="")
+    if args.fail_on_breach and report["worst_state"] == "breach":
+        print("SLO breach detected", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Poll the health signals between workload batches."""
+    from repro.resilience import VirtualClock
+    from repro.resilience.clocks import system_sleep
+
+    if args.iterations < 1 or args.batch < 1:
+        print("--iterations and --batch must be >= 1", file=sys.stderr)
+        return 1
+    clock = VirtualClock()
+    service = _telemetry_service(
+        args.templates, args.gamma, args.seed, args.scale, clock
+    )
+    total = args.iterations * args.batch
+    trajectories = {}
+    for offset, template in enumerate(args.templates):
+        dimensions = service.framework.session(template).plan_space.dimensions
+        trajectories[template] = RandomTrajectoryWorkload(
+            dimensions, spread=args.spread, seed=args.seed + offset
+        ).generate(total)
+    index = 0
+    for tick in range(args.iterations):
+        for __ in range(args.batch):
+            for template in args.templates:
+                service.execute(
+                    service.instance_at(
+                        template, trajectories[template][index]
+                    )
+                )
+            clock.advance(args.advance)
+            index += 1
+        verdicts = service.slo()
+        scorecards = service.framework.refresh_quality()
+        for template in args.templates:
+            states = {row["name"]: row["state"] for row in verdicts[template]}
+            worst = max(
+                verdicts[template],
+                key=lambda row: ("ok", "warning", "breach").index(
+                    row["state"]
+                ),
+            )["state"]
+            scorecard = scorecards[template]
+            print(
+                f"tick {tick + 1:>3d} {template}: {worst:<8s} "
+                f"coverage={scorecard['synopsis']['coverage']:.3f} "
+                f"accuracy={scorecard['rolling']['accuracy']:.3f} "
+                f"regret={scorecard['rolling']['regret']:.4f} "
+                f"slo={states}"
+            )
+        if tick + 1 < args.iterations and args.interval > 0:
+            system_sleep(args.interval)
+    return 0
+
+
 #: Experiment registry: name -> (import path, callable, kwargs for a
 #: quick run).  ``repro experiment <name>`` runs one and prints its
 #: result rows as an aligned table.
@@ -871,6 +1033,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the flight-recorder traces as JSONL to this path",
     )
     faults.set_defaults(handler=_cmd_faults)
+
+    report = commands.add_parser(
+        "report",
+        help="run a seeded workload and render the cache-quality "
+        "health report (scorecards, SLO burn rates, sparklines)",
+    )
+    report.add_argument(
+        "templates", choices=list(TEMPLATE_NAMES), nargs="+"
+    )
+    report.add_argument("--instances", type=int, default=400)
+    report.add_argument("--spread", type=float, default=0.02)
+    report.add_argument("--gamma", type=float, default=0.8)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--scale", type=float, default=0.1)
+    report.add_argument(
+        "--advance", type=float, default=1.0,
+        help="simulated seconds per workload round (virtual clock)",
+    )
+    report.add_argument(
+        "--tail", type=int, default=32,
+        help="retained points per series in the report payload",
+    )
+    report.add_argument(
+        "--format", choices=("text", "json", "html"), default="text"
+    )
+    report.add_argument(
+        "--out", default=None,
+        help="write the rendered report here instead of stdout",
+    )
+    report.add_argument(
+        "--fail-on-breach", action="store_true",
+        help="exit 1 when any SLO evaluates to breach",
+    )
+    report.set_defaults(handler=_cmd_report)
+
+    watch = commands.add_parser(
+        "watch",
+        help="poll the health signals between workload batches",
+    )
+    watch.add_argument(
+        "templates", choices=list(TEMPLATE_NAMES), nargs="+"
+    )
+    watch.add_argument("--iterations", type=int, default=5)
+    watch.add_argument(
+        "--batch", type=int, default=100,
+        help="workload instances per template per tick",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=0.0,
+        help="real seconds to sleep between ticks (0 = no pacing)",
+    )
+    watch.add_argument("--spread", type=float, default=0.02)
+    watch.add_argument("--gamma", type=float, default=0.8)
+    watch.add_argument("--seed", type=int, default=0)
+    watch.add_argument("--scale", type=float, default=0.1)
+    watch.add_argument("--advance", type=float, default=1.0)
+    watch.set_defaults(handler=_cmd_watch)
 
     lint = commands.add_parser(
         "lint",

@@ -87,6 +87,115 @@ class TraceConfig:
             raise ConfigurationError("trace capacities must be >= 1")
 
 
+#: Signals an SLO can be defined over (``signal`` field of
+#: :class:`SLODefinition`).
+SLO_SIGNALS = ("hit_rate", "predict_p95", "regret")
+
+#: SLO evaluation states, ordered by severity (the exported
+#: ``ppc_slo_state`` gauge uses the index as its value).
+SLO_STATES = ("ok", "warning", "breach")
+
+
+@dataclass(frozen=True)
+class SLODefinition:
+    """One declarative service-level objective over the cached decisions.
+
+    ``signal`` picks the underlying health signal:
+
+    * ``hit_rate`` — plan-cache hit fraction must stay at or above
+      ``objective``; the error budget is ``1 - objective`` and the burn
+      rate is the windowed miss fraction divided by that budget;
+    * ``predict_p95`` — p95 of ``ppc_stage_seconds{stage="predict"}``
+      must stay at or below ``objective`` seconds; the burn rate is the
+      windowed p95 divided by the objective;
+    * ``regret`` — average regret (``suboptimality - 1``) per execution
+      must stay at or below ``objective``; the burn rate is the
+      windowed mean regret divided by the objective.
+
+    Burn rates are evaluated over two windows on the *injected* clock
+    (Kepler-style continuous evaluation against a regression budget):
+    ``breach`` needs both windows burning at ``breach_burn`` or more,
+    ``warning`` needs either window at ``warning_burn`` or more — the
+    standard multi-window policy that ignores short blips while still
+    catching slow leaks.
+    """
+
+    name: str
+    signal: str
+    objective: float
+    short_window: float = 300.0
+    long_window: float = 3600.0
+    breach_burn: float = 2.0
+    warning_burn: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.signal not in SLO_SIGNALS:
+            raise ConfigurationError(
+                f"unknown SLO signal {self.signal!r}; "
+                f"expected one of {SLO_SIGNALS}"
+            )
+        if self.signal == "hit_rate" and not 0.0 <= self.objective < 1.0:
+            raise ConfigurationError("hit-rate objective must be in [0, 1)")
+        if self.signal != "hit_rate" and self.objective <= 0.0:
+            raise ConfigurationError("SLO objective must be > 0")
+        if not 0.0 < self.short_window <= self.long_window:
+            raise ConfigurationError(
+                "SLO windows must satisfy 0 < short <= long"
+            )
+        if self.breach_burn < self.warning_burn or self.warning_burn <= 0.0:
+            raise ConfigurationError(
+                "SLO burn thresholds must satisfy 0 < warning <= breach"
+            )
+
+
+#: The shipped SLO set: generous enough that a healthy seeded workload
+#: never breaches (CI fails the build on breach), tight enough that a
+#: collapsed synopsis or an optimizer outage shows up within a window.
+DEFAULT_SLOS: "tuple[SLODefinition, ...]" = (
+    SLODefinition(name="cache_hit_rate", signal="hit_rate", objective=0.5),
+    SLODefinition(
+        name="predict_latency_p95", signal="predict_p95", objective=0.05
+    ),
+    SLODefinition(name="regret_budget", signal="regret", objective=0.10),
+)
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Windowed cache-quality telemetry knobs (time series + SLOs).
+
+    The framework snapshots every metric into fixed-capacity ring
+    series each ``sample_interval`` seconds *of the injected clock* —
+    no wall-clock reads, so storms on a ``VirtualClock`` fill hours of
+    windows in milliseconds and the memory stays O(capacity) per
+    series.  Every ``quality_every``-th sample additionally refreshes
+    the per-template plan-space scorecard gauges (coverage, purity,
+    rolling accuracy/regret, drift pressure) — the expensive synopsis
+    scan, gated to well under 5 % of the serving path (enforced by
+    ``benchmarks/bench_quality_overhead.py``).
+    """
+
+    enabled: bool = True
+    sample_interval: float = 5.0
+    series_capacity: int = 256
+    quality_every: int = 12
+    quality_probes: int = 64
+    quality_window: int = 200
+    slos: "tuple[SLODefinition, ...]" = DEFAULT_SLOS
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0.0:
+            raise ConfigurationError("telemetry sample interval must be > 0")
+        if self.series_capacity < 2:
+            raise ConfigurationError("telemetry series capacity must be >= 2")
+        if self.quality_every < 1:
+            raise ConfigurationError("telemetry quality_every must be >= 1")
+        if self.quality_probes < 2:
+            raise ConfigurationError("telemetry quality_probes must be >= 2")
+        if self.quality_window < 1:
+            raise ConfigurationError("telemetry quality_window must be >= 1")
+
+
 @dataclass(frozen=True)
 class PPCConfig:
     """Knobs of one template's online plan-caching session."""
@@ -118,6 +227,9 @@ class PPCConfig:
     #: Decision-trace sampling and flight-recorder sizing; the default
     #: traces the first few executions plus an error-biased burst.
     trace: TraceConfig = field(default_factory=TraceConfig)
+    #: Windowed telemetry (time-series sampling, plan-space scorecards,
+    #: SLO burn rates); sampling runs on the injected clock only.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.transforms < 1:

@@ -58,6 +58,9 @@ from repro.exceptions import PredictionError, ResilienceError
 from repro.metrics.classification import PrecisionRecall, summarize
 from repro.metrics.classification import PredictionOutcome
 from repro.obs import MetricsRegistry, names as metric_names
+from repro.obs.quality import export_quality_gauges
+from repro.obs.slo import SLOEngine
+from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracing import DecisionTrace, DecisionTracer, NoopTrace
 from repro.optimizer.plan_space import PlanSpace
 from repro.resilience.breaker import BREAKER_STATE_VALUES, CircuitBreaker
@@ -253,6 +256,9 @@ class TemplateSession:
         }
         self._retries_counter = self.metrics.counter(
             metric_names.OPTIMIZER_RETRIES_TOTAL, template=template
+        )
+        self._regret_counter = self.metrics.counter(
+            metric_names.REGRET_TOTAL, template=template
         )
         self._fallback_suboptimality = self.metrics.histogram(
             metric_names.FALLBACK_SUBOPTIMALITY, template=template
@@ -641,6 +647,7 @@ class TemplateSession:
         )
         self._last_plan_id = executed_plan
         self.records.append(record)
+        self._regret_counter.inc(max(0.0, record.suboptimality - 1.0))
         return record
 
     # ------------------------------------------------------------------
@@ -703,6 +710,23 @@ class PPCFramework:
         self.governor_interval = governor_interval
         self._executions = 0
 
+        # Windowed telemetry: time-series sampler + SLO burn-rate
+        # engine, both on the injected clock.  Disabled, they cost
+        # nothing — not even the per-execute clock read.
+        telemetry_config = self.config.telemetry
+        self.telemetry: "TimeSeriesStore | None" = None
+        self.slo_engine: "SLOEngine | None" = None
+        if telemetry_config.enabled:
+            self.telemetry = TimeSeriesStore(
+                self.metrics,
+                clock=clock if clock is not None else system_clock,
+                capacity=telemetry_config.series_capacity,
+                interval=telemetry_config.sample_interval,
+            )
+            self.slo_engine = SLOEngine(
+                self.telemetry, telemetry_config.slos, self.metrics
+            )
+
     def _spawn_seed(self) -> np.random.Generator:
         """An independent per-template stream off the framework seed."""
         child = self._seed_root.spawn(1)[0]
@@ -737,6 +761,7 @@ class PPCFramework:
             self._executions += 1
             if self._executions % self.governor_interval == 0:
                 self.governor.enforce()
+        self._telemetry_tick()
         return record
 
     def explain(self, template_name: str, x: np.ndarray) -> DecisionTrace:
@@ -747,7 +772,38 @@ class PPCFramework:
             self._executions += 1
             if self._executions % self.governor_interval == 0:
                 self.governor.enforce()
+        self._telemetry_tick()
         return trace
+
+    def _telemetry_tick(self) -> None:
+        """Post-execution telemetry hook: one clock read when idle.
+
+        When the sample interval elapsed, snapshots every metric into
+        the ring series; every ``quality_every``-th snapshot also
+        refreshes the per-template scorecard gauges (the synopsis scan,
+        deliberately the rarest step).  Strictly read-only over session
+        state — the lockstep parity test pins that down.
+        """
+        if self.telemetry is None:
+            return
+        if not self.telemetry.maybe_sample():
+            return
+        config = self.config.telemetry
+        if self.telemetry.sample_count % config.quality_every == 0:
+            self.refresh_quality()
+
+    def refresh_quality(self) -> "dict[str, dict]":
+        """Recompute every session's scorecard gauges; scorecards by
+        template."""
+        return {
+            name: export_quality_gauges(
+                session,
+                self.metrics,
+                probes=self.config.telemetry.quality_probes,
+                window=self.config.telemetry.quality_window,
+            )
+            for name, session in self.sessions.items()
+        }
 
     @property
     def clock_source(self) -> str:

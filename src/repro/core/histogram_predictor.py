@@ -477,6 +477,27 @@ class HistogramPredictor(PlanPredictor):
             return None
         return float(np.median(averages))
 
+    def cell_densities(self, probes: int = 64) -> np.ndarray:
+        """Density mass per (transform, plan, z-cell): shape
+        ``(t, plan_count, probes)``.
+
+        Tiles the z-axis ``[0, 1]`` into ``probes`` equal cells and
+        answers one batched range-count per (transform, plan) pair —
+        the read-only synopsis view the quality scorecard aggregates
+        into coverage/purity/entropy.  Never mutates predictor state.
+        """
+        if probes < 1:
+            raise ConfigurationError("probes must be >= 1")
+        edges = np.linspace(0.0, 1.0, probes + 1)
+        lo, hi = edges[:-1], edges[1:]
+        densities = np.empty((len(self.ensemble), self.plan_count, probes))
+        for index in range(len(self.ensemble)):
+            for plan in range(self.plan_count):
+                densities[index, plan] = self._histograms[index][
+                    plan
+                ].range_count_batch(lo, hi)
+        return densities
+
     def drop(self) -> None:
         """Drop every histogram and restart from scratch (Section IV-E:
         the reaction to a detected plan-space change)."""

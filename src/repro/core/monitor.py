@@ -127,6 +127,50 @@ class PerformanceMonitor:
         )
         return precision_collapse or recall_collapse
 
+    def drift_pressure(self) -> float:
+        """How close the estimators sit to the drift alarm, in [0, 1].
+
+        0 means healthy (or not enough evidence), 1 means the alarm is
+        firing right now.  The max of two pressures mirrors the two
+        collapse signatures of :meth:`drift_detected`:
+
+        * precision pressure — ``(1 - prec) / (1 - threshold)``, active
+          once ``min_observations`` NULL-free predictions accumulated;
+        * recall pressure — how far ``rec_k`` has fallen from its peak
+          toward the collapse floor, active once the template was ever
+          answerable (peak recall above the activation level).
+        """
+        pressure = 0.0
+        if (
+            self._template_precision.count >= self.min_observations
+            and self.drift_threshold < 1.0
+        ):
+            precision_pressure = (1.0 - self.precision_estimate) / (
+                1.0 - self.drift_threshold
+            )
+            pressure = max(pressure, precision_pressure)
+        if self._peak_recall >= self.recall_activation:
+            floor = self.recall_collapse_fraction * self._peak_recall
+            span = self._peak_recall - floor
+            if span > 0.0:
+                recall_pressure = (
+                    self._peak_recall - self.recall_estimate
+                ) / span
+                pressure = max(pressure, recall_pressure)
+        return min(max(pressure, 0.0), 1.0)
+
+    def quality_snapshot(self) -> "dict[str, float]":
+        """JSON-ready digest of the Section IV-E estimator state."""
+        return {
+            "precision_estimate": self.precision_estimate,
+            "answer_rate": self.answer_rate,
+            "recall_estimate": self.recall_estimate,
+            "peak_recall": self._peak_recall,
+            "drift_pressure": self.drift_pressure(),
+            "observations": float(self._answer_rate.count),
+            "window": float(self.window),
+        }
+
     def reset(self) -> None:
         """Forget all estimates (after histograms are dropped)."""
         self._template_precision.reset()

@@ -17,7 +17,17 @@ A dependency-free metrics layer sized for a hot path:
   sampling so the unsampled hot path stays allocation-free;
 * :mod:`repro.obs.audit` — the misprediction regret audit that joins
   recorded traces against optimizer ground truth and blames the
-  pipeline stage that caused each suboptimal decision.
+  pipeline stage that caused each suboptimal decision;
+* :mod:`repro.obs.timeseries` — fixed-capacity ring series sampling
+  every metric on the injected clock, with windowed deltas/rates and
+  quantile trends;
+* :mod:`repro.obs.quality` — the per-template plan-space scorecard
+  (synopsis coverage/purity/entropy, rolling accuracy/regret,
+  confidence margin, drift pressure);
+* :mod:`repro.obs.slo` — declarative SLOs evaluated with multi-window
+  burn rates over the time series, exported as gauges;
+* :mod:`repro.obs.report` — text/JSON/HTML renderers of the service
+  health report (``repro report``).
 
 Every :class:`~repro.core.framework.PPCFramework` (and therefore every
 :class:`~repro.service.PlanCachingService`) owns one registry; pass
@@ -42,6 +52,15 @@ from repro.obs.tracing import (
     render_trace,
 )
 from repro.obs.audit import attribute_stage, regret_audit
+from repro.obs.quality import compute_scorecard, synopsis_scorecard
+from repro.obs.report import (
+    render_report_html,
+    render_report_json,
+    render_report_text,
+    sparkline,
+)
+from repro.obs.slo import SLOEngine, evaluate_slo
+from repro.obs.timeseries import RingSeries, TimeSeriesStore
 
 __all__ = [
     "NOOP_TRACE",
@@ -52,12 +71,22 @@ __all__ = [
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "RingSeries",
+    "SLOEngine",
     "Span",
+    "TimeSeriesStore",
     "attribute_stage",
+    "compute_scorecard",
+    "evaluate_slo",
     "names",
     "regret_audit",
     "render_prometheus",
+    "render_report_html",
+    "render_report_json",
+    "render_report_text",
     "render_trace",
+    "sparkline",
+    "synopsis_scorecard",
     "time_block",
     "timed",
 ]

@@ -13,6 +13,8 @@ is one of :data:`STAGES`; ``reason`` is one of
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
 #: Per-stage wall-clock of :meth:`TemplateSession.execute`
 #: (labels: template, stage) — latency histogram, seconds.
 STAGE_SECONDS = "ppc_stage_seconds"
@@ -101,6 +103,57 @@ TRACE_SAMPLER_TOTAL = "ppc_trace_sampler_total"
 #: (labels: template) — gauge.
 TRACE_OCCUPANCY = "ppc_trace_occupancy"
 
+#: Accumulated regret (``suboptimality - 1``) of executed instances
+#: (labels: template) — counter; divided by ``ppc_executions_total``
+#: over a window this is the mean regret the SLO engine budgets.
+REGRET_TOTAL = "ppc_regret_total"
+
+#: Telemetry snapshots taken by the time-series sampler — counter.
+TELEMETRY_SAMPLES_TOTAL = "ppc_telemetry_samples_total"
+
+#: Wall-clock cost of one telemetry snapshot (metric scan + ring
+#: append) — latency histogram, seconds.
+TELEMETRY_SAMPLE_SECONDS = "ppc_telemetry_sample_seconds"
+
+#: Scorecard: fraction of z-axis probe cells holding density mass,
+#: averaged over the LSH transforms (labels: template) — gauge in
+#: [0, 1]; the synopsis-coverage proxy for sample-point harvesting.
+QUALITY_COVERAGE = "ppc_quality_coverage"
+
+#: Scorecard: mass-weighted purity (majority-plan share) of occupied
+#: z-cells (labels: template) — gauge in [0, 1].
+QUALITY_PURITY = "ppc_quality_purity"
+
+#: Scorecard: mass-weighted normalized plan entropy of occupied
+#: z-cells (labels: template) — gauge in [0, 1]; 0 = every cell pure.
+QUALITY_ENTROPY = "ppc_quality_entropy"
+
+#: Scorecard: rolling ground-truth prediction accuracy over the
+#: quality window (labels: template) — gauge in [0, 1].
+QUALITY_ACCURACY = "ppc_quality_rolling_accuracy"
+
+#: Scorecard: rolling mean regret (``suboptimality - 1``) over the
+#: quality window (labels: template) — gauge, >= 0.
+QUALITY_REGRET = "ppc_quality_rolling_regret"
+
+#: Scorecard: mean confidence margin (``confidence - gamma``) of
+#: answered predictions in the quality window (labels: template) —
+#: gauge; negative means answers are scraping the threshold.
+QUALITY_CONFIDENCE_MARGIN = "ppc_quality_confidence_margin"
+
+#: Scorecard: how close the Section IV-E estimators sit to the drift
+#: alarm (labels: template) — gauge in [0, 1]; 1 = alarm firing.
+QUALITY_DRIFT_PRESSURE = "ppc_quality_drift_pressure"
+
+#: SLO evaluation state (labels: template, slo) — gauge;
+#: 0 = ok, 1 = warning, 2 = breach.
+SLO_STATE = "ppc_slo_state"
+
+#: SLO burn rate per evaluation window (labels: template, slo,
+#: window = short/long) — gauge; 1.0 burns the whole error budget
+#: exactly at the objective.
+SLO_BURN_RATE = "ppc_slo_burn_rate"
+
 #: The decision-flow stages timed inside ``TemplateSession.execute``.
 STAGES = ("predict", "optimize", "execute", "feedback")
 
@@ -130,3 +183,197 @@ REJECTION_REASONS = ("bad_shape", "non_finite", "out_of_domain")
 #: Trace-sampler verdicts (``decision`` label of
 #: :data:`TRACE_SAMPLER_TOTAL`), in evaluation order.
 SAMPLER_DECISIONS = ("forced", "head", "error_bias", "interval", "skipped")
+
+
+class MetricSpec(NamedTuple):
+    """One entry of the exporter-facing metric inventory."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+
+
+#: Every metric the pipeline emits, with its exposition-format kind and
+#: one-line help text.  The Prometheus renderer sources its ``# HELP``
+#: lines here; :func:`help_text` and the names test keep this inventory
+#: in lockstep with the module-level constants above.
+INVENTORY: "tuple[MetricSpec, ...]" = (
+    MetricSpec(
+        STAGE_SECONDS,
+        "histogram",
+        "Per-stage wall-clock seconds of TemplateSession.execute",
+    ),
+    MetricSpec(
+        EXECUTIONS_TOTAL, "counter", "Query instances executed per template"
+    ),
+    MetricSpec(
+        INVOCATIONS_TOTAL, "counter", "Optimizer invocations by cause"
+    ),
+    MetricSpec(
+        POSITIVE_FEEDBACK_TOTAL,
+        "counter",
+        "Positive-feedback offers by outcome",
+    ),
+    MetricSpec(
+        DRIFT_EVENTS_TOTAL, "counter", "Drift responses fired per template"
+    ),
+    MetricSpec(CACHE_EVENTS_TOTAL, "counter", "Plan-cache activity by event"),
+    MetricSpec(
+        GOVERNOR_RECLAIMED_BYTES,
+        "counter",
+        "Synopsis bytes reclaimed by the memory governor",
+    ),
+    MetricSpec(
+        GOVERNOR_ACTIONS_TOTAL,
+        "counter",
+        "Governor reclamation steps by action",
+    ),
+    MetricSpec(
+        PREDICT_TRANSFORM_SECONDS,
+        "histogram",
+        "Seconds in the LSH transform and z-order pipeline per predict",
+    ),
+    MetricSpec(
+        PREDICT_RANGE_QUERY_SECONDS,
+        "histogram",
+        "Seconds answering histogram range queries per predict",
+    ),
+    MetricSpec(
+        SYNOPSIS_BYTES, "gauge", "Current synopsis footprint in bytes"
+    ),
+    MetricSpec(
+        CACHE_PLANS, "gauge", "Plans currently resident in the plan cache"
+    ),
+    MetricSpec(
+        BREAKER_STATE,
+        "gauge",
+        "Optimizer circuit-breaker state (0 closed, 1 half-open, 2 open)",
+    ),
+    MetricSpec(
+        BREAKER_TRANSITIONS_TOTAL,
+        "counter",
+        "Circuit-breaker state transitions",
+    ),
+    MetricSpec(
+        DEGRADED_TOTAL,
+        "counter",
+        "Component failures absorbed by the guarded decision flow",
+    ),
+    MetricSpec(
+        FALLBACK_SERVED_TOTAL,
+        "counter",
+        "Instances answered from the fallback chain by source",
+    ),
+    MetricSpec(
+        FALLBACK_SUBOPTIMALITY,
+        "histogram",
+        "Suboptimality ratio of instances served from the fallback chain",
+    ),
+    MetricSpec(
+        REJECTED_INSTANCES_TOTAL,
+        "counter",
+        "Instances rejected before entering the decision flow",
+    ),
+    MetricSpec(
+        OPTIMIZER_RETRIES_TOTAL,
+        "counter",
+        "Optimizer invocation retries performed by the backoff loop",
+    ),
+    MetricSpec(
+        TRACE_SPANS_TOTAL,
+        "counter",
+        "Spans closed inside recorded decision traces",
+    ),
+    MetricSpec(
+        TRACE_RECORDED_TOTAL,
+        "counter",
+        "Decision traces admitted to the flight recorder",
+    ),
+    MetricSpec(
+        TRACE_DROPPED_TOTAL,
+        "counter",
+        "Decision traces evicted from the flight recorder",
+    ),
+    MetricSpec(
+        TRACE_SAMPLER_TOTAL,
+        "counter",
+        "Trace-sampler verdicts, one per execution",
+    ),
+    MetricSpec(
+        TRACE_OCCUPANCY,
+        "gauge",
+        "Decision traces currently held by the flight recorder",
+    ),
+    MetricSpec(
+        REGRET_TOTAL,
+        "counter",
+        "Accumulated regret (suboptimality - 1) of executed instances",
+    ),
+    MetricSpec(
+        TELEMETRY_SAMPLES_TOTAL,
+        "counter",
+        "Telemetry snapshots taken by the time-series sampler",
+    ),
+    MetricSpec(
+        TELEMETRY_SAMPLE_SECONDS,
+        "histogram",
+        "Seconds spent taking one telemetry snapshot",
+    ),
+    MetricSpec(
+        QUALITY_COVERAGE,
+        "gauge",
+        "Scorecard: fraction of z-axis probe cells holding density mass",
+    ),
+    MetricSpec(
+        QUALITY_PURITY,
+        "gauge",
+        "Scorecard: mass-weighted majority-plan purity of occupied cells",
+    ),
+    MetricSpec(
+        QUALITY_ENTROPY,
+        "gauge",
+        "Scorecard: mass-weighted normalized plan entropy of occupied cells",
+    ),
+    MetricSpec(
+        QUALITY_ACCURACY,
+        "gauge",
+        "Scorecard: rolling prediction accuracy over the quality window",
+    ),
+    MetricSpec(
+        QUALITY_REGRET,
+        "gauge",
+        "Scorecard: rolling mean regret over the quality window",
+    ),
+    MetricSpec(
+        QUALITY_CONFIDENCE_MARGIN,
+        "gauge",
+        "Scorecard: mean confidence margin (confidence - gamma) of answers",
+    ),
+    MetricSpec(
+        QUALITY_DRIFT_PRESSURE,
+        "gauge",
+        "Scorecard: proximity of the monitor estimators to the drift alarm",
+    ),
+    MetricSpec(
+        SLO_STATE,
+        "gauge",
+        "SLO evaluation state (0 ok, 1 warning, 2 breach)",
+    ),
+    MetricSpec(
+        SLO_BURN_RATE,
+        "gauge",
+        "SLO burn rate per evaluation window (1.0 = at objective)",
+    ),
+)
+
+#: ``name -> help`` view of :data:`INVENTORY` for the exporter.
+HELP_TEXT: "dict[str, str]" = {spec.name: spec.help for spec in INVENTORY}
+
+#: ``name -> kind`` view of :data:`INVENTORY`.
+METRIC_KINDS: "dict[str, str]" = {spec.name: spec.kind for spec in INVENTORY}
+
+
+def help_text(name: str) -> str:
+    """Return the inventory help line for *name* (empty if unknown)."""
+
+    return HELP_TEXT.get(name, "")

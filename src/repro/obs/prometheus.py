@@ -2,13 +2,17 @@
 
 Renders counters and gauges one sample per label set, and latency
 histograms in the summary style (``quantile`` label plus ``_sum`` and
-``_count`` series) so p50/p95/p99 are scrapable directly.  Output
-follows the Prometheus text format version 0.0.4; no client library is
-involved.
+``_count`` series) so p50/p95/p99 are scrapable directly.  ``# HELP``
+lines come from the :data:`repro.obs.names.INVENTORY` metric inventory.
+Output follows the Prometheus text format version 0.0.4; no client
+library is involved.
 """
 
 from __future__ import annotations
 
+import math
+
+from repro.obs import names
 from repro.obs.registry import MetricsRegistry
 
 _QUANTILES = ((0.5, "p50"), (0.95, "p95"), (0.99, "p99"))
@@ -18,6 +22,11 @@ def _escape(value: str) -> str:
     return (
         value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
     )
+
+
+def _escape_help(value: str) -> str:
+    # HELP lines are unquoted: only backslash and newline need escaping.
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_labels(labels: dict, extra: "dict | None" = None) -> str:
@@ -34,9 +43,23 @@ def _format_labels(labels: dict, extra: "dict | None" = None) -> str:
 
 
 def _format_value(value: float) -> str:
+    # Exposition format spells non-finite floats `+Inf`/`-Inf`/`NaN`;
+    # Python's repr() would emit `inf`/`nan`, which scrapers reject.
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
+
+
+def _header(lines: "list[str]", name: str, kind: str) -> None:
+    help_line = names.help_text(name)
+    if help_line:
+        lines.append(f"# HELP {name} {_escape_help(help_line)}")
+    lines.append(f"# TYPE {name} {kind}")
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
@@ -45,27 +68,31 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
 
     for name in sorted(snapshot["counters"]):
-        lines.append(f"# TYPE {name} counter")
+        _header(lines, name, "counter")
         for sample in snapshot["counters"][name]:
             labels = _format_labels(sample["labels"])
             lines.append(f"{name}{labels} {_format_value(sample['value'])}")
 
     for name in sorted(snapshot["gauges"]):
-        lines.append(f"# TYPE {name} gauge")
+        _header(lines, name, "gauge")
         for sample in snapshot["gauges"][name]:
             labels = _format_labels(sample["labels"])
             lines.append(f"{name}{labels} {_format_value(sample['value'])}")
 
     for name in sorted(snapshot["histograms"]):
-        lines.append(f"# TYPE {name} summary")
+        _header(lines, name, "summary")
         for sample in snapshot["histograms"][name]:
             for quantile, key in _QUANTILES:
                 labels = _format_labels(
                     sample["labels"], {"quantile": quantile}
                 )
-                lines.append(f"{name}{labels} {repr(sample[key])}")
+                lines.append(
+                    f"{name}{labels} {_format_value(sample[key])}"
+                )
             labels = _format_labels(sample["labels"])
-            lines.append(f"{name}_sum{labels} {repr(sample['sum'])}")
+            lines.append(
+                f"{name}_sum{labels} {_format_value(sample['sum'])}"
+            )
             lines.append(f"{name}_count{labels} {sample['count']}")
 
     return "\n".join(lines) + "\n"

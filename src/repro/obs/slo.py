@@ -1,0 +1,191 @@
+"""Multi-window SLO burn-rate evaluation over the telemetry series.
+
+Declarative :class:`~repro.config.SLODefinition` objects are evaluated
+against the :class:`~repro.obs.timeseries.TimeSeriesStore`'s windowed
+reads — never against raw lifetime counters, so a bad hour shows up
+even after a good week.  Each SLO yields a *burn rate* per window
+(1.0 = consuming the error budget exactly at the objective) and the
+standard multi-window state:
+
+* ``breach`` — **both** windows burn at ``breach_burn`` or more: the
+  problem is sustained and fast;
+* ``warning`` — **either** window burns at ``warning_burn`` or more:
+  a short blip or a slow leak;
+* ``ok`` — otherwise (including "no data yet": an idle service is not
+  failing its objectives).
+
+States and burn rates are exported as ``ppc_slo_state`` /
+``ppc_slo_burn_rate`` gauges so the Prometheus scrape and
+``service.metrics()["slo"]`` always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import SLO_STATES, SLODefinition
+from repro.exceptions import ConfigurationError
+from repro.obs import names
+from repro.obs.registry import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore
+
+__all__ = ["SLOEngine", "evaluate_slo"]
+
+
+def _burn_rate(
+    slo: SLODefinition,
+    store: TimeSeriesStore,
+    template: str,
+    window: float,
+    now: float,
+) -> float:
+    """Error-budget burn of one signal over one window (0.0 = idle)."""
+    if slo.signal == "hit_rate":
+        hits = store.counter_delta(
+            names.CACHE_EVENTS_TOTAL,
+            window,
+            now,
+            template=template,
+            event="hit",
+        )
+        misses = store.counter_delta(
+            names.CACHE_EVENTS_TOTAL,
+            window,
+            now,
+            template=template,
+            event="miss",
+        )
+        total = hits + misses
+        if total <= 0.0:
+            return 0.0
+        budget = 1.0 - slo.objective
+        return (misses / total) / budget if budget > 0.0 else 0.0
+    if slo.signal == "predict_p95":
+        p95 = store.histogram_field_max(
+            names.STAGE_SECONDS,
+            "p95",
+            window,
+            now,
+            template=template,
+            stage="predict",
+        )
+        if p95 is None:
+            return 0.0
+        return p95 / slo.objective
+    if slo.signal == "regret":
+        regret = store.counter_delta(
+            names.REGRET_TOTAL, window, now, template=template
+        )
+        executions = store.counter_delta(
+            names.EXECUTIONS_TOTAL, window, now, template=template
+        )
+        if executions <= 0.0:
+            return 0.0
+        return (regret / executions) / slo.objective
+    raise ConfigurationError(f"unknown SLO signal {slo.signal!r}")
+
+
+def evaluate_slo(
+    slo: SLODefinition,
+    store: TimeSeriesStore,
+    template: str,
+    now: "float | None" = None,
+) -> dict[str, Any]:
+    """Evaluate one SLO for one template; JSON-ready verdict."""
+    if now is None:
+        now = store.now()
+    burn_short = _burn_rate(slo, store, template, slo.short_window, now)
+    burn_long = _burn_rate(slo, store, template, slo.long_window, now)
+    if min(burn_short, burn_long) >= slo.breach_burn:
+        state = "breach"
+    elif max(burn_short, burn_long) >= slo.warning_burn:
+        state = "warning"
+    else:
+        state = "ok"
+    return {
+        "name": slo.name,
+        "signal": slo.signal,
+        "objective": slo.objective,
+        "state": state,
+        "burn_short": burn_short,
+        "burn_long": burn_long,
+        "short_window": slo.short_window,
+        "long_window": slo.long_window,
+        "warning_burn": slo.warning_burn,
+        "breach_burn": slo.breach_burn,
+    }
+
+
+class SLOEngine:
+    """Evaluates a fixed SLO set per template and exports the verdicts."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        slos: "tuple[SLODefinition, ...]",
+        registry: MetricsRegistry,
+    ) -> None:
+        seen: set[str] = set()
+        for slo in slos:
+            if slo.name in seen:
+                raise ConfigurationError(
+                    f"duplicate SLO name {slo.name!r}"
+                )
+            seen.add(slo.name)
+        self._store = store
+        self._slos = tuple(slos)
+        self._registry = registry
+
+    @property
+    def slos(self) -> "tuple[SLODefinition, ...]":
+        return self._slos
+
+    def evaluate(
+        self, template: str, now: "float | None" = None
+    ) -> "list[dict[str, Any]]":
+        """All SLO verdicts for one template (no gauge export)."""
+        if now is None:
+            now = self._store.now()
+        return [
+            evaluate_slo(slo, self._store, template, now)
+            for slo in self._slos
+        ]
+
+    def export(
+        self, templates: "list[str]", now: "float | None" = None
+    ) -> "dict[str, list[dict[str, Any]]]":
+        """Evaluate every template and publish state/burn gauges."""
+        if now is None:
+            now = self._store.now()
+        verdicts: "dict[str, list[dict[str, Any]]]" = {}
+        for template in templates:
+            rows = self.evaluate(template, now)
+            verdicts[template] = rows
+            for row in rows:
+                self._registry.gauge(
+                    names.SLO_STATE, template=template, slo=row["name"]
+                ).set(SLO_STATES.index(row["state"]))
+                self._registry.gauge(
+                    names.SLO_BURN_RATE,
+                    template=template,
+                    slo=row["name"],
+                    window="short",
+                ).set(row["burn_short"])
+                self._registry.gauge(
+                    names.SLO_BURN_RATE,
+                    template=template,
+                    slo=row["name"],
+                    window="long",
+                ).set(row["burn_long"])
+        return verdicts
+
+    @staticmethod
+    def worst_state(
+        verdicts: "dict[str, list[dict[str, Any]]]",
+    ) -> str:
+        """The most severe state across all templates and SLOs."""
+        worst = 0
+        for rows in verdicts.values():
+            for row in rows:
+                worst = max(worst, SLO_STATES.index(row["state"]))
+        return SLO_STATES[worst]

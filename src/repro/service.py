@@ -28,6 +28,7 @@ from repro.core.framework import ExecutionRecord, PPCFramework
 from repro.obs.tracing import DecisionTrace
 from repro.exceptions import ConfigurationError, WorkloadError
 from repro.obs import names as metric_names, render_prometheus
+from repro.obs.quality import compute_scorecard
 from repro.optimizer.catalog import Catalog
 from repro.optimizer.expressions import QueryTemplate
 from repro.optimizer.plan_space import PlanSpace
@@ -328,9 +329,15 @@ class PlanCachingService:
                 "shrinks": governor.shrinks,
                 "drops": governor.drops,
             }
+        # Evaluate SLOs (publishing state/burn gauges) *before* the
+        # registry snapshot so scrape and snapshot agree.
+        slo_block = self.slo() or None
+        telemetry = self.framework.telemetry
         return {
             "templates": templates,
             "governor": governor_summary,
+            "slo": slo_block,
+            "telemetry": telemetry.stats() if telemetry else None,
             # The resilience machinery runs on an injectable clock, not
             # implicitly on wall time; say which source is active.
             "clock": {"source": self.framework.clock_source},
@@ -360,3 +367,49 @@ class PlanCachingService:
                 "space_bytes": float(session.online.space_bytes()),
             }
         return summary
+
+    def quality(self) -> dict[str, dict]:
+        """Per-template plan-space scorecards (coverage, purity,
+        entropy, rolling accuracy/regret, confidence margin, drift
+        pressure, regret attribution over retained traces)."""
+        config = self.framework.config.telemetry
+        return {
+            name: compute_scorecard(
+                self.framework.session(name),
+                probes=config.quality_probes,
+                window=config.quality_window,
+            )
+            for name in self._binders
+        }
+
+    def slo(self) -> dict[str, list[dict]]:
+        """SLO verdicts per template, publishing the state/burn gauges
+        (empty when telemetry is disabled)."""
+        engine = self.framework.slo_engine
+        if engine is None:
+            return {}
+        return engine.export(self.templates)
+
+    def health_report(self, tail: int = 32) -> dict:
+        """The ``repro report`` payload: scorecards + SLO states +
+        time-series digests, JSON-ready.
+
+        ``tail`` caps the number of retained points included per series
+        (the sparkline feed).
+        """
+        telemetry = self.framework.telemetry
+        slo_block = self.slo()
+        worst = "ok"
+        if self.framework.slo_engine is not None:
+            worst = self.framework.slo_engine.worst_state(slo_block)
+        return {
+            "clock": {
+                "source": self.framework.clock_source,
+                "now": telemetry.now() if telemetry else None,
+            },
+            "templates": self.quality(),
+            "outcome": self.report(),
+            "slo": slo_block,
+            "worst_state": worst,
+            "telemetry": telemetry.to_dict(tail) if telemetry else None,
+        }

@@ -15,6 +15,8 @@ from repro.obs import (
     time_block,
     timed,
 )
+from repro.obs import names as metric_names
+from repro.obs.prometheus import _format_value
 from repro.obs.registry import BUCKET_MIN
 
 
@@ -209,6 +211,26 @@ class TestTimingHelpers:
             "count"
         ] == 1
 
+    def test_timed_preserves_function_metadata(self):
+        registry = MetricsRegistry()
+
+        @timed(registry, "calls_seconds", fn="doc")
+        def documented():
+            """Docstring survives the wrapper."""
+
+        assert documented.__name__ == "documented"
+        assert "survives" in documented.__doc__
+
+    def test_time_block_durations_are_monotone(self):
+        import time as _time
+
+        hist = LatencyHistogram()
+        with time_block(hist):
+            _time.perf_counter()  # trivially short block
+        assert hist.count == 1
+        assert hist.min >= 0.0
+        assert hist.max >= hist.min
+
 
 class TestPrometheusRendering:
     def test_renders_all_metric_kinds(self):
@@ -241,3 +263,141 @@ class TestPrometheusRendering:
         registry.counter("total").inc(5)
         text = render_prometheus(registry)
         assert "total 5" in text.splitlines()
+
+    def test_empty_histogram_renders_zero_quantiles(self):
+        # A registered-but-never-observed histogram must still render,
+        # with zero quantiles and counts — not crash or emit nan.
+        registry = MetricsRegistry()
+        registry.histogram("ppc_lat_seconds", stage="idle")
+        text = render_prometheus(registry)
+        assert 'ppc_lat_seconds{quantile="0.5",stage="idle"} 0' in text
+        assert 'ppc_lat_seconds_count{stage="idle"} 0' in text
+        assert "nan" not in text
+        assert "inf" not in text
+
+
+class TestPrometheusNonFiniteValues:
+    def test_format_value_spells_non_finite_the_prometheus_way(self):
+        # Regression: repr() would emit `inf`/`nan`, which scrapers
+        # reject; the exposition format requires `+Inf`/`-Inf`/`NaN`.
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.25) == "0.25"
+
+    def test_non_finite_gauges_render_scrapeable(self):
+        registry = MetricsRegistry()
+        registry.gauge("g_inf").set(float("inf"))
+        registry.gauge("g_ninf").set(float("-inf"))
+        registry.gauge("g_nan").set(float("nan"))
+        lines = render_prometheus(registry).splitlines()
+        assert "g_inf +Inf" in lines
+        assert "g_ninf -Inf" in lines
+        assert "g_nan NaN" in lines
+
+
+class TestMetricInventory:
+    def test_every_name_constant_is_in_the_inventory(self):
+        # Every public module-level metric-name string in repro.obs.names
+        # must carry an inventory entry (and therefore a HELP line).
+        constants = {
+            value
+            for key, value in vars(metric_names).items()
+            if key.isupper()
+            and isinstance(value, str)
+            and value.startswith("ppc_")
+        }
+        inventoried = {spec.name for spec in metric_names.INVENTORY}
+        assert constants == inventoried
+
+    def test_inventory_kinds_are_valid(self):
+        for spec in metric_names.INVENTORY:
+            assert spec.kind in ("counter", "gauge", "histogram"), spec.name
+            assert spec.help.strip(), spec.name
+
+    def test_every_inventory_name_renders_type_and_help(self):
+        # The satellite contract: instantiate every inventoried metric
+        # and confirm the exporter emits both `# TYPE` and `# HELP`.
+        registry = MetricsRegistry()
+        for spec in metric_names.INVENTORY:
+            if spec.kind == "counter":
+                registry.counter(spec.name, template="Q1").inc()
+            elif spec.kind == "gauge":
+                registry.gauge(spec.name, template="Q1").set(1.0)
+            else:
+                registry.histogram(spec.name, template="Q1").observe(0.01)
+        text = render_prometheus(registry)
+        for spec in metric_names.INVENTORY:
+            rendered_kind = (
+                "summary" if spec.kind == "histogram" else spec.kind
+            )
+            assert f"# TYPE {spec.name} {rendered_kind}" in text, spec.name
+            assert f"# HELP {spec.name} " in text, spec.name
+
+    def test_help_text_lookup(self):
+        assert metric_names.help_text(metric_names.EXECUTIONS_TOTAL)
+        assert metric_names.help_text("not_a_metric") == ""
+
+
+class TestRegistryMerge:
+    def test_counters_add_and_gauges_take_the_latest(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c", template="Q1").inc(3)
+        b.counter("c", template="Q1").inc(4)
+        b.counter("c", template="Q5").inc(1)
+        a.gauge("g").set(10.0)
+        b.gauge("g").set(2.0)
+        a.merge(b)
+        assert a.counter_value("c", template="Q1") == 7.0
+        assert a.counter_value("c", template="Q5") == 1.0
+        assert a.gauge_value("g") == 2.0
+
+    def test_histograms_merge_bucket_wise(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for s in (0.001, 0.002):
+            a.histogram("h", stage="x").observe(s)
+        for s in (0.004, 0.100):
+            b.histogram("h", stage="x").observe(s)
+        a.merge(b)
+        summary = a.histogram_summary("h", stage="x")
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(0.107)
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.100)
+
+    def test_merging_an_empty_histogram_is_a_no_op(self):
+        a = MetricsRegistry()
+        a.histogram("h").observe(0.005)
+        before = a.histogram_summary("h")
+        empty = MetricsRegistry()
+        empty.histogram("h")  # registered, never observed
+        a.merge(empty)
+        assert a.histogram_summary("h") == before
+        # min must not be clobbered by the empty twin's +inf sentinel.
+        assert a.histogram_summary("h")["min"] == pytest.approx(0.005)
+
+    def test_merge_is_label_order_insensitive(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.counter("c", x="1", y="2").inc(1)
+        b.counter("c", y="2", x="1").inc(2)
+        a.merge(b)
+        assert a.counter_value("c", x="1", y="2") == 3.0
+        snapshot = a.snapshot()
+        assert len(snapshot["counters"]["c"]) == 1
+
+    def test_merge_into_empty_registry_copies_everything(self):
+        source = MetricsRegistry()
+        source.counter("c").inc(5)
+        source.gauge("g", template="Q1").set(7.0)
+        source.histogram("h").observe(0.01)
+        target = MetricsRegistry()
+        target.merge(source)
+        assert target.counter_value("c") == 5.0
+        assert target.gauge_value("g", template="Q1") == 7.0
+        assert target.histogram_summary("h")["count"] == 1
+        # The source is untouched.
+        assert source.counter_value("c") == 5.0

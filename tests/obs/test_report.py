@@ -1,0 +1,162 @@
+"""Unit tests for the report renderers (text / JSON / HTML)."""
+
+import json
+
+from repro.obs import (
+    render_report_html,
+    render_report_json,
+    render_report_text,
+    sparkline,
+)
+
+
+def _sample_report() -> dict:
+    return {
+        "clock": {"source": "VirtualClock", "now": 240.0},
+        "worst_state": "warning",
+        "templates": {
+            "Q1": {
+                "template": "Q1",
+                "executions": 300,
+                "synopsis": {
+                    "coverage": 0.74,
+                    "purity": 0.81,
+                    "entropy": 0.12,
+                    "occupied_cells": 95,
+                    "probe_cells": 128,
+                    "total_points": 410,
+                    "total_mass": 400.0,
+                    "space_bytes": 20480,
+                },
+                "rolling": {
+                    "window": 200,
+                    "accuracy": 0.97,
+                    "regret": 0.004,
+                    "confidence_margin": 0.11,
+                    "answered_fraction": 0.9,
+                    "degraded_fraction": 0.0,
+                },
+                "monitor": {
+                    "precision_estimate": 0.96,
+                    "recall_estimate": 0.88,
+                    "drift_pressure": 0.05,
+                },
+                "regret_attribution": {
+                    "instances": 12,
+                    "suboptimal": 3,
+                    "stages": {
+                        "median_vote": {"count": 3, "total_regret": 0.9}
+                    },
+                },
+            }
+        },
+        "slo": {
+            "Q1": [
+                {
+                    "name": "cache_hit_rate",
+                    "signal": "hit_rate",
+                    "objective": 0.5,
+                    "state": "warning",
+                    "burn_short": 1.4,
+                    "burn_long": 0.2,
+                    "short_window": 300.0,
+                    "long_window": 3600.0,
+                    "warning_burn": 1.0,
+                    "breach_burn": 2.0,
+                }
+            ]
+        },
+        "telemetry": {
+            "interval": 5.0,
+            "capacity": 256,
+            "samples": 48,
+            "series": [
+                {
+                    "kind": "counter",
+                    "name": "ppc_executions_total",
+                    "labels": {"template": "Q1"},
+                    "points": [[5.0, 10.0], [10.0, 40.0], [15.0, 90.0]],
+                },
+                {
+                    "kind": "histogram",
+                    "name": "ppc_stage_seconds",
+                    "field": "p95",
+                    "labels": {"template": "Q1", "stage": "predict"},
+                    "points": [[5.0, 0.001], [10.0, 0.002]],
+                },
+            ],
+        },
+    }
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_baseline(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_monotone_series_uses_the_full_ramp(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert line == "".join(sorted(line))
+
+
+class TestTextReport:
+    def test_contains_the_scorecard_and_slo_lines(self):
+        text = render_report_text(_sample_report())
+        assert "overall WARNING" in text
+        assert "clock: VirtualClock" in text
+        assert "template Q1 — 300 executions" in text
+        assert "coverage=0.740" in text
+        assert "purity=0.810" in text
+        assert "accuracy=0.970" in text
+        assert "drift_pressure=0.050" in text
+        assert "blamed stages: median_vote×3" in text
+        assert "cache_hit_rate" in text
+        assert "warning" in text
+        assert "burn short=1.40" in text
+        # Sparklines derived from the telemetry series.
+        assert "executions" in text
+        assert "predict p95" in text
+        assert text.endswith("\n")
+
+    def test_renders_without_telemetry_or_slo(self):
+        report = _sample_report()
+        report["telemetry"] = None
+        report["slo"] = {}
+        text = render_report_text(report)
+        assert "template Q1" in text
+        assert "predict p95" not in text
+
+
+class TestJsonReport:
+    def test_round_trips_and_is_stable(self):
+        report = _sample_report()
+        rendered = render_report_json(report)
+        assert json.loads(rendered) == report
+        assert rendered == render_report_json(report)
+        assert rendered.endswith("\n")
+
+
+class TestHtmlReport:
+    def test_self_contained_page(self):
+        html = render_report_html(_sample_report())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "</body></html>" in html
+        assert "template Q1" in html
+        assert "cache_hit_rate" in html
+        assert "<svg" in html  # sparklines are inline SVG
+        # Self-contained: no external fetches.
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "src=" not in html
+
+    def test_escapes_untrusted_names(self):
+        report = _sample_report()
+        report["templates"]["<script>"] = report["templates"].pop("Q1")
+        html = render_report_html(report)
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html

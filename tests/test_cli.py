@@ -213,6 +213,88 @@ class TestTrace:
         assert "suboptimal" in out
 
 
+class TestReport:
+    def test_text_report_shows_the_scorecard(self, capsys):
+        assert main(
+            ["report", "Q1", "--instances", "300", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PPC health report" in out
+        assert "clock: VirtualClock" in out
+        assert "template Q1" in out
+        assert "coverage=" in out
+        assert "purity=" in out
+        assert "accuracy=" in out
+        assert "cache_hit_rate" in out
+        assert "predict_latency_p95" in out
+        assert "regret_budget" in out
+
+    def test_json_report_is_parseable(self, capsys):
+        import json
+
+        assert main(
+            [
+                "report", "Q1",
+                "--instances", "200",
+                "--format", "json",
+            ]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report["templates"]) == {"Q1"}
+        assert report["worst_state"] in ("ok", "warning", "breach")
+        assert report["slo"]["Q1"]
+        assert report["telemetry"]["samples"] > 0
+
+    def test_html_report_written_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "report.html"
+        assert main(
+            [
+                "report", "Q1",
+                "--instances", "200",
+                "--format", "html",
+                "--out", str(out_path),
+            ]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        html = out_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "template Q1" in html
+
+    def test_fail_on_breach_passes_on_a_healthy_run(self, capsys):
+        assert main(
+            [
+                "report", "Q1",
+                "--instances", "300",
+                "--fail-on-breach",
+            ]
+        ) == 0
+
+    def test_multi_template_report(self, capsys):
+        assert main(
+            ["report", "Q1", "Q5", "--instances", "120"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "template Q1" in out
+        assert "template Q5" in out
+
+
+class TestWatch:
+    def test_prints_one_status_line_per_template_per_tick(self, capsys):
+        assert main(
+            [
+                "watch", "Q1",
+                "--iterations", "3",
+                "--batch", "60",
+                "--interval", "0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "Q1" in l]
+        assert len(lines) >= 3
+        assert "coverage=" in out
+        assert "slo=" in out
+
+
 class TestFaultsTraceOut:
     def test_flight_recorder_dumped_as_jsonl(self, tmp_path, capsys):
         from repro.obs.tracing import loads_jsonl

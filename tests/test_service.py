@@ -186,3 +186,108 @@ class TestTracing:
         )
         service.register("Q1")
         assert service.metrics()["clock"] == {"source": "VirtualClock"}
+
+
+class TestTelemetry:
+    @pytest.fixture(scope="class")
+    def rig(self):
+        from repro.resilience import VirtualClock
+
+        clock = VirtualClock()
+        service = PlanCachingService.tpch(
+            scale_factor=0.1,
+            config=PPCConfig(confidence_threshold=0.8, drift_response=False),
+            clock=clock,
+            seed=0,
+        )
+        service.register("Q1")
+        workload = RandomTrajectoryWorkload(2, spread=0.02, seed=5)
+        for point in workload.generate(400):
+            service.execute(service.instance_at("Q1", point))
+            clock.advance(1.0)  # one simulated second per instance
+        return service, clock
+
+    def test_telemetry_sampled_on_the_virtual_clock(self, rig):
+        service, __ = rig
+        stats = service.metrics()["telemetry"]
+        # 400 simulated seconds at a 5 s interval: ~80 snapshots.
+        assert stats["samples"] >= 70
+        assert stats["interval"] == 5.0
+        assert stats["series"] > 0
+
+    def test_quality_scorecard_shape(self, rig):
+        service, __ = rig
+        quality = service.quality()
+        assert set(quality) == {"Q1"}
+        card = quality["Q1"]
+        assert card["executions"] >= 400
+        assert 0.0 < card["synopsis"]["coverage"] <= 1.0
+        assert 0.0 < card["synopsis"]["purity"] <= 1.0
+        assert 0.0 <= card["rolling"]["accuracy"] <= 1.0
+        assert card["rolling"]["regret"] >= 0.0
+        assert "regret_attribution" in card
+        json.dumps(card)  # JSON-ready
+
+    def test_slo_block_and_prometheus_agree(self, rig):
+        service, __ = rig
+        snapshot = service.metrics()
+        slo = snapshot["slo"]
+        assert set(slo) == {"Q1"}
+        assert {row["name"] for row in slo["Q1"]} == {
+            "cache_hit_rate",
+            "predict_latency_p95",
+            "regret_budget",
+        }
+        text = service.prometheus()
+        states = ("ok", "warning", "breach")
+        for row in slo["Q1"]:
+            assert row["state"] in states
+            expected = states.index(row["state"])
+            line = (
+                f'ppc_slo_state{{slo="{row["name"]}",template="Q1"}} '
+                f"{expected}"
+            )
+            assert line in text.splitlines()
+        assert "# HELP ppc_slo_state" in text
+
+    def test_health_report_is_json_ready_and_complete(self, rig):
+        service, clock = rig
+        report = service.health_report(tail=16)
+        json.dumps(report)
+        assert report["clock"]["source"] == "VirtualClock"
+        assert report["clock"]["now"] == pytest.approx(clock.now())
+        assert report["worst_state"] in ("ok", "warning", "breach")
+        assert set(report["templates"]) == {"Q1"}
+        assert set(report["slo"]) == {"Q1"}
+        series = report["telemetry"]["series"]
+        assert all(len(entry["points"]) <= 16 for entry in series)
+        names = {entry["name"] for entry in series}
+        assert "ppc_executions_total" in names
+
+    def test_quality_gauges_refreshed_by_the_serving_path(self, rig):
+        service, __ = rig
+        # The periodic tick (every quality_every-th snapshot) has
+        # published scorecard gauges without any explicit quality call.
+        text = service.prometheus()
+        assert 'ppc_quality_coverage{template="Q1"}' in text
+        assert 'ppc_quality_rolling_accuracy{template="Q1"}' in text
+
+    def test_disabled_telemetry_reports_empty_blocks(self):
+        from repro.config import TelemetryConfig
+
+        service = PlanCachingService.tpch(
+            scale_factor=0.1,
+            config=PPCConfig(
+                drift_response=False,
+                telemetry=TelemetryConfig(enabled=False),
+            ),
+            seed=0,
+        )
+        service.register("Q1")
+        snapshot = service.metrics()
+        assert snapshot["telemetry"] is None
+        assert snapshot["slo"] is None
+        report = service.health_report()
+        assert report["telemetry"] is None
+        assert report["slo"] == {}
+        assert report["worst_state"] == "ok"
