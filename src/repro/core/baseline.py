@@ -82,11 +82,11 @@ class BaselinePredictor(PlanPredictor):
         Chunked distance matrices keep memory bounded; per-plan counts
         come from one matrix product against a plan one-hot matrix, and
         the confidence decisions run vectorized.  Results are identical
-        to per-point :meth:`predict`.
+        to per-point :meth:`predict`.  Shares the batch contract of
+        :meth:`PlanPredictor.predict_batch`: ``(0, r)`` returns ``[]``,
+        a ``(0,)`` vector is a shape error, non-finite rows raise.
         """
-        points = np.asarray(points, dtype=float)
-        if points.ndim == 1:
-            points = points[None, :]
+        points = self._check_batch(points)
         onehot = np.zeros((self._coords.shape[0], self._plan_count))
         onehot[np.arange(self._coords.shape[0]), self._plan_ids] = 1.0
         cost_onehot = onehot * self._costs[:, None]

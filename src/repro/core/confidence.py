@@ -185,7 +185,13 @@ class ConfidenceModel:
         """Vectorized :meth:`decide` over a ``(points, plans)`` matrix.
 
         Returns ``(winners, confidences)`` where ``winners`` is ``-1``
-        for NULL predictions.
+        for NULL predictions.  Bit-for-bit identical to per-row
+        :meth:`decide` — including the saturation to exactly ``1.0``
+        once the count ratio leaves the interpolation table, which a
+        plain ``np.interp`` clamp would miss — so scalar ``predict``
+        can delegate to the batch path.  Subclasses overriding
+        :meth:`confidence` must override this too, or batch decisions
+        will silently fall back to the chord model.
         """
         counts = np.asarray(counts, dtype=float)
         if counts.ndim != 2:
@@ -199,10 +205,15 @@ class ConfidenceModel:
         confidences[pure] = 1.0 - (1.0 - self.chi) ** max_counts[pure]
         mixed = (others > 0.0) & (max_counts >= others)
         with np.errstate(divide="ignore", invalid="ignore"):
-            ratios = np.where(others > 0.0, max_counts / np.maximum(others, 1e-300), 0.0)
+            ratios = np.where(
+                others > 0.0, max_counts / np.maximum(others, 1e-300), 0.0
+            )
         confidences[mixed] = np.interp(
             ratios[mixed], self._ratios, self._confidences
         )
+        # Parity with the scalar path: beyond the table the chord model
+        # saturates to exactly 1.0, not to the last tabulated value.
+        confidences[mixed & (ratios >= self._ratios[-1])] = 1.0
         answered = confidences > threshold
         winners = np.where(answered & (max_counts > 0.0), winners, -1)
         return winners, confidences
@@ -226,3 +237,30 @@ class FrequencyConfidenceModel(ConfidenceModel):
         if max_count < others:
             return 0.0
         return max_count / (max_count + others)
+
+    def decide_batch(
+        self,
+        counts: np.ndarray,
+        threshold: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized frequency-model twin of the base ``decide_batch``
+        (the inherited chord interpolation would not match this model's
+        scalar :meth:`confidence`)."""
+        counts = np.asarray(counts, dtype=float)
+        if counts.ndim != 2:
+            raise ConfigurationError("decide_batch expects a 2-D matrix")
+        winners = np.argmax(counts, axis=1)
+        max_counts = counts[np.arange(counts.shape[0]), winners]
+        others = counts.sum(axis=1) - max_counts
+
+        confidences = np.zeros(counts.shape[0])
+        pure = (others <= 0.0) & (max_counts > 0.0)
+        confidences[pure] = 1.0 - (1.0 - self.chi) ** max_counts[pure]
+        mixed = (others > 0.0) & (max_counts >= others)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            confidences[mixed] = (
+                max_counts[mixed] / (max_counts[mixed] + others[mixed])
+            )
+        answered = confidences > threshold
+        winners = np.where(answered & (max_counts > 0.0), winners, -1)
+        return winners, confidences

@@ -73,6 +73,10 @@ from repro.resilience.retry import (
 )
 
 
+#: Sentinel: "no precomputed prediction — run the scalar predict path".
+_RECOMPUTE = object()
+
+
 @dataclass(frozen=True)
 class ExecutionRecord:
     """Everything that happened for one query instance."""
@@ -192,12 +196,16 @@ class TemplateSession:
             self._predict = fault_injector.wrap(
                 "predictor", self.online.predict
             )
+            self._predict_batch = fault_injector.wrap(
+                "predictor", self.online.predict_batch
+            )
             self._observe = fault_injector.wrap(
                 "predictor_insert", self.online.observe
             )
         else:
             self._label = plan_space.label
             self._predict = self.online.predict
+            self._predict_batch = self.online.predict_batch
             self._observe = self.online.observe
 
         # Stable metric handles: fetched once, updated lock-free in the
@@ -372,6 +380,85 @@ class TemplateSession:
         trace = self.tracer.begin()
         return self._run(x, trace)
 
+    def execute_batch(self, points: np.ndarray) -> list[ExecutionRecord]:
+        """Run a batch of instances, amortizing prediction across it.
+
+        Lockstep-equivalent to calling :meth:`execute` per point —
+        bit-for-bit identical records, counters and RNG consumption —
+        but the predict stage runs vectorized: the remaining batch tail
+        is predicted in one ``predict_batch`` call, and each instance
+        then flows through the normal decision path with its prediction
+        precomputed.  Any synopsis mutation (optimizer feedback,
+        positive feedback, a drift drop) invalidates the precomputed
+        tail, which is re-predicted against the updated synopses —
+        exactly what the sequential path would have seen.
+
+        Traced instances re-predict through the span-annotating scalar
+        path (same numeric core, identical decision), preserving trace
+        parity.  Rows the vectorized validation rejects (non-finite
+        coordinates) fall back to the scalar path so they raise — or
+        degrade — exactly as a sequential ``execute`` would.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2:
+            raise PredictionError(
+                f"execute_batch expects an (m, "
+                f"{self.plan_space.dimensions}) batch, got shape "
+                f"{points.shape}"
+            )
+        records: list[ExecutionRecord] = []
+        total = points.shape[0]
+        start = 0
+        while start < total:
+            predictions, amortized = self._prefetch_predictions(
+                points[start:]
+            )
+            version = self.online.mutation_count
+            advanced = 0
+            for offset, precomputed in enumerate(predictions):
+                if offset > 0 and self.online.mutation_count != version:
+                    break  # Synopses changed: the tail is stale.
+                trace = self.tracer.begin()
+                records.append(
+                    self._run(
+                        points[start + offset],
+                        trace,
+                        precomputed=precomputed,
+                        predict_seconds=amortized,
+                    )
+                )
+                advanced += 1
+            start += advanced
+        return records
+
+    def _prefetch_predictions(
+        self, tail: np.ndarray
+    ) -> tuple[list, float]:
+        """Vectorized predictions for the remaining batch tail.
+
+        Returns ``(predictions, amortized_seconds)`` where each entry is
+        either a precomputed prediction or the ``_RECOMPUTE`` sentinel
+        (non-finite rows, or the whole tail when the batch predictor
+        itself failed — both then replay the scalar path per point).
+        """
+        started = perf_counter()
+        finite = np.isfinite(tail).all(axis=1)
+        predictions: list = [_RECOMPUTE] * tail.shape[0]
+        clean = tail[finite] if not finite.all() else tail
+        if clean.shape[0]:
+            try:
+                computed = self._predict_batch(clean)
+            except Exception:
+                # Degradation accounting happens per point in the
+                # scalar fallback, exactly like sequential execution.
+                return predictions, 0.0
+            for row, prediction in zip(
+                np.flatnonzero(finite), computed, strict=True
+            ):
+                predictions[row] = prediction
+        amortized = (perf_counter() - started) / max(1, tail.shape[0])
+        return predictions, amortized
+
     def explain(self, x: np.ndarray) -> DecisionTrace:
         """Run one instance fully traced; returns its decision trace.
 
@@ -387,11 +474,18 @@ class TemplateSession:
         return trace
 
     def _run(
-        self, x: np.ndarray, trace: "DecisionTrace | NoopTrace"
+        self,
+        x: np.ndarray,
+        trace: "DecisionTrace | NoopTrace",
+        precomputed=_RECOMPUTE,
+        predict_seconds: float = 0.0,
     ) -> ExecutionRecord:
         """Drive one decision, sealing the trace on every exit path."""
         try:
-            record = self._decide_and_execute(x, trace)
+            record = self._decide_and_execute(
+                x, trace, precomputed=precomputed,
+                predict_seconds=predict_seconds,
+            )
         except BaseException as exc:
             self.tracer.finish(trace, error=exc)
             raise
@@ -399,13 +493,25 @@ class TemplateSession:
         return record
 
     def _decide_and_execute(
-        self, x: np.ndarray, trace: "DecisionTrace | NoopTrace"
+        self,
+        x: np.ndarray,
+        trace: "DecisionTrace | NoopTrace",
+        precomputed=_RECOMPUTE,
+        predict_seconds: float = 0.0,
     ) -> ExecutionRecord:
         """The Figure-1 decision flow, annotated onto ``trace``.
 
         All trace attribute computation hides behind ``trace.active``
         so the unsampled path stays behaviorally and metrically
         identical to the untraced flow — and allocation-free.
+
+        ``precomputed`` (from :meth:`execute_batch`) supplies the
+        predict-stage result computed vectorized for the whole batch;
+        ``predict_seconds`` is that call's amortized per-instance cost,
+        observed into the predict stage timer in place of a wall-clock
+        read.  Traced instances ignore the precomputed value and
+        re-predict through the span-annotating path (same numeric core,
+        identical decision).
         """
         with trace.span("normalize"):
             x = (
@@ -428,20 +534,26 @@ class TemplateSession:
 
         degraded = False
         fallback_source = ""
+        use_precomputed = precomputed is not _RECOMPUTE and not trace.active
         stage_start = perf_counter()
         with trace.span("predict") as predict_span:
-            try:
-                prediction = (
-                    self._predict(x, trace=trace)
-                    if trace.active
-                    else self._predict(x)
-                )
-            except Exception:
-                # A broken predictor degrades to the optimizer path.
-                prediction = None
-                degraded = True
-                self._degraded_counters["predictor"].inc()
-                predict_span.set(degraded=True, status_detail="predictor raised")
+            if use_precomputed:
+                prediction = precomputed
+            else:
+                try:
+                    prediction = (
+                        self._predict(x, trace=trace)
+                        if trace.active
+                        else self._predict(x)
+                    )
+                except Exception:
+                    # A broken predictor degrades to the optimizer path.
+                    prediction = None
+                    degraded = True
+                    self._degraded_counters["predictor"].inc()
+                    predict_span.set(
+                        degraded=True, status_detail="predictor raised"
+                    )
             if trace.active:
                 if prediction is None:
                     predict_span.set(plan=None)
@@ -451,7 +563,10 @@ class TemplateSession:
                         confidence=prediction.confidence,
                         estimated_cost=prediction.estimated_cost,
                     )
-        self._stage_timers["predict"].observe(perf_counter() - stage_start)
+        self._stage_timers["predict"].observe(
+            predict_seconds if use_precomputed
+            else perf_counter() - stage_start
+        )
 
         reason = ""
         if prediction is None:
@@ -763,6 +878,30 @@ class PPCFramework:
                 self.governor.enforce()
         self._telemetry_tick()
         return record
+
+    def execute_batch(
+        self, template_name: str, points: np.ndarray
+    ) -> list[ExecutionRecord]:
+        """Run a batch of instances of one template.
+
+        Without a memory governor this is the vectorized session batch
+        path plus one telemetry tick per record — lockstep-identical to
+        sequential :meth:`execute` calls.  With a governor, reclamation
+        must interleave between instances at exactly the configured
+        cadence (and governor shrinks mutate synopses behind the
+        predictor's mutation counter), so the batch falls back to the
+        sequential path rather than drift from it.
+        """
+        if self.governor is not None:
+            points = np.asarray(points, dtype=float)
+            return [
+                self.execute(template_name, points[i])
+                for i in range(points.shape[0])
+            ]
+        records = self.sessions[template_name].execute_batch(points)
+        for __ in records:
+            self._telemetry_tick()
+        return records
 
     def explain(self, template_name: str, x: np.ndarray) -> DecisionTrace:
         """Run one instance fully traced and return its decision trace."""

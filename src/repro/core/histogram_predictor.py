@@ -29,7 +29,11 @@ import numpy as np
 
 from repro.core.confidence import ConfidenceModel
 from repro.core.point import SamplePool
-from repro.core.predictor import PlanPredictor, Prediction
+from repro.core.predictor import (
+    PlanPredictor,
+    Prediction,
+    median_supported,
+)
 from repro.core.relevance import apply_axis_weights
 from repro.exceptions import ConfigurationError, PredictionError
 from repro.histograms import (
@@ -41,6 +45,7 @@ from repro.histograms import (
     VOptimalHistogram,
 )
 from repro.lsh.grid import Grid
+from repro.lsh.stacked import StackedEnsemble
 from repro.lsh.transforms import TransformEnsemble
 from repro.lsh.zorder import ZOrderCurve
 
@@ -119,6 +124,7 @@ class HistogramPredictor(PlanPredictor):
         if output_dims * bits > 62:
             bits = max(1, 62 // output_dims)
         self.curve = ZOrderCurve(output_dims, bits)
+        self._rebuild_stacked()
 
         # 2*delta = volume of the radius-d hypersphere (Section IV-C),
         # floored at one z-order cell so tiny radii still see the
@@ -146,7 +152,26 @@ class HistogramPredictor(PlanPredictor):
         self._metrics = None
         self._transform_timer = None
         self._range_timer = None
+        #: Monotone synopsis-mutation counter: bumped by ``insert`` and
+        #: ``drop`` so batch consumers (``TemplateSession.execute_batch``)
+        #: can detect when precomputed predictions went stale.
+        self._mutations = 0
         self._build_histograms(pool)
+
+    def _rebuild_stacked(self) -> None:
+        """(Re)build the struct-of-arrays transform/grid view.
+
+        Derived state: must be called again after ``ensemble`` or
+        ``grids`` are replaced wholesale (persistence restore does).
+        """
+        self._stacked = StackedEnsemble(
+            self.ensemble, self.grids, curve=self.curve
+        )
+
+    @property
+    def mutation_count(self) -> int:
+        """Number of synopsis mutations (inserts and drops) so far."""
+        return self._mutations
 
     def bind_metrics(self, registry: "MetricsRegistry", **labels) -> None:
         """Publish per-predict transform / range-query timings.
@@ -183,8 +208,9 @@ class HistogramPredictor(PlanPredictor):
         builder = _STATIC_BUILDERS[self.histogram_kind]
         plan_ids = pool.plan_ids
         costs = pool.costs
+        z_all = self._z_values_batch(pool.coords)
         for index in range(len(self.ensemble)):
-            z_values = self._z_values(index, pool.coords)
+            z_values = z_all[index]
             row: list[Histogram] = []
             for plan in range(self.plan_count):
                 mask = plan_ids == plan
@@ -199,12 +225,11 @@ class HistogramPredictor(PlanPredictor):
         self.total_points = len(pool)
         self.total_mass = float(len(pool))
 
-    def _z_values(self, transform_index: int, coords: np.ndarray) -> np.ndarray:
-        transform = self.ensemble.transforms[transform_index]
-        grid = self.grids[transform_index]
-        coords = apply_axis_weights(coords, self.axis_weights)
-        unit = grid.unit_coords(transform.apply(coords))
-        return self.curve.linearize(unit)
+    def _z_values_batch(self, points: np.ndarray) -> np.ndarray:
+        """z-values ``(t, m)`` of each point under every transform."""
+        return self._stacked.z_values(
+            apply_axis_weights(points, self.axis_weights)
+        )
 
     def insert(
         self,
@@ -236,135 +261,160 @@ class HistogramPredictor(PlanPredictor):
                 "use histogram_kind='incremental'"
             )
         z_values = [
-            float(self._z_values(index, x[None, :])[0])
-            for index in range(len(self.ensemble))
+            float(z) for z in self._z_values_batch(x[None, :])[:, 0]
         ]
         for histogram, z in zip(targets, z_values, strict=True):
             histogram.insert(z, cost, weight=weight)
         self.total_points += 1
         self.total_mass += weight
+        self._mutations += 1
 
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
+    def _range_estimates(
+        self, points: np.ndarray, record_timing: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The struct-of-arrays lookup core shared by every predict path.
+
+        For validated points ``(m, r)``, returns ``(z_values (t, m),
+        counts (t, plans, m), avg_costs (t, plans, m))``: one stacked
+        pass computes all z-values, then each (transform, plan) synopsis
+        answers its whole query batch through the fused columnar range
+        query.  When metrics are bound (and ``record_timing``), the
+        transform and range-query timers observe exactly once per call.
+        """
+        record = record_timing and self._metrics is not None
+        if record:
+            started = perf_counter()
+        z_values = self._z_values_batch(points)
+        if record:
+            mid = perf_counter()
+        lo = z_values - self.delta
+        hi = z_values + self.delta
+        t = len(self.ensemble)
+        m = points.shape[0]
+        counts = np.empty((t, self.plan_count, m))
+        avg_costs = np.empty((t, self.plan_count, m))
+        for index in range(t):
+            for plan in range(self.plan_count):
+                mass, average = self._histograms[index][
+                    plan
+                ].range_query_batch(lo[index], hi[index])
+                counts[index, plan] = mass
+                avg_costs[index, plan] = average
+        if record:
+            self._transform_timer.observe(mid - started)
+            self._range_timer.observe(perf_counter() - mid)
+        return z_values, counts, avg_costs
+
+    def _aggregate(self, estimates: np.ndarray) -> np.ndarray:
+        """Median (or mean, under the ablation) over the transform axis."""
+        if self.aggregation == "mean":
+            return estimates.mean(axis=0)
+        return np.median(estimates, axis=0)
+
+    def _winner_costs(
+        self,
+        counts: np.ndarray,
+        avg_costs: np.ndarray,
+        winners: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized cost estimate for each point's winning plan.
+
+        Selects the winner's per-transform (count, avg cost) columns
+        from the ``(t, plans, m)`` estimate arrays and medians the
+        averages over the transforms holding mass.  NULL rows
+        (``winners < 0``) are gathered against plan 0 merely to keep
+        the gather in bounds; callers never read them.
+        """
+        columns = np.arange(winners.shape[0])
+        safe = np.where(winners < 0, 0, winners)
+        return median_supported(
+            avg_costs[:, safe, columns],
+            counts[:, safe, columns] > 0.0,
+        )
+
+    def _emit_lookup_spans(
+        self,
+        trace: "DecisionTrace",
+        z_values: np.ndarray,
+        counts: np.ndarray,
+        avg_costs: np.ndarray,
+    ) -> np.ndarray:
+        """Annotate per-transform lookup spans plus the aggregate span
+        from already-computed batch-of-one estimates; returns the
+        aggregated per-plan counts ``(plans,)``."""
+        for index in range(len(self.ensemble)):
+            with trace.span("transform") as span:
+                z = float(z_values[index, 0])
+                row = counts[index, :, 0]
+                span.set(
+                    index=index,
+                    z=z,
+                    z_range=[z - self.delta, z + self.delta],
+                    counts=[float(c) for c in row],
+                    avg_costs=[
+                        float(avg_costs[index, plan, 0])
+                        if row[plan] > 0
+                        else None
+                        for plan in range(self.plan_count)
+                    ],
+                    vote=int(row.argmax()) if row.max() > 0.0 else None,
+                )
+        aggregated = self._aggregate(counts)[:, 0]
+        with trace.span("aggregate") as span:
+            span.set(
+                method=self.aggregation,
+                counts=[float(c) for c in aggregated],
+            )
+        return aggregated
+
     def median_counts(
         self, x: np.ndarray, trace: "DecisionTrace | None" = None
     ) -> np.ndarray:
         """Per-plan range-count aggregated across the ``t`` transforms
         (median by default; mean under the ablation setting).
 
-        With an active ``trace``, every transform's density lookup gets
-        its own span (z-value, per-plan counts and average costs, the
+        A batch of one through the struct-of-arrays core.  With an
+        active ``trace``, every transform's density lookup gets its own
+        span (z-value, per-plan counts and average costs, the
         transform's argmax vote) plus an ``aggregate`` span; the
         returned counts are identical either way.
         """
+        x = self._check_point(x)
+        z_values, counts, avg_costs = self._range_estimates(x[None, :])
         if trace is not None and trace.active:
-            return self._median_counts_traced(x, trace)
-        x = self._check_point(x)
-        record = self._metrics is not None
-        transform_seconds = 0.0
-        range_seconds = 0.0
-        estimates = np.empty((len(self.ensemble), self.plan_count))
-        for index in range(len(self.ensemble)):
-            if record:
-                started = perf_counter()
-            z = float(self._z_values(index, x[None, :])[0])
-            if record:
-                mid = perf_counter()
-                transform_seconds += mid - started
-            lo, hi = z - self.delta, z + self.delta
-            for plan in range(self.plan_count):
-                estimates[index, plan] = self._histograms[index][
-                    plan
-                ].range_count(lo, hi)
-            if record:
-                range_seconds += perf_counter() - mid
-        if record:
-            self._transform_timer.observe(transform_seconds)
-            self._range_timer.observe(range_seconds)
-        if self.aggregation == "mean":
-            return estimates.mean(axis=0)
-        return np.median(estimates, axis=0)
-
-    def _median_counts_traced(
-        self, x: np.ndarray, trace: "DecisionTrace"
-    ) -> np.ndarray:
-        """Traced twin of :meth:`median_counts`: same estimates, plus a
-        span per transform.  Traced lookups also answer the per-plan
-        ``range_cost`` queries (for the avg-cost attribute), extra work
-        the untraced hot path never pays."""
-        x = self._check_point(x)
-        record = self._metrics is not None
-        transform_seconds = 0.0
-        range_seconds = 0.0
-        estimates = np.empty((len(self.ensemble), self.plan_count))
-        for index in range(len(self.ensemble)):
-            with trace.span("transform") as span:
-                started = perf_counter()
-                z = float(self._z_values(index, x[None, :])[0])
-                mid = perf_counter()
-                transform_seconds += mid - started
-                lo, hi = z - self.delta, z + self.delta
-                avg_costs: "list[float | None]" = []
-                for plan in range(self.plan_count):
-                    histogram = self._histograms[index][plan]
-                    count = histogram.range_count(lo, hi)
-                    estimates[index, plan] = count
-                    avg_costs.append(
-                        float(histogram.range_cost(lo, hi))
-                        if count > 0
-                        else None
-                    )
-                range_seconds += perf_counter() - mid
-                row = estimates[index]
-                span.set(
-                    index=index,
-                    z=z,
-                    z_range=[lo, hi],
-                    counts=[float(c) for c in row],
-                    avg_costs=avg_costs,
-                    vote=int(row.argmax()) if row.max() > 0.0 else None,
-                )
-        if record:
-            self._transform_timer.observe(transform_seconds)
-            self._range_timer.observe(range_seconds)
-        counts = (
-            estimates.mean(axis=0)
-            if self.aggregation == "mean"
-            else np.median(estimates, axis=0)
-        )
-        with trace.span("aggregate") as span:
-            span.set(
-                method=self.aggregation,
-                counts=[float(c) for c in counts],
-            )
-        return counts
+            return self._emit_lookup_spans(trace, z_values, counts, avg_costs)
+        return self._aggregate(counts)[:, 0]
 
     def predict(
         self, x: np.ndarray, trace: "DecisionTrace | None" = None
     ) -> "Prediction | None":
+        """A thin wrapper over a batch of one.
+
+        The untraced path is literally ``predict_batch(x[None, :])[0]``;
+        the traced path runs the same numeric core and only adds span
+        annotation — the decisions are bit-for-bit identical, which the
+        trace-parity suite pins down.
+        """
         if trace is not None and trace.active:
             return self._predict_traced(x, trace)
-        counts = self.median_counts(x)
-        if (
-            self.noise_fraction is not None
-            and self.total_mass > 0
-            and counts.max() < self.noise_fraction * self.total_mass
-        ):
-            return None
-        plan_id, confidence = self.model.decide(
-            counts, self.confidence_threshold
-        )
-        if plan_id is None:
-            return None
-        return Prediction(plan_id, confidence, self.estimated_cost(x, plan_id))
+        x = self._check_point(x)
+        return self.predict_batch(x[None, :])[0]
 
     def _predict_traced(
         self, x: np.ndarray, trace: "DecisionTrace"
     ) -> "Prediction | None":
         """Traced twin of :meth:`predict` — identical decision, with
-        noise-elimination and confidence (γ comparison) spans."""
-        counts = self.median_counts(x, trace=trace)
+        per-transform lookup, noise-elimination and confidence
+        (γ comparison) spans, all computed from the same batch-of-one
+        estimates the untraced path uses."""
+        x = self._check_point(x)
+        z_values, counts_tpm, avg_costs = self._range_estimates(x[None, :])
+        counts = self._emit_lookup_spans(
+            trace, z_values, counts_tpm, avg_costs
+        )
         max_count = float(counts.max())
         threshold = (
             None
@@ -393,69 +443,52 @@ class HistogramPredictor(PlanPredictor):
             span.set(**detail)
         if plan_id is None:
             return None
-        return Prediction(plan_id, confidence, self.estimated_cost(x, plan_id))
+        medians, any_support = self._winner_costs(
+            counts_tpm, avg_costs, np.array([plan_id])
+        )
+        cost = float(medians[0]) if any_support[0] else None
+        return Prediction(plan_id, confidence, cost)
 
     def predict_batch(self, points: np.ndarray) -> "list[Prediction | None]":
-        """Vectorized prediction for a whole point batch.
+        """Vectorized prediction for a whole point batch — the primitive
+        every other predict path wraps.
 
-        Computes the z-values of every point under every transform at
-        once, answers all histogram range queries through the columnar
-        bucket views, aggregates, and applies noise elimination plus the
-        confidence decision vectorized.  Identical results to calling
-        :meth:`predict` per point, at a fraction of the time — the
-        operation the runtime simulation charges as "prediction
-        overhead".
+        The batch is validated up front (`_check_batch`: shape errors
+        and non-finite rows raise, exactly like the scalar guard) and an
+        empty ``(0, r)`` batch returns ``[]``.  One stacked pass
+        computes the z-values of every point under every transform,
+        all histogram range queries run through the fused columnar
+        views, and aggregation, noise elimination, the confidence
+        decision and the winner cost estimates are fully vectorized.
+        Bit-for-bit identical to calling :meth:`predict` per point, at
+        a fraction of the time — the operation the runtime simulation
+        charges as "prediction overhead".
         """
-        points = np.asarray(points, dtype=float)
-        if points.ndim == 1:
-            points = points[None, :]
+        points = self._check_batch(points)
         m = points.shape[0]
-        t = len(self.ensemble)
-
-        # (t, m) z-values, then (t, plans, m) range counts.
-        z_values = np.stack(
-            [self._z_values(i, points) for i in range(t)]
-        )
-        lo = z_values - self.delta
-        hi = z_values + self.delta
-        estimates = np.empty((t, self.plan_count, m))
-        cost_estimates = np.empty((t, self.plan_count, m))
-        for i in range(t):
-            for plan in range(self.plan_count):
-                histogram = self._histograms[i][plan]
-                estimates[i, plan] = histogram.range_count_batch(lo[i], hi[i])
-                cost_estimates[i, plan] = histogram.range_cost_batch(
-                    lo[i], hi[i]
-                )
-        counts = (  # (plans, m)
-            estimates.mean(axis=0)
-            if self.aggregation == "mean"
-            else np.median(estimates, axis=0)
-        )
-
+        if m == 0:
+            return []
+        __, counts_tpm, avg_costs = self._range_estimates(points)
+        counts = self._aggregate(counts_tpm)  # (plans, m)
         winners, confidences = self.model.decide_batch(
             counts.T, self.confidence_threshold
         )
         if self.noise_fraction is not None and self.total_mass > 0:
             noisy = counts.max(axis=0) < self.noise_fraction * self.total_mass
             winners = np.where(noisy, -1, winners)
-
-        predictions: "list[Prediction | None]" = []
-        for j in range(m):
-            plan_id = int(winners[j])
-            if plan_id < 0:
-                predictions.append(None)
-                continue
-            supported = estimates[:, plan_id, j] > 0
-            cost = (
-                float(np.median(cost_estimates[supported, plan_id, j]))
-                if supported.any()
-                else None
+        medians, any_support = self._winner_costs(
+            counts_tpm, avg_costs, winners
+        )
+        return [
+            None
+            if winners[j] < 0
+            else Prediction(
+                int(winners[j]),
+                float(confidences[j]),
+                float(medians[j]) if any_support[j] else None,
             )
-            predictions.append(
-                Prediction(plan_id, float(confidences[j]), cost)
-            )
-        return predictions
+            for j in range(m)
+        ]
 
     def estimated_cost(self, x: np.ndarray, plan_id: int) -> "float | None":
         """Median per-transform average cost of the plan around ``x``.
@@ -463,19 +496,19 @@ class HistogramPredictor(PlanPredictor):
         Because the pool contains only truly optimal points (no
         positive feedback), this estimates the *optimal* cost near
         ``x`` — the quantity negative feedback compares against.
+        Timing is not recorded: only full predictions own the
+        once-per-predict timer contract.
         """
         x = self._check_point(x)
-        averages = []
-        for index in range(len(self.ensemble)):
-            z = float(self._z_values(index, x[None, :])[0])
-            histogram = self._histograms[index][plan_id]
-            if histogram.range_count(z - self.delta, z + self.delta) > 0:
-                averages.append(
-                    histogram.range_cost(z - self.delta, z + self.delta)
-                )
-        if not averages:
+        __, counts, avg_costs = self._range_estimates(
+            x[None, :], record_timing=False
+        )
+        medians, any_support = self._winner_costs(
+            counts, avg_costs, np.array([plan_id])
+        )
+        if not any_support[0]:
             return None
-        return float(np.median(averages))
+        return float(medians[0])
 
     def cell_densities(self, probes: int = 64) -> np.ndarray:
         """Density mass per (transform, plan, z-cell): shape
@@ -508,6 +541,7 @@ class HistogramPredictor(PlanPredictor):
         self.histogram_kind = "incremental"
         self.total_points = 0
         self.total_mass = 0.0
+        self._mutations += 1
 
     def space_bytes(self) -> int:
         """``t * n_plans * b_h * 12`` bytes; actual bucket counts may be

@@ -7,6 +7,12 @@ containing the transformed point); the median of the ``t`` estimates
 feeds the confidence sanity check.  A bucket misaligned with the plan
 clusters in one transform is overruled by the others, so precision
 approaches BASELINE at a fraction of the space.
+
+The per-grid synopses live in one contiguous ``(t, plans, cells)``
+array pair (counts and cost sums), and every lookup goes through the
+stacked transform view, so ``predict_batch`` answers a whole batch of
+points in a handful of numpy passes; scalar ``predict`` is a batch of
+one over the same core.
 """
 
 from __future__ import annotations
@@ -17,10 +23,15 @@ import numpy as np
 
 from repro.core.confidence import ConfidenceModel
 from repro.core.point import SamplePool
-from repro.core.predictor import PlanPredictor, Prediction
+from repro.core.predictor import (
+    PlanPredictor,
+    Prediction,
+    median_supported,
+)
 from repro.core.relevance import apply_axis_weights
 from repro.exceptions import PredictionError
 from repro.lsh.grid import Grid
+from repro.lsh.stacked import StackedEnsemble
 from repro.lsh.transforms import TransformEnsemble
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,6 +78,7 @@ class LshPredictor(PlanPredictor):
             Grid(*transform.output_bounds, resolution)
             for transform in self.ensemble
         ]
+        self._rebuild_stacked()
         if plan_count is None:
             if len(pool) == 0:
                 raise PredictionError(
@@ -74,68 +86,124 @@ class LshPredictor(PlanPredictor):
                 )
             plan_count = int(pool.plan_ids.max()) + 1
         self.plan_count = plan_count
-        self._counts = [
-            np.zeros((plan_count, grid.total_cells)) for grid in self.grids
-        ]
-        self._cost_sums = [np.zeros_like(c) for c in self._counts]
+        # Struct-of-arrays synopses: one contiguous (t, plans, cells)
+        # block each for counts and cost sums.  Indexing `_counts[i]`
+        # still yields the per-grid (plans, cells) view older callers
+        # (and tests) poke at.
+        self._counts = np.zeros(
+            (len(self.ensemble), plan_count, self.grids[0].total_cells)
+        )
+        self._cost_sums = np.zeros_like(self._counts)
+        self._mutations = 0
         if len(pool):
             self._insert_pool(pool)
+
+    def _rebuild_stacked(self) -> None:
+        """(Re)build the struct-of-arrays transform/grid view; call
+        again after replacing ``ensemble`` or ``grids`` wholesale."""
+        self._stacked = StackedEnsemble(self.ensemble, self.grids)
+
+    @property
+    def mutation_count(self) -> int:
+        """Number of synopsis mutations (inserts) so far."""
+        return self._mutations
 
     # ------------------------------------------------------------------
     # Population
     # ------------------------------------------------------------------
+    def _cell_ids_batch(self, points: np.ndarray) -> np.ndarray:
+        """Grid cell ids ``(t, m)`` of each point under every transform
+        — plan-independent, computed once per batch."""
+        return self._stacked.cell_ids(
+            apply_axis_weights(points, self.axis_weights)
+        )
+
     def _insert_pool(self, pool: SamplePool) -> None:
-        coords = pool.coords
-        for index, transform in enumerate(self.ensemble):
-            cells = self.grids[index].cell_ids(transform.apply(apply_axis_weights(coords, self.axis_weights)))
-            counts = self._counts[index]
-            cost_sums = self._cost_sums[index]
-            for cell, plan, cost in zip(cells, pool.plan_ids, pool.costs, strict=True):
-                counts[plan, cell] += 1.0
-                cost_sums[plan, cell] += cost
+        cells = self._cell_ids_batch(pool.coords)
+        plan_ids = np.asarray(pool.plan_ids, dtype=np.int64)
+        for index in range(len(self.ensemble)):
+            np.add.at(self._counts[index], (plan_ids, cells[index]), 1.0)
+            np.add.at(
+                self._cost_sums[index], (plan_ids, cells[index]), pool.costs
+            )
+        self._mutations += 1
 
     def insert(self, x: np.ndarray, plan_id: int, cost: float = 0.0) -> None:
         """Add one labeled point to every transformed grid."""
         x = self._check_point(x)
-        for index, transform in enumerate(self.ensemble):
-            cell = int(self.grids[index].cell_ids(transform.apply(apply_axis_weights(x[None, :], self.axis_weights)))[0])
-            self._counts[index][plan_id, cell] += 1.0
-            self._cost_sums[index][plan_id, cell] += cost
+        cells = self._cell_ids_batch(x[None, :])[:, 0]
+        for index, cell in enumerate(cells):
+            self._counts[index, plan_id, cell] += 1.0
+            self._cost_sums[index, plan_id, cell] += cost
+        self._mutations += 1
 
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
+    def _cell_estimates(self, cells: np.ndarray) -> np.ndarray:
+        """Per-plan bucket counts ``(t, plans, m)`` for cell ids
+        ``(t, m)``."""
+        t, m = cells.shape
+        estimates = np.empty((t, self.plan_count, m))
+        for index in range(t):
+            estimates[index] = self._counts[index][:, cells[index]]
+        return estimates
+
+    def _aggregate(self, estimates: np.ndarray) -> np.ndarray:
+        """Median (or mean, under the ablation) over the transform axis."""
+        if self.aggregation == "mean":
+            return estimates.mean(axis=0)
+        return np.median(estimates, axis=0)
+
+    def _winner_costs(
+        self, cells: np.ndarray, winners: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized cost estimate for each point's winning plan:
+        median over the transforms whose winning-plan bucket holds mass
+        of that bucket's average cost.  NULL rows (``winners < 0``)
+        gather against plan 0 to stay in bounds; callers never read
+        them."""
+        t, m = cells.shape
+        columns = np.arange(m)
+        safe = np.where(winners < 0, 0, winners)
+        counts = np.empty((t, m))
+        cost_sums = np.empty((t, m))
+        for index in range(t):
+            counts[index] = self._counts[index][safe, cells[index]]
+            cost_sums[index] = self._cost_sums[index][safe, cells[index]]
+        supported = counts > 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            averages = np.where(
+                supported, cost_sums / np.maximum(counts, 1e-300), np.nan
+            )
+        return median_supported(averages, supported)
+
     def median_counts(
         self, x: np.ndarray, trace: "DecisionTrace | None" = None
     ) -> np.ndarray:
         """Per-plan bucket count aggregated across the ``t`` transforms
         (median by default; mean under the ablation setting).
 
-        With an active ``trace``, each transform's grid-cell lookup
-        gets a span (cell id, per-plan counts, the transform's argmax
-        vote) plus an ``aggregate`` span; the counts are identical
-        either way.
+        A batch of one through the struct-of-arrays core.  With an
+        active ``trace``, each transform's grid-cell lookup gets a span
+        (cell id, per-plan counts, the transform's argmax vote) plus an
+        ``aggregate`` span; the counts are identical either way.
         """
         x = self._check_point(x)
         traced = trace is not None and trace.active
-        estimates = np.empty((len(self.grids), self.plan_count))
-        for index, transform in enumerate(self.ensemble):
-            cell = int(self.grids[index].cell_ids(transform.apply(apply_axis_weights(x[None, :], self.axis_weights)))[0])
-            estimates[index] = self._counts[index][:, cell]
-            if traced:
-                row = estimates[index]
+        cells = self._cell_ids_batch(x[None, :])
+        estimates = self._cell_estimates(cells)
+        if traced:
+            for index in range(len(self.ensemble)):
+                row = estimates[index, :, 0]
                 with trace.span("transform") as span:
                     span.set(
                         index=index,
-                        cell=cell,
+                        cell=int(cells[index, 0]),
                         counts=[float(c) for c in row],
                         vote=int(row.argmax()) if row.max() > 0.0 else None,
                     )
-        counts = (
-            estimates.mean(axis=0)
-            if self.aggregation == "mean"
-            else np.median(estimates, axis=0)
-        )
+        counts = self._aggregate(estimates)[:, 0]
         if traced:
             with trace.span("aggregate") as span:
                 span.set(
@@ -147,34 +215,63 @@ class LshPredictor(PlanPredictor):
     def predict(
         self, x: np.ndarray, trace: "DecisionTrace | None" = None
     ) -> "Prediction | None":
+        """A thin wrapper over a batch of one.
+
+        The untraced path is literally ``predict_batch(x[None, :])[0]``;
+        the traced path runs the same numeric core, only adding span
+        annotation, so decisions are bit-for-bit identical.
+        """
         x = self._check_point(x)
         traced = trace is not None and trace.active
+        if not traced:
+            return self.predict_batch(x[None, :])[0]
+        cells = self._cell_ids_batch(x[None, :])
         counts = self.median_counts(x, trace=trace)
-        if traced:
-            with trace.span("confidence") as span:
-                plan_id, confidence, detail = self.model.explain_decide(
-                    counts, self.confidence_threshold
-                )
-                span.set(**detail)
-        else:
-            plan_id, confidence = self.model.decide(
+        with trace.span("confidence") as span:
+            plan_id, confidence, detail = self.model.explain_decide(
                 counts, self.confidence_threshold
             )
+            span.set(**detail)
         if plan_id is None:
             return None
-        return Prediction(plan_id, confidence, self._median_cost(x, plan_id))
+        medians, any_support = self._winner_costs(
+            cells, np.array([plan_id])
+        )
+        cost = float(medians[0]) if any_support[0] else None
+        return Prediction(plan_id, confidence, cost)
 
-    def _median_cost(self, x: np.ndarray, plan_id: int) -> "float | None":
-        """Median of the per-transform average bucket costs."""
-        averages = []
-        for index, transform in enumerate(self.ensemble):
-            cell = int(self.grids[index].cell_ids(transform.apply(apply_axis_weights(x[None, :], self.axis_weights)))[0])
-            count = self._counts[index][plan_id, cell]
-            if count > 0:
-                averages.append(self._cost_sums[index][plan_id, cell] / count)
-        if not averages:
-            return None
-        return float(np.median(averages))
+    def predict_batch(self, points: np.ndarray) -> "list[Prediction | None]":
+        """Vectorized prediction for a whole point batch — the primitive
+        scalar :meth:`predict` wraps.
+
+        The batch is validated up front (shape errors and non-finite
+        rows raise, exactly like the scalar guard) and an empty
+        ``(0, r)`` batch returns ``[]``.  One stacked pass computes
+        every point's grid cell under every transform; the per-plan
+        count gather, aggregation, confidence decision and winner cost
+        estimates are fully vectorized.
+        """
+        points = self._check_batch(points)
+        m = points.shape[0]
+        if m == 0:
+            return []
+        cells = self._cell_ids_batch(points)
+        estimates = self._cell_estimates(cells)
+        counts = self._aggregate(estimates)  # (plans, m)
+        winners, confidences = self.model.decide_batch(
+            counts.T, self.confidence_threshold
+        )
+        medians, any_support = self._winner_costs(cells, winners)
+        return [
+            None
+            if winners[j] < 0
+            else Prediction(
+                int(winners[j]),
+                float(confidences[j]),
+                float(medians[j]) if any_support[j] else None,
+            )
+            for j in range(m)
+        ]
 
     def space_bytes(self) -> int:
         """``t * n_plans * buckets * 8`` bytes (count + average cost)."""

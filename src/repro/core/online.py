@@ -94,6 +94,11 @@ class OnlinePredictor(PlanPredictor):
     ) -> "Prediction | None":
         return self.predictor.predict(x, trace=trace)
 
+    def predict_batch(self, points: np.ndarray) -> "list[Prediction | None]":
+        """Vectorized prediction over a point batch (the histogram
+        predictor's struct-of-arrays primitive)."""
+        return self.predictor.predict_batch(points)
+
     def space_bytes(self) -> int:
         return self.predictor.space_bytes()
 
@@ -101,6 +106,13 @@ class OnlinePredictor(PlanPredictor):
     def sample_count(self) -> int:
         """Number of points inserted so far (weight-independent)."""
         return int(self.predictor.total_points)
+
+    @property
+    def mutation_count(self) -> int:
+        """Synopsis-mutation counter: batch consumers compare it before
+        and after each instance to detect stale precomputed
+        predictions."""
+        return self.predictor.mutation_count
 
     # ------------------------------------------------------------------
     # Online policies

@@ -148,6 +148,10 @@ def predictor_from_state(state: dict) -> HistogramPredictor:
         Grid(*transform.output_bounds, state["resolution"])
         for transform in predictor.ensemble
     ]
+    # The stacked struct-of-arrays view caches directions and grid
+    # bounds at construction; rebuild it or predictions would silently
+    # use the discarded random transforms.
+    predictor._rebuild_stacked()
     # Restore histogram contents.
     restored: list[list[IncrementalHistogram]] = []
     for row in state["histograms"]:

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.exceptions import PredictionError
+
 
 @dataclass(frozen=True)
 class Prediction:
@@ -25,6 +27,28 @@ class Prediction:
     plan_id: int
     confidence: float
     estimated_cost: "float | None" = None
+
+
+def median_supported(
+    values: np.ndarray, supported: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Column-wise median of ``values (t, m)`` over the ``supported``
+    entries.
+
+    The vectorized form of "median per-transform average cost over the
+    transforms that actually hold mass for the winning plan".  Returns
+    ``(medians, any_support)``: columns with no supported transform get
+    a NaN median and ``any_support`` False (the caller maps those to an
+    absent cost estimate).
+    """
+    masked = np.where(supported, values, np.nan)
+    medians = np.full(values.shape[1], np.nan)
+    any_support = supported.any(axis=0)
+    if any_support.any():
+        medians[any_support] = np.nanmedian(
+            masked[:, any_support], axis=0
+        )
+    return medians, any_support
 
 
 class PlanPredictor(ABC):
@@ -38,10 +62,16 @@ class PlanPredictor(ABC):
         """Predict the optimizer's plan at ``x`` (``None`` = NULL)."""
 
     def predict_batch(self, points: np.ndarray) -> list["Prediction | None"]:
-        """Predict for many points; subclasses may vectorize."""
-        points = np.asarray(points, dtype=float)
-        if points.ndim == 1:
-            points = points[None, :]
+        """Predict for many points; subclasses may vectorize.
+
+        The batch contract all implementations share: an empty
+        ``(0, r)`` batch returns ``[]``, a 1-D input must be exactly one
+        ``r``-dimensional point (so a ``(0,)`` vector is a shape error,
+        not a silently promoted ``(1, 0)`` batch), and any non-finite
+        coordinate raises :class:`PredictionError` up front — the same
+        guard scalar :meth:`predict` applies per point.
+        """
+        points = self._check_batch(points)
         return [self.predict(points[i]) for i in range(points.shape[0])]
 
     @abstractmethod
@@ -56,4 +86,39 @@ class PlanPredictor(ABC):
                 f"expected a {self.dimensions}-dimensional point, "
                 f"got {x.shape[0]}"
             )
+        if not np.isfinite(x).all():
+            raise PredictionError(
+                "plan-space point contains NaN or infinity"
+            )
         return x
+
+    def _check_batch(self, points: np.ndarray) -> np.ndarray:
+        """Validate a point batch into a ``(m, r)`` float matrix.
+
+        Shape errors raise :class:`ValueError`; non-finite coordinates
+        raise :class:`PredictionError`, mirroring :meth:`_check_point`
+        so a batch can never sneak past the scalar guard.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim == 1:
+            if points.shape[0] != self.dimensions:
+                raise ValueError(
+                    f"expected a {self.dimensions}-dimensional point, "
+                    f"got shape {points.shape}"
+                )
+            points = points[None, :]
+        elif points.ndim != 2:
+            raise ValueError(
+                f"expected an (m, {self.dimensions}) batch, "
+                f"got shape {points.shape}"
+            )
+        if points.shape[1] != self.dimensions:
+            raise ValueError(
+                f"expected {self.dimensions}-dimensional points, "
+                f"got shape {points.shape}"
+            )
+        if points.shape[0] and not np.isfinite(points).all():
+            raise PredictionError(
+                "point batch contains NaN or infinity"
+            )
+        return points

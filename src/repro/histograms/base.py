@@ -159,24 +159,40 @@ class Histogram(ABC):
     def range_count_batch(
         self, lo: np.ndarray, hi: np.ndarray
     ) -> np.ndarray:
-        """Vectorized :meth:`range_count` over query arrays ``(m,)``."""
+        """Vectorized :meth:`range_count` over query arrays ``(m,)``.
+
+        Uses an explicit multiply + trailing-axis sum instead of a BLAS
+        ``@`` so each query's mass is reduced over its own contiguous
+        strip — bitwise independent of how many queries share the batch
+        (the scalar/batch parity contract).
+        """
         fractions = self._overlap_matrix(lo, hi)
         if fractions is None:
             return np.zeros(np.asarray(lo).shape[0])
         __, __, counts, __ = self._bucket_arrays()
-        return fractions @ counts
+        return (fractions * counts).sum(axis=1)
 
     def range_cost_batch(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`range_cost` over query arrays ``(m,)``."""
+        __, average = self.range_query_batch(lo, hi)
+        return average
+
+    def range_query_batch(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Counts and average costs for query arrays ``(m,)`` in one
+        overlap pass — the fused lookup the batched predictors issue per
+        (transform, plan) synopsis."""
         fractions = self._overlap_matrix(lo, hi)
         if fractions is None:
-            return np.zeros(np.asarray(lo).shape[0])
+            zeros = np.zeros(np.asarray(lo).shape[0])
+            return zeros, zeros.copy()
         __, __, counts, cost_sums = self._bucket_arrays()
-        mass = fractions @ counts
-        cost = fractions @ cost_sums
+        mass = (fractions * counts).sum(axis=1)
+        cost = (fractions * cost_sums).sum(axis=1)
         with np.errstate(divide="ignore", invalid="ignore"):
             average = np.where(mass > 0.0, cost / np.maximum(mass, 1e-300), 0.0)
-        return average
+        return mass, average
 
     # ------------------------------------------------------------------
     # Helpers for subclasses

@@ -9,6 +9,7 @@ of grid cells onto ``[0, 1]`` for storage in database histograms.
 """
 
 from repro.lsh.grid import Grid
+from repro.lsh.stacked import StackedEnsemble
 from repro.lsh.transforms import (
     PlanSpaceTransform,
     TransformEnsemble,
@@ -19,6 +20,7 @@ from repro.lsh.zorder import ZOrderCurve
 __all__ = [
     "Grid",
     "PlanSpaceTransform",
+    "StackedEnsemble",
     "TransformEnsemble",
     "hypersphere_radius",
     "ZOrderCurve",

@@ -141,8 +141,19 @@ class PlanSpaceTransform:
         return centered * factors[:, None]
 
     def project(self, stretched: np.ndarray) -> np.ndarray:
-        """Stages 4-5: random unit-vector projection plus translation."""
-        return stretched @ self.directions.T + self.translations
+        """Stages 4-5: random unit-vector projection plus translation.
+
+        Computed as an explicit multiply + trailing-axis sum rather
+        than a BLAS ``@``: gemv/gemm may round dot products differently
+        depending on the batch shape, and the scalar/batch parity
+        contract requires each point's projection to be bitwise
+        independent of how many points it is batched with (and equal to
+        the stacked fast path in :mod:`repro.lsh.stacked`).
+        """
+        projected = (
+            stretched[:, None, :] * self.directions[None, :, :]
+        ).sum(axis=2)
+        return projected + self.translations
 
     def apply(self, points: np.ndarray) -> np.ndarray:
         """Full pipeline: unit-cube points ``(n, r)`` to ``(n, s)``."""

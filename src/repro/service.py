@@ -131,6 +131,42 @@ class PlanCachingService:
         point = binder.to_point(instance)
         return self.framework.execute(instance.template_name, point)
 
+    def execute_batch(
+        self, instances: "list[QueryInstance]"
+    ) -> list[ExecutionRecord]:
+        """Run a sequence of query instances through the batch hot path.
+
+        Consecutive same-template runs are grouped and handed to the
+        framework's vectorized ``execute_batch``; records come back in
+        submission order and are lockstep-identical to calling
+        :meth:`execute` per instance.
+        """
+        records: list[ExecutionRecord] = []
+        start = 0
+        while start < len(instances):
+            name = instances[start].template_name
+            binder = self._binders.get(name)
+            if binder is None:
+                raise WorkloadError(
+                    f"template {name!r} is not registered"
+                )
+            stop = start
+            while (
+                stop < len(instances)
+                and instances[stop].template_name == name
+            ):
+                stop += 1
+            points = np.array(
+                [
+                    binder.to_point(instances[i])
+                    for i in range(start, stop)
+                ],
+                dtype=float,
+            )
+            records.extend(self.framework.execute_batch(name, points))
+            start = stop
+        return records
+
     def explain(self, instance: QueryInstance) -> DecisionTrace:
         """Run one instance fully traced; returns its decision trace.
 

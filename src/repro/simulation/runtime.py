@@ -73,9 +73,22 @@ class RuntimeSimulator:
         self.timing = timing or TimingModel()
         self._seed = seed
 
-    def run(self, workload: np.ndarray) -> dict[str, RuntimeBreakdown]:
-        """Simulate all three regimes over the same instance sequence."""
+    def run(
+        self,
+        workload: np.ndarray,
+        batch_size: "int | None" = None,
+    ) -> dict[str, RuntimeBreakdown]:
+        """Simulate all three regimes over the same instance sequence.
+
+        ``batch_size`` drives the PPC regime through the session's
+        vectorized ``execute_batch`` path in chunks of that size; the
+        lockstep parity guarantee makes the records — and therefore the
+        breakdown — identical to the default per-instance replay, while
+        exercising the batch hot path the throughput bench gates.
+        """
         workload = np.asarray(workload, dtype=float)
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         optimize_ms = self.timing.optimization_ms(self.plan_space)
 
         no_cache = RuntimeBreakdown("NO-CACHING")
@@ -112,8 +125,20 @@ class RuntimeSimulator:
         # instance), so the count matches ``session.optimizer_invocations``
         # without mutating the breakdown from outside ``charge``.
         session = TemplateSession(self.plan_space, self.config, self._seed)
-        for i in range(workload.shape[0]):
-            record = session.execute(workload[i])
+        if batch_size is None:
+            records = [
+                session.execute(workload[i])
+                for i in range(workload.shape[0])
+            ]
+        else:
+            records = []
+            for start in range(0, workload.shape[0], batch_size):
+                records.extend(
+                    session.execute_batch(
+                        workload[start : start + batch_size]
+                    )
+                )
+        for record in records:
             optimization = optimize_ms if record.optimizer_invoked else 0.0
             overhead = self.timing.predict_ms
             if record.optimizer_invoked:

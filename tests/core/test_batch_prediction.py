@@ -2,11 +2,14 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.core.confidence import ConfidenceModel
+from repro.core.confidence import ConfidenceModel, FrequencyConfidenceModel
 from repro.core.histogram_predictor import HistogramPredictor
+from repro.core.lsh_predictor import LshPredictor
 from repro.core.point import SamplePool
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, PredictionError
 from repro.workload import sample_points
 
 
@@ -213,3 +216,303 @@ class TestBaselinePredictBatch:
             assert (a is None) == (b is None)
             if a is not None:
                 assert a.plan_id == b.plan_id
+
+
+class TestLshScalarBatchParity:
+    """LSH predict vs predict_batch, bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("aggregation", ["median", "mean"])
+    def test_random_pools(self, seed, aggregation):
+        rng = np.random.default_rng(seed)
+        pool = SamplePool(2)
+        coords = rng.uniform(size=(150, 2))
+        plan_ids = rng.integers(0, 3, size=150)
+        costs = rng.uniform(1.0, 10.0, size=150)
+        for x, plan, cost in zip(coords, plan_ids, costs, strict=True):
+            pool.add(x, int(plan), cost=float(cost))
+        predictor = LshPredictor(
+            pool,
+            transforms=5,
+            resolution=8,
+            confidence_threshold=0.4,
+            aggregation=aggregation,
+            seed=seed + 10,
+        )
+        test = sample_points(2, 120, seed=seed + 20)
+        scalar = [predictor.predict(test[i]) for i in range(120)]
+        batch = predictor.predict_batch(test)
+        for s, b in zip(scalar, batch, strict=True):
+            # Bit-for-bit, not approximate: the two paths must share
+            # one numeric core.
+            assert s == b
+
+    def test_structured_pool_exercises_both_branches(self):
+        predictor = LshPredictor(
+            _pool(), transforms=5, confidence_threshold=0.7, seed=1
+        )
+        test = sample_points(2, 200, seed=3)
+        batch = predictor.predict_batch(test)
+        scalar = [predictor.predict(test[i]) for i in range(200)]
+        assert batch == scalar
+        assert any(b is None for b in batch)
+        assert any(b is not None for b in batch)
+
+    def test_unsupported_winner_yields_cost_none_in_both(self):
+        class ForcedWinner(ConfidenceModel):
+            def decide(self, counts, threshold):
+                return 2, 1.0
+
+            def decide_batch(self, counts, threshold):
+                m = counts.shape[0]
+                return np.full(m, 2, dtype=int), np.ones(m)
+
+        predictor = LshPredictor(
+            _pool(),
+            plan_count=3,
+            transforms=5,
+            confidence_threshold=0.0,
+            seed=1,
+            confidence_model=ForcedWinner(),
+        )
+        test = sample_points(2, 50, seed=9)
+        batch = predictor.predict_batch(test)
+        scalar = [predictor.predict(test[i]) for i in range(50)]
+        assert batch == scalar
+        assert all(b is not None for b in batch)
+        assert all(b.estimated_cost is None for b in batch)
+
+
+def _histogram(seed=1, **overrides):
+    kwargs = dict(
+        transforms=5, radius=0.1, confidence_threshold=0.7, seed=seed
+    )
+    kwargs.update(overrides)
+    return HistogramPredictor(_pool(), **kwargs)
+
+
+def _lsh(seed=1, **overrides):
+    kwargs = dict(transforms=5, confidence_threshold=0.7, seed=seed)
+    kwargs.update(overrides)
+    return LshPredictor(_pool(), **kwargs)
+
+
+class TestBatchInputContract:
+    """The shared batch contract: validation happens up front, whole
+    batch, before any per-point work."""
+
+    @pytest.mark.parametrize("build", [_histogram, _lsh])
+    def test_nan_row_raises_prediction_error(self, build):
+        predictor = build()
+        points = sample_points(2, 10, seed=0)
+        points[7, 1] = np.nan
+        with pytest.raises(PredictionError):
+            predictor.predict_batch(points)
+
+    @pytest.mark.parametrize("build", [_histogram, _lsh])
+    @pytest.mark.parametrize("bad", [np.inf, -np.inf])
+    def test_infinite_row_raises_prediction_error(self, build, bad):
+        predictor = build()
+        points = sample_points(2, 10, seed=0)
+        points[0, 0] = bad
+        with pytest.raises(PredictionError):
+            predictor.predict_batch(points)
+
+    @pytest.mark.parametrize("build", [_histogram, _lsh])
+    def test_scalar_predict_rejects_non_finite(self, build):
+        predictor = build()
+        with pytest.raises(PredictionError):
+            predictor.predict(np.array([0.5, np.nan]))
+
+    @pytest.mark.parametrize("build", [_histogram, _lsh])
+    def test_empty_matrix_returns_empty_list(self, build):
+        assert build().predict_batch(np.empty((0, 2))) == []
+
+    @pytest.mark.parametrize("build", [_histogram, _lsh])
+    def test_empty_vector_is_a_shape_error(self, build):
+        # (0,) must NOT be promoted to a (1, 0) batch.
+        with pytest.raises(ValueError, match="shape"):
+            build().predict_batch(np.empty(0))
+
+    @pytest.mark.parametrize("build", [_histogram, _lsh])
+    def test_wrong_width_is_a_shape_error(self, build):
+        with pytest.raises(ValueError):
+            build().predict_batch(np.zeros((4, 3)))
+
+    def test_baseline_shares_the_contract(self):
+        from repro.core.baseline import BaselinePredictor
+
+        predictor = BaselinePredictor(_pool(), radius=0.15)
+        assert predictor.predict_batch(np.empty((0, 2))) == []
+        with pytest.raises(ValueError, match="shape"):
+            predictor.predict_batch(np.empty(0))
+        bad = sample_points(2, 5, seed=0)
+        bad[2, 0] = np.inf
+        with pytest.raises(PredictionError):
+            predictor.predict_batch(bad)
+
+
+def _point_mass_predictor(n_points, noise_fraction, seed=1):
+    """A predictor whose whole mass sits on one plan at one point, so
+    the aggregated count at that point equals ``n_points`` exactly."""
+    pool = SamplePool(2)
+    for __ in range(n_points):
+        pool.add(np.array([0.5, 0.5]), 0, cost=3.0)
+    return HistogramPredictor(
+        pool,
+        plan_count=2,
+        transforms=3,
+        radius=0.1,
+        confidence_threshold=0.0,
+        noise_fraction=noise_fraction,
+        histogram_kind="incremental",
+        seed=seed,
+    )
+
+
+class TestNoiseEliminationBoundary:
+    """The elimination comparison is strict ``<``: support exactly at
+    ``noise_fraction * total_mass`` survives, in both code paths."""
+
+    def test_exactly_at_threshold_is_not_eliminated(self):
+        # 10 identical points, noise_fraction 1.0: max count == total
+        # mass exactly, so max_count < fraction * mass is False.
+        predictor = _point_mass_predictor(10, noise_fraction=1.0)
+        x = np.array([0.5, 0.5])
+        scalar = predictor.predict(x)
+        batch = predictor.predict_batch(x[None, :])
+        assert scalar is not None
+        assert batch == [scalar]
+
+    def test_just_above_threshold_is_eliminated(self):
+        # Same mass, but the threshold now exceeds any attainable
+        # count by a hair: everything is noise.
+        predictor = _point_mass_predictor(
+            10, noise_fraction=np.nextafter(1.0, 2.0)
+        )
+        x = np.array([0.5, 0.5])
+        assert predictor.predict(x) is None
+        assert predictor.predict_batch(x[None, :]) == [None]
+
+    @pytest.mark.parametrize(
+        "noise_fraction", [0.0, 0.5, 1.0, np.nextafter(1.0, 2.0), 1.5]
+    )
+    def test_boundary_sweep_parity(self, noise_fraction):
+        predictor = _point_mass_predictor(8, noise_fraction)
+        test = sample_points(2, 40, seed=11)
+        test[0] = [0.5, 0.5]
+        _assert_parity(predictor, test)
+
+
+class TestColdPredictors:
+    """total_mass == 0 / empty synopses answer null, both paths."""
+
+    def test_cold_histogram_predictor(self):
+        predictor = HistogramPredictor(
+            SamplePool(2),
+            plan_count=2,
+            transforms=3,
+            radius=0.1,
+            noise_fraction=0.002,
+            histogram_kind="incremental",
+            seed=1,
+        )
+        assert predictor.total_mass == 0.0
+        test = sample_points(2, 20, seed=0)
+        assert predictor.predict_batch(test) == [None] * 20
+        _assert_parity(predictor, test)
+
+    def test_cold_lsh_predictor(self):
+        predictor = LshPredictor(
+            SamplePool(2), plan_count=2, transforms=3, seed=1
+        )
+        test = sample_points(2, 20, seed=0)
+        assert predictor.predict_batch(test) == [None] * 20
+        assert [predictor.predict(x) for x in test] == [None] * 20
+
+
+class TestDecideBatchSaturation:
+    """Scalar confidence saturates to exactly 1.0 at huge ratios; the
+    interpolated batch path must not clamp a hair below it."""
+
+    def test_saturated_ratio_is_exactly_one(self):
+        model = ConfidenceModel()
+        counts = np.array([[1e7, 1.0]])
+        winners, confidences = model.decide_batch(counts, 0.9)
+        plan, confidence = model.decide(counts[0], 0.9)
+        assert winners[0] == plan
+        assert confidence == 1.0
+        assert confidences[0] == 1.0
+
+    def test_frequency_model_batch_matches_scalar(self):
+        model = FrequencyConfidenceModel()
+        rng = np.random.default_rng(2)
+        counts = rng.integers(0, 15, size=(200, 4)).astype(float)
+        counts[0] = 0.0  # all-zero row
+        counts[1] = [5.0, 0.0, 0.0, 0.0]  # pure neighborhood
+        winners, confidences = model.decide_batch(counts, 0.6)
+        for i in range(counts.shape[0]):
+            plan, confidence = model.decide(counts[i], 0.6)
+            expected = -1 if plan is None else plan
+            assert winners[i] == expected
+            assert confidences[i] == confidence
+
+
+class TestParityProperties:
+    """Hypothesis sweep: parity holds for arbitrary pools/configs."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        noise_fraction=st.one_of(
+            st.none(), st.floats(0.0, 1.2, allow_nan=False)
+        ),
+        threshold=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_histogram_parity(self, seed, noise_fraction, threshold):
+        rng = np.random.default_rng(seed)
+        pool = SamplePool(2)
+        n = int(rng.integers(1, 60))
+        coords = rng.uniform(size=(n, 2))
+        plan_ids = rng.integers(0, 3, size=n)
+        for x, plan in zip(coords, plan_ids, strict=True):
+            pool.add(x, int(plan), cost=float(rng.uniform(1.0, 9.0)))
+        predictor = HistogramPredictor(
+            pool,
+            plan_count=3,
+            transforms=3,
+            radius=0.1,
+            confidence_threshold=threshold,
+            noise_fraction=noise_fraction,
+            histogram_kind="incremental",
+            seed=int(rng.integers(0, 1000)),
+        )
+        test = rng.uniform(size=(30, 2))
+        scalar = [predictor.predict(test[i]) for i in range(30)]
+        assert predictor.predict_batch(test) == scalar
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        threshold=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    def test_lsh_parity(self, seed, threshold):
+        rng = np.random.default_rng(seed)
+        pool = SamplePool(2)
+        n = int(rng.integers(1, 60))
+        for __ in range(n):
+            pool.add(
+                rng.uniform(size=2),
+                int(rng.integers(0, 3)),
+                cost=float(rng.uniform(1.0, 9.0)),
+            )
+        predictor = LshPredictor(
+            pool,
+            plan_count=3,
+            transforms=3,
+            confidence_threshold=threshold,
+            seed=int(rng.integers(0, 1000)),
+        )
+        test = rng.uniform(size=(30, 2))
+        scalar = [predictor.predict(test[i]) for i in range(30)]
+        assert predictor.predict_batch(test) == scalar
