@@ -34,6 +34,17 @@ Small utilities for poking at the reproduction without writing code:
   exits 1 when any SLO breaches);
 * ``watch Q1 --iterations 5`` — poll the same health signals between
   workload batches, one status line per template per tick;
+* ``scenarios list`` / ``scenarios run --fast`` — the adversarial
+  scenario fleet: named, seeded workloads (flash crowds, step/slow
+  plan-space drift, bursts, cold-start storms, heavy-tail costs,
+  cache-eviction pressure), each asserting machine-checkable
+  robustness contracts (exit 1 on any contract breach); ``--out``
+  writes the BENCH matrix, ``--record-dir`` records replayable traces;
+* ``replay record step_drift --out t.jsonl`` / ``replay run t.jsonl``
+  / ``replay verify t.jsonl`` — deterministic workload traces: record
+  a scenario's full event stream + decision sequence, re-run it from
+  scratch, and verify the replayed decisions are bit-identical
+  (exit 1 on any divergence);
 * ``lint`` — the AST-based invariant linter (rules RPR001-RPR009:
   determinism, clock, metrics, persistence, span discipline; see
   ``repro lint --list-rules``), exit 1 on fresh findings;
@@ -857,6 +868,151 @@ def _render_rows(result) -> None:
         )
 
 
+def _print_scenario_row(row: dict) -> None:
+    status = "PASS" if row["passed"] else "FAIL"
+    print(
+        f"{status} {row['scenario']:<22s} "
+        f"{row['instances']:>5d} instances  "
+        f"{row['errors']:>3d} errors  {row['fallbacks']:>3d} fallbacks"
+    )
+    for contract in row["contracts"]:
+        mark = "ok  " if contract["passed"] else "FAIL"
+        print(f"  {mark} {contract['contract']}: {contract['observed']}")
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """Adversarial scenario fleet: list the fleet or run contracts."""
+    import json
+    import pathlib
+
+    from repro.core.persistence import atomic_write_text
+    from repro.workload.replay import record_trace
+    from repro.workload.runner import ScenarioRunner
+    from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
+
+    if args.action == "list":
+        for name in SCENARIO_NAMES:
+            scenario = get_scenario(name)
+            print(
+                f"{name:<22s} assumption {scenario.assumption:<4s} "
+                f"templates {','.join(scenario.templates):<12s} "
+                f"{scenario.instances}/{scenario.fast_instances} "
+                "(full/fast) instances"
+            )
+            print(f"    {scenario.description}")
+        return 0
+
+    from repro.exceptions import ReproError
+
+    names = list(args.names) if args.names else list(SCENARIO_NAMES)
+    try:
+        scenarios = [get_scenario(name) for name in names]
+    except ReproError as exc:
+        print(f"scenarios failed: {exc}", file=sys.stderr)
+        return 1
+    runner = ScenarioRunner(fast=args.fast, batch_size=args.batch_size)
+    record_dir = (
+        pathlib.Path(args.record_dir) if args.record_dir else None
+    )
+    if record_dir is not None:
+        record_dir.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for name, scenario in zip(names, scenarios, strict=True):
+        if record_dir is not None:
+            result = record_trace(
+                scenario,
+                record_dir / f"trace_{name}.jsonl",
+                fast=args.fast,
+                batch_size=args.batch_size,
+            )
+        else:
+            result = runner.run(scenario)
+        row = runner.summarize(result)
+        rows.append(row)
+        _print_scenario_row(row)
+    payload = {
+        "tier": "fast" if args.fast else "full",
+        "batch_size": args.batch_size,
+        "scenarios": rows,
+        "passed": all(row["passed"] for row in rows),
+    }
+    if args.out:
+        atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
+        print(f"wrote scenario matrix to {args.out}")
+    return 0 if payload["passed"] else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """Deterministic workload traces: record, re-run, verify."""
+    import json
+
+    from repro.core.persistence import atomic_write_text
+    from repro.workload.replay import (
+        record_trace,
+        replay_trace,
+        verify_trace,
+    )
+    from repro.exceptions import ReproError
+    from repro.workload.scenarios import get_scenario
+
+    if args.action == "record":
+        if not args.out:
+            print("replay record requires --out", file=sys.stderr)
+            return 1
+        try:
+            result = record_trace(
+                get_scenario(args.target),
+                args.out,
+                fast=args.fast,
+                batch_size=args.batch_size,
+            )
+        except ReproError as exc:
+            print(f"replay record failed: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"recorded {len(result.decisions)} decisions of "
+            f"{result.scenario!r} to {args.out}"
+        )
+        return 0
+    if args.action == "run":
+        try:
+            header, decisions = replay_trace(args.target)
+        except (ReproError, OSError) as exc:
+            print(f"replay run failed: {exc}", file=sys.stderr)
+            return 1
+        errors = sum(1 for d in decisions if "error" in d)
+        print(
+            f"replayed {header['scenario']!r}: {len(decisions)} "
+            f"decisions, {errors} errors"
+        )
+        if args.out:
+            text = "\n".join(
+                json.dumps(d, sort_keys=True) for d in decisions
+            )
+            atomic_write_text(args.out, text + "\n")
+            print(f"wrote replayed decisions to {args.out}")
+        return 0
+    try:
+        report = verify_trace(args.target)
+    except (ReproError, OSError) as exc:
+        print(f"replay verify failed: {exc}", file=sys.stderr)
+        return 1
+    if report["identical"]:
+        print(
+            f"trace {args.target} verified: {report['instances']} "
+            "decisions replayed bit-identically"
+        )
+        return 0
+    print(
+        f"trace {args.target} DIVERGED: {len(report['mismatches'])} "
+        "mismatching decisions (showing up to 8)",
+        file=sys.stderr,
+    )
+    for mismatch in report["mismatches"]:
+        print(json.dumps(mismatch, sort_keys=True), file=sys.stderr)
+    return 1
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -1098,6 +1254,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     lint.set_defaults(handler=_cmd_lint)
+
+    scenarios = commands.add_parser(
+        "scenarios",
+        help="adversarial scenario fleet with robustness contracts",
+    )
+    scenarios.add_argument("action", choices=("list", "run"))
+    scenarios.add_argument(
+        "names", nargs="*",
+        help="scenario names (default: the whole fleet)",
+    )
+    scenarios.add_argument(
+        "--fast", action="store_true",
+        help="run the CI-sized fast tier of each scenario",
+    )
+    scenarios.add_argument("--batch-size", type=int, default=1)
+    scenarios.add_argument(
+        "--out", default=None,
+        help="write the scenario matrix JSON here",
+    )
+    scenarios.add_argument(
+        "--record-dir", default=None,
+        help="also record each run as a replayable trace in this dir",
+    )
+    scenarios.set_defaults(handler=_cmd_scenarios)
+
+    replay = commands.add_parser(
+        "replay",
+        help="record / re-run / verify deterministic workload traces",
+    )
+    replay.add_argument("action", choices=("record", "run", "verify"))
+    replay.add_argument(
+        "target",
+        help="scenario name (record) or trace path (run/verify)",
+    )
+    replay.add_argument("--fast", action="store_true")
+    replay.add_argument("--batch-size", type=int, default=1)
+    replay.add_argument("--out", default=None)
+    replay.set_defaults(handler=_cmd_replay)
 
     profile = commands.add_parser(
         "profile", help="structural profile of a template's plan space"

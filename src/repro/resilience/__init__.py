@@ -29,6 +29,7 @@ from repro.resilience.faults import (
     FaultSpec,
     InjectedFault,
     InjectedTimeout,
+    ScheduledFaultInjector,
     VirtualClock,
     bit_flip,
     torn_copy,
@@ -47,6 +48,7 @@ __all__ = [
     "InjectedTimeout",
     "RetryExhaustedError",
     "RetryPolicy",
+    "ScheduledFaultInjector",
     "VirtualClock",
     "bit_flip",
     "retry_call",

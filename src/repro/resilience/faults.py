@@ -199,25 +199,28 @@ class FaultInjector:
         spec = self.specs.get(component)
         if spec is None or spec.inert:
             return fn
-        stream = self._stream(component)
 
         def guarded(*args, **kwargs):
-            roll = float(stream.random())
-            if roll < spec.failure_probability:
-                self._record(component, "exception")
-                raise InjectedFault(f"injected {component} failure")
-            roll -= spec.failure_probability
-            if roll < spec.timeout_probability:
-                self._record(component, "timeout")
-                raise InjectedTimeout(f"injected {component} timeout")
-            roll -= spec.timeout_probability
-            if roll < spec.slow_probability:
-                self._record(component, "slow")
-                self._sleep(spec.latency)
+            self._inject(component, spec)
             return fn(*args, **kwargs)
 
         guarded.__name__ = f"faulty_{component}"
         return guarded
+
+    def _inject(self, component: str, spec: FaultSpec) -> None:
+        """One fault roll: raise, sleep, or pass through."""
+        roll = float(self._stream(component).random())
+        if roll < spec.failure_probability:
+            self._record(component, "exception")
+            raise InjectedFault(f"injected {component} failure")
+        roll -= spec.failure_probability
+        if roll < spec.timeout_probability:
+            self._record(component, "timeout")
+            raise InjectedTimeout(f"injected {component} timeout")
+        roll -= spec.timeout_probability
+        if roll < spec.slow_probability:
+            self._record(component, "slow")
+            self._sleep(spec.latency)
 
     # ------------------------------------------------------------------
     # Persistence faults
@@ -274,6 +277,39 @@ class FaultInjector:
         )
 
 
+class ScheduledFaultInjector(FaultInjector):
+    """A fault injector whose specs may change *mid-run*.
+
+    :meth:`FaultInjector.wrap` binds the component's spec once, at wrap
+    time, which is the right trade for steady-state storms (inert specs
+    cost nothing) but wrong for scenario schedules: the framework wraps
+    its external surfaces in ``TemplateSession.__init__``, long before a
+    cold-start storm turns the optimizer off and back on.  This variant
+    always interposes and re-reads ``specs[component]`` on every call,
+    so :meth:`set_spec` takes effect immediately on already-wrapped
+    surfaces.  Healthy phases draw nothing from the component's RNG
+    stream — the fault sequence within a faulty phase depends only on
+    the seed and the number of calls made during faulty phases.
+    """
+
+    def wrap(self, component: str, fn: Callable) -> Callable:
+        def guarded(*args, **kwargs):
+            spec = self.specs.get(component)
+            if spec is not None and not spec.inert:
+                self._inject(component, spec)
+            return fn(*args, **kwargs)
+
+        guarded.__name__ = f"faulty_{component}"
+        return guarded
+
+    def set_spec(self, component: str, spec: "FaultSpec | None") -> None:
+        """Install (or with ``None`` clear) a component's fault spec."""
+        if spec is None:
+            self.specs.pop(component, None)
+        else:
+            self.specs[component] = spec
+
+
 def torn_copy(document: str, fraction: float) -> str:
     """Cut a serialized document at ``fraction`` of its length (test
     helper for scripting exact truncation points)."""
@@ -298,6 +334,7 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "InjectedTimeout",
+    "ScheduledFaultInjector",
     "VirtualClock",
     "bit_flip",
     "torn_copy",

@@ -7,24 +7,63 @@
 * :mod:`~repro.workload.trajectories` — the random-trajectories online
   workload of Section V (Figure 7).
 * :mod:`~repro.workload.drift` — mid-workload plan-space manipulation
-  for the drift-detection experiment (Section V-D).
+  for the drift-detection experiment (Section V-D), generalized into
+  intensity-steerable scenario primitives.
+* :mod:`~repro.workload.scenarios` — the named adversarial scenario
+  fleet with machine-checkable robustness contracts.
+* :mod:`~repro.workload.runner` — drives scenario event streams
+  through the PPC framework and evaluates contracts.
+* :mod:`~repro.workload.replay` — record/replay/verify deterministic
+  workload traces (bit-identical decision sequences).
 """
 
 from repro.workload.drift import ManipulatedPlanSpace
 from repro.workload.history import HistoryEntry, WorkloadHistory
 from repro.workload.mixture import MixtureWorkload
+from repro.workload.replay import record_trace, replay_trace, verify_trace
+from repro.workload.runner import (
+    RunResult,
+    ScenarioRunner,
+    WorkloadExecutor,
+    run_matrix,
+)
+from repro.workload.scenarios import (
+    SCENARIO_NAMES,
+    SCENARIOS,
+    DriftShift,
+    FaultPhase,
+    ManipulationSpec,
+    QueryEvent,
+    Scenario,
+    get_scenario,
+)
 from repro.workload.template import QueryInstance, TemplateBinder
 from repro.workload.trajectories import RandomTrajectoryWorkload
 from repro.workload.uniform import sample_labeled_pool, sample_points
 
 __all__ = [
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "DriftShift",
+    "FaultPhase",
     "ManipulatedPlanSpace",
+    "ManipulationSpec",
     "HistoryEntry",
     "MixtureWorkload",
+    "QueryEvent",
+    "RunResult",
+    "Scenario",
+    "ScenarioRunner",
+    "WorkloadExecutor",
     "WorkloadHistory",
     "QueryInstance",
     "TemplateBinder",
     "RandomTrajectoryWorkload",
+    "get_scenario",
+    "record_trace",
+    "replay_trace",
+    "run_matrix",
     "sample_labeled_pool",
     "sample_points",
+    "verify_trace",
 ]

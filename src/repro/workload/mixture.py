@@ -7,13 +7,20 @@ produces that shape: template popularity follows a Zipf law, each
 template's instances follow their own random trajectory (temporal
 locality within a template survives interleaving), and the emitted
 stream is the interleaved sequence of ``(template_name, point)`` pairs.
+
+Popularity can also be pinned with explicit ``weights`` — the flash
+crowd scenario swaps a uniform mixture for one where a single template
+suddenly dominates, and validated weights keep that knob from silently
+producing a degenerate distribution.
 """
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from repro.exceptions import WorkloadError
+from repro.exceptions import ConfigurationError, WorkloadError
 from repro.rng import as_generator
 from repro.workload.trajectories import RandomTrajectoryWorkload
 
@@ -27,16 +34,50 @@ class MixtureWorkload:
         spread: float = 0.02,
         zipf_exponent: float = 1.0,
         seed: "int | np.random.Generator | None" = None,
+        weights: "dict[str, float] | None" = None,
     ) -> None:
         if not dimensions:
             raise WorkloadError("mixture needs at least one template")
+        if not math.isfinite(zipf_exponent):
+            raise ConfigurationError(
+                f"zipf exponent must be finite, got {zipf_exponent!r}"
+            )
         if zipf_exponent < 0.0:
             raise WorkloadError("zipf exponent must be >= 0")
         self._rng = as_generator(seed)
         self.templates = list(dimensions)
-        ranks = np.arange(1, len(self.templates) + 1, dtype=float)
-        weights = ranks**-zipf_exponent
-        self.popularity = weights / weights.sum()
+        if weights is None:
+            ranks = np.arange(1, len(self.templates) + 1, dtype=float)
+            raw = ranks**-zipf_exponent
+        else:
+            unknown = sorted(set(weights) - set(dimensions))
+            if unknown:
+                raise ConfigurationError(
+                    f"weights name unknown templates {unknown}; "
+                    f"known templates are {sorted(dimensions)}"
+                )
+            if set(weights) != set(dimensions):
+                missing = sorted(set(dimensions) - set(weights))
+                raise ConfigurationError(
+                    f"weights must cover every template; missing {missing}"
+                )
+            for name, weight in weights.items():
+                if not isinstance(weight, (int, float)) or isinstance(
+                    weight, bool
+                ):
+                    raise ConfigurationError(
+                        f"weight for {name!r} must be a number, "
+                        f"got {type(weight).__name__}"
+                    )
+                if not math.isfinite(weight) or weight <= 0.0:
+                    raise ConfigurationError(
+                        f"weight for {name!r} must be a positive finite "
+                        f"number, got {weight!r}"
+                    )
+            raw = np.array(
+                [weights[name] for name in self.templates], dtype=float
+            )
+        self.popularity = raw / raw.sum()
         self._generators = {
             name: RandomTrajectoryWorkload(
                 dims, spread=spread, seed=self._rng
@@ -68,5 +109,11 @@ class MixtureWorkload:
 
     def expected_share(self, template_name: str) -> float:
         """The template's popularity under the Zipf law."""
-        index = self.templates.index(template_name)
+        try:
+            index = self.templates.index(template_name)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown template {template_name!r}; known templates "
+                f"are {self.templates}"
+            ) from None
         return float(self.popularity[index])

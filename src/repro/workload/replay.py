@@ -1,0 +1,314 @@
+"""Deterministic workload traces: record once, re-run bit-identically.
+
+A **trace** is a JSONL file holding everything one scenario run needs
+to be reproduced from scratch:
+
+* a ``header`` line — scenario name, seed, instance count, batch size,
+  the *ordered* template list (the framework spawns per-template RNG
+  streams by registration order), the per-template manipulation specs,
+  and the full :class:`~repro.config.PPCConfig` as nested dicts;
+* one ``query`` / ``drift`` / ``fault`` line per scenario event, in
+  stream order (clock ticks travel on the query events' ``advance``);
+* one ``decision`` line per executed instance — the
+  :func:`~repro.workload.runner.decision_digest` the original run
+  produced.
+
+Because JSON serializes floats via ``repr`` (round-trip exact for
+IEEE-754 doubles) and every source of nondeterminism is pinned in the
+header (seeds, registration order, batch grouping, fault schedule,
+virtual-clock discipline), re-driving the recorded events through a
+fresh :class:`~repro.workload.runner.WorkloadExecutor` must reproduce
+the recorded decisions **exactly** — same plan choices, same
+confidences, same fallback events, bit for bit.  :func:`verify_trace`
+asserts that, making a committed trace a cross-version determinism
+regression test: any change that silently perturbs the decision flow
+breaks verification loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict
+from typing import Any
+
+from repro.config import (
+    PPCConfig,
+    ResilienceConfig,
+    SLODefinition,
+    TelemetryConfig,
+    TraceConfig,
+)
+from repro.core.persistence import atomic_write_text
+from repro.exceptions import ConfigurationError
+from repro.resilience.faults import FaultSpec
+from repro.workload.runner import RunResult, ScenarioRunner, WorkloadExecutor
+from repro.workload.scenarios import (
+    DriftShift,
+    FaultPhase,
+    ManipulationSpec,
+    QueryEvent,
+    Scenario,
+)
+
+#: Bumped on any incompatible trace-format change.
+TRACE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Config round-trip
+# ----------------------------------------------------------------------
+def config_to_dict(config: PPCConfig) -> "dict[str, Any]":
+    """Nested-dict form of a config (``dataclasses.asdict``)."""
+    return asdict(config)
+
+
+def config_from_dict(payload: "dict[str, Any]") -> PPCConfig:
+    """Rebuild a :class:`PPCConfig` from its nested-dict form."""
+    data = dict(payload)
+    data["resilience"] = ResilienceConfig(**data["resilience"])
+    data["trace"] = TraceConfig(**data["trace"])
+    telemetry = dict(data["telemetry"])
+    telemetry["slos"] = tuple(
+        SLODefinition(**slo) for slo in telemetry["slos"]
+    )
+    data["telemetry"] = TelemetryConfig(**telemetry)
+    return PPCConfig(**data)
+
+
+# ----------------------------------------------------------------------
+# Event round-trip
+# ----------------------------------------------------------------------
+def event_to_dict(event: Any) -> "dict[str, Any]":
+    if isinstance(event, QueryEvent):
+        return {
+            "kind": "query",
+            "template": event.template,
+            "point": list(event.point),
+            "advance": event.advance,
+        }
+    if isinstance(event, DriftShift):
+        return {
+            "kind": "drift",
+            "template": event.template,
+            "intensity": event.intensity,
+        }
+    if isinstance(event, FaultPhase):
+        return {
+            "kind": "fault",
+            "component": event.component,
+            "spec": None if event.spec is None else asdict(event.spec),
+        }
+    raise ConfigurationError(
+        f"unknown scenario event {type(event).__name__}"
+    )
+
+
+def event_from_dict(payload: "dict[str, Any]") -> Any:
+    kind = payload.get("kind")
+    if kind == "query":
+        return QueryEvent(
+            template=payload["template"],
+            point=tuple(float(v) for v in payload["point"]),
+            advance=float(payload["advance"]),
+        )
+    if kind == "drift":
+        return DriftShift(
+            template=payload["template"],
+            intensity=float(payload["intensity"]),
+        )
+    if kind == "fault":
+        spec = payload["spec"]
+        return FaultPhase(
+            component=payload["component"],
+            spec=None if spec is None else FaultSpec(**spec),
+        )
+    raise ConfigurationError(f"unknown trace event kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+def record_trace(
+    scenario: Scenario,
+    path: "str | pathlib.Path",
+    fast: bool = False,
+    batch_size: int = 1,
+) -> RunResult:
+    """Run ``scenario`` and write the self-contained trace to ``path``.
+
+    Returns the live :class:`RunResult` (contracts evaluated) so one
+    run can feed both the bench matrix and the trace artifact.
+    """
+    runner = ScenarioRunner(fast=fast, batch_size=batch_size)
+    count = runner.instance_count(scenario)
+    executor = runner.build_executor(scenario)
+    dims = {
+        name: executor.framework.session(name).plan_space.dimensions
+        for name in scenario.templates
+    }
+    events = scenario.events(count, dims)
+    decisions = executor.drive(events)
+    result = RunResult(
+        scenario=scenario.name,
+        seed=scenario.seed,
+        count=count,
+        batch_size=batch_size,
+        decisions=decisions,
+        executor=executor,
+    )
+    result.verdicts = [
+        contract.evaluate(result)
+        for contract in scenario.contracts(count)
+    ]
+    header = {
+        "kind": "header",
+        "version": TRACE_VERSION,
+        "scenario": scenario.name,
+        "seed": scenario.seed,
+        "instances": count,
+        "batch_size": batch_size,
+        "templates": list(scenario.templates),
+        "manipulation": {
+            name: asdict(spec) for name, spec in scenario.manipulation
+        },
+        "config": config_to_dict(scenario.config),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(
+        json.dumps(event_to_dict(event), sort_keys=True)
+        for event in events
+    )
+    lines.extend(
+        json.dumps({"kind": "decision", **digest}, sort_keys=True)
+        for digest in decisions
+    )
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    return result
+
+
+# ----------------------------------------------------------------------
+# Loading and re-running
+# ----------------------------------------------------------------------
+def load_trace(
+    path: "str | pathlib.Path",
+) -> "tuple[dict[str, Any], list[Any], list[dict[str, Any]]]":
+    """Parse a trace file into ``(header, events, decisions)``."""
+    path = pathlib.Path(path)
+    header: "dict[str, Any] | None" = None
+    events: "list[Any]" = []
+    decisions: "list[dict[str, Any]]" = []
+    for number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{number}: not valid JSON: {exc}"
+            ) from exc
+        kind = payload.get("kind")
+        if kind == "header":
+            if header is not None:
+                raise ConfigurationError(
+                    f"{path}:{number}: duplicate trace header"
+                )
+            if payload.get("version") != TRACE_VERSION:
+                raise ConfigurationError(
+                    f"{path}: trace version {payload.get('version')!r} "
+                    f"is not supported (expected {TRACE_VERSION})"
+                )
+            header = payload
+        elif kind == "decision":
+            decision = dict(payload)
+            decision.pop("kind")
+            decisions.append(decision)
+        else:
+            events.append(event_from_dict(payload))
+    if header is None:
+        raise ConfigurationError(f"{path}: trace has no header line")
+    return header, events, decisions
+
+
+def executor_from_header(header: "dict[str, Any]") -> WorkloadExecutor:
+    """Rebuild the deterministic run environment a trace describes."""
+    from repro.tpch import plan_space_for
+
+    templates = tuple(header["templates"])
+    manipulation = tuple(
+        (name, ManipulationSpec(**spec))
+        for name, spec in header.get("manipulation", {}).items()
+    )
+    return WorkloadExecutor(
+        templates=templates,
+        plan_spaces={name: plan_space_for(name) for name in templates},
+        config=config_from_dict(header["config"]),
+        seed=int(header["seed"]),
+        batch_size=int(header["batch_size"]),
+        manipulation=manipulation,
+    )
+
+
+def replay_trace(
+    path: "str | pathlib.Path",
+) -> "tuple[dict[str, Any], list[dict[str, Any]]]":
+    """Re-run a recorded trace; ``(header, replayed decisions)``."""
+    header, events, __ = load_trace(path)
+    executor = executor_from_header(header)
+    return header, executor.drive(events)
+
+
+def verify_trace(path: "str | pathlib.Path") -> "dict[str, Any]":
+    """Re-run a trace and compare against its recorded decisions.
+
+    The comparison is exact dict equality per instance — floats
+    round-trip losslessly through JSON, so any numeric deviation is a
+    real decision-flow divergence, not serialization noise.
+    """
+    header, events, recorded = load_trace(path)
+    executor = executor_from_header(header)
+    replayed = executor.drive(events)
+    mismatches: "list[dict[str, Any]]" = []
+    for index in range(max(len(recorded), len(replayed))):
+        old = recorded[index] if index < len(recorded) else None
+        new = replayed[index] if index < len(replayed) else None
+        if old == new:
+            continue
+        diff: "dict[str, Any]" = {"i": index}
+        if old is None or new is None:
+            diff["recorded"] = old
+            diff["replayed"] = new
+        else:
+            for key in sorted(set(old) | set(new)):
+                if old.get(key) != new.get(key):
+                    diff.setdefault("fields", {})[key] = {
+                        "recorded": old.get(key),
+                        "replayed": new.get(key),
+                    }
+        mismatches.append(diff)
+        if len(mismatches) >= 8:
+            break
+    return {
+        "scenario": header["scenario"],
+        "instances": len(recorded),
+        "replayed": len(replayed),
+        "identical": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+__all__ = [
+    "TRACE_VERSION",
+    "config_from_dict",
+    "config_to_dict",
+    "event_from_dict",
+    "event_to_dict",
+    "executor_from_header",
+    "load_trace",
+    "record_trace",
+    "replay_trace",
+    "verify_trace",
+]

@@ -1,0 +1,382 @@
+"""Drive scenario event streams through the PPC framework.
+
+:class:`WorkloadExecutor` owns one deterministic run: a
+:class:`~repro.resilience.faults.VirtualClock`, a
+:class:`~repro.resilience.faults.ScheduledFaultInjector` (so
+:class:`~repro.workload.scenarios.FaultPhase` events take effect on
+surfaces the framework wrapped at registration time), a
+:class:`~repro.core.framework.PPCFramework` with per-template
+:class:`~repro.workload.drift.ManipulatedPlanSpace` wrappers, and the
+event loop that turns a scenario stream into a list of JSON-ready
+**decision digests** — the unit of comparison for replay verification.
+
+:class:`ScenarioRunner` layers contract evaluation and the
+``BENCH_scenarios.json`` matrix on top.  Both the scenario CLI and the
+replay machinery build on the same executor, which is what makes a
+recorded trace re-runnable bit-identically: same registration order,
+same seeds, same clock discipline, same batch grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.config import PPCConfig
+from repro.core.framework import ExecutionRecord, PPCFramework
+from repro.exceptions import ConfigurationError, ReproError
+from repro.resilience.faults import ScheduledFaultInjector, VirtualClock
+from repro.workload.drift import ManipulatedPlanSpace
+from repro.workload.scenarios import (
+    ContractVerdict,
+    DriftShift,
+    FaultPhase,
+    ManipulationSpec,
+    QueryEvent,
+    Scenario,
+)
+
+
+def decision_digest(record: ExecutionRecord) -> "dict[str, Any]":
+    """The JSON-primitive projection of one execution decision.
+
+    Every field either round-trips exactly through JSON (``repr``-based
+    float serialization is lossless) or is an int/str/bool, so digest
+    equality is bit-identity of the decision sequence.
+    """
+    return {
+        "template": record.template,
+        "predicted": (
+            None if record.predicted is None else int(record.predicted)
+        ),
+        "confidence": float(record.confidence),
+        "optimizer_invoked": bool(record.optimizer_invoked),
+        "invocation_reason": record.invocation_reason,
+        "executed_plan": int(record.executed_plan),
+        "execution_cost": float(record.execution_cost),
+        "optimal_plan": int(record.optimal_plan),
+        "optimal_cost": float(record.optimal_cost),
+        "drift_triggered": bool(record.drift_triggered),
+        "degraded": bool(record.degraded),
+        "fallback_source": record.fallback_source,
+    }
+
+
+class WorkloadExecutor:
+    """One deterministic scenario run over an injected clock.
+
+    ``plan_spaces`` maps template name to its (already harvested)
+    oracle; ``manipulation`` wraps the named templates in
+    :class:`ManipulatedPlanSpace` so :class:`DriftShift` events can
+    steer their intensity mid-run.  Registration happens in
+    ``templates`` order — the framework spawns per-template RNG streams
+    by registration order, so replay must (and does) preserve it.
+    """
+
+    def __init__(
+        self,
+        templates: "tuple[str, ...]",
+        plan_spaces: "dict[str, Any]",
+        config: "PPCConfig | None" = None,
+        seed: int = 0,
+        batch_size: int = 1,
+        manipulation: "tuple[tuple[str, ManipulationSpec], ...]" = (),
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigurationError("batch size must be >= 1")
+        self.templates = tuple(templates)
+        self.seed = seed
+        self.batch_size = batch_size
+        self.clock = VirtualClock()
+        self.injector = ScheduledFaultInjector(
+            seed=seed, sleep=self.clock.sleep
+        )
+        self.framework = PPCFramework(
+            config=config,
+            seed=seed,
+            fault_injector=self.injector,
+            clock=self.clock.now,
+            sleep=self.clock.sleep,
+        )
+        self.oracles: "dict[str, ManipulatedPlanSpace]" = {}
+        wrapped = dict(manipulation)
+        for name in self.templates:
+            space = plan_spaces[name]
+            spec = wrapped.get(name)
+            if spec is not None:
+                space = ManipulatedPlanSpace(
+                    space,
+                    resolution=spec.resolution,
+                    cost_jitter=spec.cost_jitter,
+                    seed=spec.seed,
+                    scramble_labels=spec.scramble_labels,
+                )
+                self.oracles[name] = space
+            self.framework.register(space)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def drive(self, events: "list[Any]") -> "list[dict[str, Any]]":
+        """Run the event stream; one digest per :class:`QueryEvent`.
+
+        Query instances flow through ``execute`` (or, with
+        ``batch_size > 1``, through ``execute_batch`` over maximal runs
+        of consecutive same-template queries).  A clean
+        :class:`~repro.exceptions.ReproError` becomes an error digest
+        (``{"i", "template", "error"}``) rather than aborting the run —
+        the *contracts* decide whether raising was acceptable.  Control
+        events (fault phases, drift shifts) flush any pending batch so
+        they take effect exactly between the instances they separate.
+        """
+        digests: "list[dict[str, Any]]" = []
+        pending: "list[QueryEvent]" = []
+
+        def flush() -> None:
+            if not pending:
+                return
+            group = list(pending)
+            pending.clear()
+            template = group[0].template
+            points = np.array([e.point for e in group], dtype=float)
+            base = len(digests)
+            try:
+                records = self.framework.execute_batch(template, points)
+            except ReproError as error:
+                for offset, event in enumerate(group):
+                    digests.append(
+                        {
+                            "i": base + offset,
+                            "template": event.template,
+                            "error": (
+                                f"{type(error).__name__}: {error}"
+                            ),
+                        }
+                    )
+            else:
+                for offset, record in enumerate(records):
+                    digest = decision_digest(record)
+                    digest["i"] = base + offset
+                    digests.append(digest)
+            self.clock.advance(sum(e.advance for e in group))
+
+        for event in events:
+            if isinstance(event, QueryEvent):
+                if self.batch_size == 1:
+                    index = len(digests)
+                    try:
+                        record = self.framework.execute(
+                            event.template, np.array(event.point)
+                        )
+                    except ReproError as error:
+                        digests.append(
+                            {
+                                "i": index,
+                                "template": event.template,
+                                "error": (
+                                    f"{type(error).__name__}: {error}"
+                                ),
+                            }
+                        )
+                    else:
+                        digest = decision_digest(record)
+                        digest["i"] = index
+                        digests.append(digest)
+                    self.clock.advance(event.advance)
+                else:
+                    if pending and (
+                        pending[0].template != event.template
+                        or len(pending) >= self.batch_size
+                    ):
+                        flush()
+                    pending.append(event)
+            elif isinstance(event, FaultPhase):
+                flush()
+                self.injector.set_spec(event.component, event.spec)
+            elif isinstance(event, DriftShift):
+                flush()
+                oracle = self.oracles.get(event.template)
+                if oracle is None:
+                    raise ConfigurationError(
+                        f"drift shift for {event.template!r} but the "
+                        "template has no manipulation spec"
+                    )
+                oracle.set_intensity(event.intensity)
+            else:
+                raise ConfigurationError(
+                    f"unknown scenario event {type(event).__name__}"
+                )
+        flush()
+        return digests
+
+
+@dataclass
+class RunResult:
+    """Everything a contract may assert against after one run."""
+
+    scenario: str
+    seed: int
+    count: int
+    batch_size: int
+    decisions: "list[dict[str, Any]]"
+    executor: WorkloadExecutor
+    verdicts: "list[ContractVerdict]" = field(default_factory=list)
+
+    @property
+    def templates(self) -> "tuple[str, ...]":
+        return self.executor.templates
+
+    @property
+    def config(self) -> PPCConfig:
+        return self.executor.framework.config
+
+    @property
+    def errors(self) -> "list[dict[str, Any]]":
+        return [d for d in self.decisions if "error" in d]
+
+    @property
+    def passed(self) -> bool:
+        return all(v.passed for v in self.verdicts)
+
+    def session(self, template: str):
+        return self.executor.framework.session(template)
+
+    def slo(self, template: str) -> "list[dict[str, Any]]":
+        engine = self.executor.framework.slo_engine
+        if engine is None:
+            return []
+        return engine.evaluate(template)
+
+
+class ScenarioRunner:
+    """Run named scenarios and evaluate their robustness contracts.
+
+    ``fast=True`` runs each scenario's CI tier
+    (``fast_instances``); the full tier is the benchmark default.
+    ``batch_size`` routes instances through ``execute_batch``.  For
+    scenarios whose decisions don't hinge on intra-batch clock position
+    the decision sequence is lockstep-identical either way (pinned by
+    the scenario parity test); clock-coupled scenarios (e.g. breaker
+    open-timers during an outage) may legitimately diverge, which is
+    why the replay header records the batch size — replay is always
+    bit-identical *at the recorded batch size*.
+    """
+
+    def __init__(self, fast: bool = False, batch_size: int = 1) -> None:
+        self.fast = fast
+        self.batch_size = batch_size
+
+    def instance_count(self, scenario: Scenario) -> int:
+        return scenario.fast_instances if self.fast else scenario.instances
+
+    def load_spaces(self, scenario: Scenario) -> "dict[str, Any]":
+        from repro.tpch import plan_space_for
+
+        return {name: plan_space_for(name) for name in scenario.templates}
+
+    def build_executor(
+        self, scenario: Scenario, plan_spaces: "dict[str, Any] | None" = None
+    ) -> WorkloadExecutor:
+        if plan_spaces is None:
+            plan_spaces = self.load_spaces(scenario)
+        return WorkloadExecutor(
+            templates=scenario.templates,
+            plan_spaces=plan_spaces,
+            config=scenario.config,
+            seed=scenario.seed,
+            batch_size=self.batch_size,
+            manipulation=scenario.manipulation,
+        )
+
+    def run(
+        self,
+        scenario: Scenario,
+        plan_spaces: "dict[str, Any] | None" = None,
+    ) -> RunResult:
+        count = self.instance_count(scenario)
+        executor = self.build_executor(scenario, plan_spaces)
+        dims = {
+            name: executor.framework.session(name).plan_space.dimensions
+            for name in scenario.templates
+        }
+        events = scenario.events(count, dims)
+        decisions = executor.drive(events)
+        result = RunResult(
+            scenario=scenario.name,
+            seed=scenario.seed,
+            count=count,
+            batch_size=self.batch_size,
+            decisions=decisions,
+            executor=executor,
+        )
+        result.verdicts = [
+            contract.evaluate(result)
+            for contract in scenario.contracts(count)
+        ]
+        return result
+
+    def summarize(self, result: RunResult) -> "dict[str, Any]":
+        """One JSON-ready matrix row for ``BENCH_scenarios.json``."""
+        scenario = result.scenario
+        fallbacks = sum(
+            1
+            for d in result.decisions
+            if "error" not in d and d["fallback_source"]
+        )
+        drift_events = {
+            name: result.session(name).drift_events
+            for name in result.templates
+        }
+        return {
+            "scenario": scenario,
+            "seed": result.seed,
+            "instances": result.count,
+            "batch_size": result.batch_size,
+            "templates": list(result.templates),
+            "decisions": len(result.decisions),
+            "errors": len(result.errors),
+            "fallbacks": fallbacks,
+            "drift_events": drift_events,
+            "faults_injected": result.executor.injector.summary(),
+            "contracts": [
+                {
+                    "contract": v.contract,
+                    "passed": v.passed,
+                    "observed": v.observed,
+                }
+                for v in result.verdicts
+            ],
+            "passed": result.passed,
+        }
+
+
+def run_matrix(
+    names: "tuple[str, ...] | list[str]",
+    fast: bool = False,
+    batch_size: int = 1,
+) -> "dict[str, Any]":
+    """Run a set of named scenarios; the full bench payload."""
+    from repro.workload.scenarios import get_scenario
+
+    runner = ScenarioRunner(fast=fast, batch_size=batch_size)
+    rows = []
+    for name in names:
+        scenario = get_scenario(name)
+        rows.append(runner.summarize(runner.run(scenario)))
+    return {
+        "tier": "fast" if fast else "full",
+        "batch_size": batch_size,
+        "scenarios": rows,
+        "passed": all(row["passed"] for row in rows),
+    }
+
+
+__all__ = [
+    "RunResult",
+    "ScenarioRunner",
+    "WorkloadExecutor",
+    "decision_digest",
+    "run_matrix",
+]

@@ -1,0 +1,744 @@
+"""Adversarial workload scenarios with machine-checkable contracts.
+
+The paper's central claim — density-clustered plan caching stays
+accurate *under changing workloads* (Section V-D) — is only as strong
+as the workloads it is tested against.  This module is the fleet of
+named, seeded, clock-injectable adversaries that stress every layer
+built so far: the drift detector, the negative-feedback estimator, the
+resilience fallback chain, the plan-cache eviction policy, and the
+SLO burn-rate engine.
+
+Each :class:`Scenario` bundles
+
+* a deterministic **event stream builder** — interleaved
+  :class:`QueryEvent` / :class:`DriftShift` / :class:`FaultPhase`
+  primitives drawn from a seeded generator, with every query advancing
+  an injected :class:`~repro.resilience.faults.VirtualClock` so SLO
+  windows fill without wall-clock time;
+* an optional **plan-space manipulation**
+  (:class:`ManipulationSpec`, realized as a
+  :class:`~repro.workload.drift.ManipulatedPlanSpace` wrapper) saying
+  which paper assumption the scenario violates; and
+* a tuple of **robustness contracts** — machine-checkable predicates
+  (drift caught within N instances, regret budget held, SLOs not
+  breached, fallbacks served, no unhandled exceptions) evaluated
+  against the run by :class:`~repro.workload.runner.ScenarioRunner`.
+
+Scenarios are pure data + pure builders: running one is the runner's
+job, recording/replaying one is :mod:`repro.workload.replay`'s.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.config import PPCConfig
+from repro.exceptions import ConfigurationError
+from repro.resilience.faults import FaultSpec
+from repro.workload.mixture import MixtureWorkload
+from repro.workload.trajectories import RandomTrajectoryWorkload
+from repro.workload.uniform import sample_points
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workload.runner import RunResult
+
+
+# ----------------------------------------------------------------------
+# Event primitives
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryEvent:
+    """One query instance: run ``point`` against ``template``, then
+    advance the virtual clock by ``advance`` seconds."""
+
+    template: str
+    point: "tuple[float, ...]"
+    advance: float = 1.0
+
+
+@dataclass(frozen=True)
+class DriftShift:
+    """Set a template's plan-space manipulation intensity.
+
+    Intensity 1.0 is the paper's step drift (full scramble); a ramp of
+    increasing intensities is slow drift.  Requires the template to
+    have a :class:`ManipulationSpec` in the scenario.
+    """
+
+    template: str
+    intensity: float
+
+
+@dataclass(frozen=True)
+class FaultPhase:
+    """Install (or with ``spec=None`` clear) a component's fault spec
+    on the run's :class:`~repro.resilience.faults.ScheduledFaultInjector`
+    from this point of the stream on."""
+
+    component: str
+    spec: "FaultSpec | None"
+
+
+#: Anything a scenario event stream may contain.
+Event = "QueryEvent | DriftShift | FaultPhase"
+
+
+@dataclass(frozen=True)
+class ManipulationSpec:
+    """Constructor arguments of the per-template
+    :class:`~repro.workload.drift.ManipulatedPlanSpace` wrapper."""
+
+    resolution: int = 16
+    cost_jitter: float = 1.5
+    scramble_labels: bool = True
+    seed: int = 0
+
+
+# ----------------------------------------------------------------------
+# Robustness contracts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ContractVerdict:
+    """One evaluated contract: what was asserted, what was observed."""
+
+    contract: str
+    passed: bool
+    observed: str
+
+
+def _template_decisions(
+    result: "RunResult", template: "str | None"
+) -> "list[dict[str, Any]]":
+    decisions = [d for d in result.decisions if "error" not in d]
+    if template is None:
+        return decisions
+    return [d for d in decisions if d["template"] == template]
+
+
+@dataclass(frozen=True)
+class NoUnhandledExceptions:
+    """Every instance must execute; guarded degradation is fine, a
+    raised exception (even a clean ``ReproError``) is not."""
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        errors = result.errors
+        observed = f"{len(errors)} raised"
+        if errors:
+            observed += f"; first: {errors[0]['error']}"
+        return ContractVerdict(
+            contract="no_unhandled_exceptions",
+            passed=not errors,
+            observed=observed,
+        )
+
+
+@dataclass(frozen=True)
+class DriftCaughtWithin:
+    """The drift response must fire within ``within`` instances of the
+    manipulation starting at per-template instance ``after``."""
+
+    template: str
+    after: int
+    within: int
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        decisions = _template_decisions(result, self.template)
+        first = next(
+            (
+                ordinal
+                for ordinal, d in enumerate(decisions)
+                if d["drift_triggered"]
+            ),
+            None,
+        )
+        deadline = self.after + self.within
+        passed = first is not None and self.after <= first < deadline
+        observed = (
+            "never triggered"
+            if first is None
+            else f"first drift response at instance {first}"
+        )
+        return ContractVerdict(
+            contract=(
+                f"drift_caught_within[{self.template}, "
+                f"({self.after}, {deadline})]"
+            ),
+            passed=passed,
+            observed=observed,
+        )
+
+
+@dataclass(frozen=True)
+class NoFalseAlarm:
+    """The drift response must stay quiet for the first ``before``
+    per-template instances (``None`` = the whole run) — cost noise or
+    popularity skew alone is not drift."""
+
+    template: str
+    before: "int | None" = None
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        decisions = _template_decisions(result, self.template)
+        if self.before is not None:
+            decisions = decisions[: self.before]
+        alarms = sum(1 for d in decisions if d["drift_triggered"])
+        window = "the whole run" if self.before is None else (
+            f"the first {self.before} instances"
+        )
+        return ContractVerdict(
+            contract=f"no_false_alarm[{self.template}]",
+            passed=alarms == 0,
+            observed=f"{alarms} drift responses in {window}",
+        )
+
+
+@dataclass(frozen=True)
+class RegretBudget:
+    """Mean regret (``suboptimality - 1``) across executed instances
+    must stay at or under ``budget``."""
+
+    budget: float
+    template: "str | None" = None
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        decisions = _template_decisions(result, self.template)
+        if not decisions:
+            return ContractVerdict(
+                contract=f"regret_budget[{self.budget}]",
+                passed=False,
+                observed="no executed instances",
+            )
+        regrets = []
+        for d in decisions:
+            optimal = d["optimal_cost"]
+            ratio = (
+                1.0
+                if optimal <= 0.0
+                else d["execution_cost"] / optimal
+            )
+            regrets.append(max(0.0, ratio - 1.0))
+        mean = float(np.mean(regrets))
+        return ContractVerdict(
+            contract=f"regret_budget[{self.budget}]",
+            passed=mean <= self.budget,
+            observed=f"mean regret {mean:.4f} over {len(decisions)}",
+        )
+
+
+@dataclass(frozen=True)
+class SLOHolds:
+    """The named SLO must not end the run in ``breach`` for any of the
+    scenario's templates (warnings are fine — the point is recovery,
+    not blemish-free history)."""
+
+    slo: str
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        worst: "list[str]" = []
+        for template in result.templates:
+            for verdict in result.slo(template):
+                if verdict["name"] == self.slo and (
+                    verdict["state"] == "breach"
+                ):
+                    worst.append(template)
+        return ContractVerdict(
+            contract=f"slo_holds[{self.slo}]",
+            passed=not worst,
+            observed=(
+                "no template in breach"
+                if not worst
+                else f"breaching templates: {sorted(set(worst))}"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FallbackServed:
+    """The resilience fallback chain must have answered at least
+    ``min_count`` instances (proof the outage was real and survived)."""
+
+    min_count: int
+    template: "str | None" = None
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        served = sum(
+            1
+            for d in _template_decisions(result, self.template)
+            if d["fallback_source"]
+        )
+        return ContractVerdict(
+            contract=f"fallback_served[>={self.min_count}]",
+            passed=served >= self.min_count,
+            observed=f"{served} instances served from fallback",
+        )
+
+
+@dataclass(frozen=True)
+class NegativeFeedbackCaught:
+    """The cost estimators must have caught at least ``min_count``
+    suspected mispredictions (Assumption-2 violations show up here,
+    not in the drift detector)."""
+
+    min_count: int
+    template: "str | None" = None
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        caught = sum(
+            1
+            for d in _template_decisions(result, self.template)
+            if d["invocation_reason"] == "negative_feedback"
+        )
+        return ContractVerdict(
+            contract=f"negative_feedback_caught[>={self.min_count}]",
+            passed=caught >= self.min_count,
+            observed=f"{caught} negative-feedback invocations",
+        )
+
+
+@dataclass(frozen=True)
+class EvictionPressure:
+    """The plan cache must have evicted at least ``min_evictions``
+    plans while never exceeding its configured capacity."""
+
+    template: str
+    min_evictions: int
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        cache = result.session(self.template).cache
+        capacity = result.config.cache_capacity
+        within = len(cache) <= capacity
+        passed = cache.evictions >= self.min_evictions and within
+        return ContractVerdict(
+            contract=(
+                f"eviction_pressure[{self.template}, "
+                f">={self.min_evictions}]"
+            ),
+            passed=passed,
+            observed=(
+                f"{cache.evictions} evictions, size {len(cache)}"
+                f"/{capacity}"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class BreakerClosed:
+    """The per-template circuit breaker must have re-closed by the end
+    of the run (the outage healed and the session noticed)."""
+
+    template: str
+
+    def evaluate(self, result: "RunResult") -> ContractVerdict:
+        state = result.session(self.template).breaker.state
+        return ContractVerdict(
+            contract=f"breaker_closed[{self.template}]",
+            passed=state == "closed",
+            observed=f"final breaker state {state!r}",
+        )
+
+
+#: Everything a scenario may assert (typing convenience).
+Contract = (
+    "NoUnhandledExceptions | DriftCaughtWithin | NoFalseAlarm | "
+    "RegretBudget | SLOHolds | FallbackServed | NegativeFeedbackCaught | "
+    "EvictionPressure | BreakerClosed"
+)
+
+
+# ----------------------------------------------------------------------
+# Scenario definition
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded adversarial workload with declared contracts.
+
+    ``build_events(rng, count, dims)`` materializes the deterministic
+    event stream (``dims`` maps template name to plan-space dimension
+    count); ``build_contracts(count)`` declares what robustness means
+    at that workload size, so the fast CI tier and the full tier assert
+    proportionate bounds.
+    """
+
+    name: str
+    description: str
+    #: Which paper assumption the scenario violates: ``"1"`` (plan
+    #: choice locality), ``"2"`` (plan cost continuity), ``"1+2"``,
+    #: or ``"none"`` (stress without semantic drift).
+    assumption: str
+    templates: "tuple[str, ...]"
+    instances: int
+    fast_instances: int
+    seed: int
+    build_events: "Callable[[np.random.Generator, int, dict[str, int]], list]"
+    build_contracts: "Callable[[int], tuple]"
+    config: PPCConfig = field(default_factory=PPCConfig)
+    manipulation: "tuple[tuple[str, ManipulationSpec], ...]" = ()
+
+    def events(
+        self, count: int, dims: "dict[str, int]"
+    ) -> "list[QueryEvent | DriftShift | FaultPhase]":
+        """The deterministic event stream at workload size ``count``."""
+        rng = np.random.default_rng(np.random.SeedSequence(self.seed))
+        return self.build_events(rng, count, dims)
+
+    def contracts(self, count: int) -> tuple:
+        return self.build_contracts(count)
+
+
+def _query_events(
+    pairs: "Iterable[tuple[str, np.ndarray]]",
+) -> "list[QueryEvent]":
+    return [
+        QueryEvent(name, tuple(float(v) for v in point))
+        for name, point in pairs
+    ]
+
+
+# ----------------------------------------------------------------------
+# The fleet
+# ----------------------------------------------------------------------
+def _flash_crowd_events(
+    rng: np.random.Generator, count: int, dims: "dict[str, int]"
+) -> list:
+    half = count // 2
+    calm = MixtureWorkload(dims, zipf_exponent=0.0, seed=rng)
+    hot = list(dims)[-1]
+    crowd = MixtureWorkload(
+        dims,
+        seed=rng,
+        weights={name: (30.0 if name == hot else 1.0) for name in dims},
+    )
+    return _query_events(calm.generate(half)) + _query_events(
+        crowd.generate(count - half)
+    )
+
+
+def _flash_crowd_contracts(count: int) -> tuple:
+    return (
+        NoUnhandledExceptions(),
+        RegretBudget(0.10),
+        SLOHolds("regret_budget"),
+        NoFalseAlarm("Q8"),
+    )
+
+
+def _step_drift_events(
+    rng: np.random.Generator, count: int, dims: "dict[str, int]"
+) -> list:
+    points = RandomTrajectoryWorkload(dims["Q1"], seed=rng).generate(count)
+    half = count // 2
+    events: list = _query_events(("Q1", p) for p in points[:half])
+    events.append(DriftShift("Q1", 1.0))
+    events.extend(_query_events(("Q1", p) for p in points[half:]))
+    return events
+
+
+def _step_drift_contracts(count: int) -> tuple:
+    half = count // 2
+    return (
+        NoUnhandledExceptions(),
+        NoFalseAlarm("Q1", before=half),
+        DriftCaughtWithin("Q1", after=half, within=150),
+    )
+
+
+#: Detector tuning shared by the drift scenarios: the experiment's
+#: Section V-D threshold plus a tighter sliding window, so the
+#: precision collapse is observable within a CI-sized fast tier (the
+#: window-100 default needs ~40 assessed-wrong predictions before the
+#: estimate can cross the threshold).
+_DRIFT_DETECTOR_CONFIG = PPCConfig(drift_threshold=0.6, monitor_window=50)
+
+
+def _slow_drift_events(
+    rng: np.random.Generator, count: int, dims: "dict[str, int]"
+) -> list:
+    points = RandomTrajectoryWorkload(dims["Q1"], seed=rng).generate(count)
+    start = count // 3
+    # The intensity ramps linearly over the first half of the remaining
+    # run and saturates at 1.0 — creeping corruption first, leaving a
+    # fully drifted tail the detector must catch within.
+    span = max(1, (count - start) // 2)
+    events: list = _query_events(("Q1", p) for p in points[:start])
+    for offset, point in enumerate(points[start:]):
+        intensity = min(1.0, (offset + 1) / span)
+        events.append(DriftShift("Q1", intensity))
+        events.extend(_query_events([("Q1", point)]))
+    return events
+
+
+def _slow_drift_contracts(count: int) -> tuple:
+    start = count // 3
+    return (
+        NoUnhandledExceptions(),
+        NoFalseAlarm("Q1", before=start),
+        DriftCaughtWithin("Q1", after=start, within=count - start),
+    )
+
+
+def _burst_events(
+    rng: np.random.Generator, count: int, dims: "dict[str, int]"
+) -> list:
+    templates = list(dims)
+    block = max(10, count // 12)
+    schedule: "list[str]" = []
+    index = 0
+    while len(schedule) < count:
+        name = templates[index % len(templates)]
+        schedule.extend([name] * min(block, count - len(schedule)))
+        index += 1
+    per_template = {
+        name: schedule.count(name) for name in templates
+    }
+    streams = {
+        name: iter(
+            RandomTrajectoryWorkload(dims[name], seed=rng).generate(n)
+        )
+        for name, n in per_template.items()
+        if n > 0
+    }
+    return _query_events((name, next(streams[name])) for name in schedule)
+
+
+def _burst_contracts(count: int) -> tuple:
+    return (
+        NoUnhandledExceptions(),
+        RegretBudget(0.10),
+        SLOHolds("regret_budget"),
+        NoFalseAlarm("Q0"),
+        NoFalseAlarm("Q1"),
+    )
+
+
+def _cold_start_storm_events(
+    rng: np.random.Generator, count: int, dims: "dict[str, int]"
+) -> list:
+    points = RandomTrajectoryWorkload(dims["Q1"], seed=rng).generate(count)
+    warm = count // 5
+    outage = count // 3
+    events: list = _query_events(("Q1", p) for p in points[:warm])
+    events.append(
+        FaultPhase("optimizer", FaultSpec(failure_probability=1.0))
+    )
+    events.extend(
+        _query_events(("Q1", p) for p in points[warm : warm + outage])
+    )
+    events.append(FaultPhase("optimizer", None))
+    events.extend(_query_events(("Q1", p) for p in points[warm + outage :]))
+    return events
+
+
+def _cold_start_storm_contracts(count: int) -> tuple:
+    return (
+        NoUnhandledExceptions(),
+        FallbackServed(min_count=max(1, count // 100), template="Q1"),
+        BreakerClosed("Q1"),
+    )
+
+
+def _heavy_tail_events(
+    rng: np.random.Generator, count: int, dims: "dict[str, int]"
+) -> list:
+    points = RandomTrajectoryWorkload(dims["Q1"], seed=rng).generate(count)
+    events: list = [DriftShift("Q1", 1.0)]
+    events.extend(_query_events(("Q1", p) for p in points))
+    return events
+
+
+def _heavy_tail_contracts(count: int) -> tuple:
+    return (
+        NoUnhandledExceptions(),
+        NegativeFeedbackCaught(min_count=max(1, count // 100), template="Q1"),
+        RegretBudget(0.10, template="Q1"),
+    )
+
+
+def _cache_pressure_events(
+    rng: np.random.Generator, count: int, dims: "dict[str, int]"
+) -> list:
+    points = sample_points(dims["Q2"], count, seed=rng)
+    return _query_events(("Q2", p) for p in points)
+
+
+def _cache_pressure_contracts(count: int) -> tuple:
+    return (
+        NoUnhandledExceptions(),
+        EvictionPressure("Q2", min_evictions=max(1, count // 50)),
+        RegretBudget(0.10, template="Q2"),
+    )
+
+
+#: The named fleet, keyed by scenario name.  Templates are the cheap
+#: TPC-H plan spaces (Q0/Q1/Q2/Q8 harvest in ~0.1 s each) so the fast
+#: tier stays CI-friendly; plan-space caching in :mod:`repro.tpch`
+#: amortizes them across scenarios.
+SCENARIOS: "dict[str, Scenario]" = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="flash_crowd",
+            description=(
+                "Uniform three-template mixture that snaps mid-run to a "
+                "30:1 flash crowd on Q8; popularity skew must not look "
+                "like drift or blow the regret budget."
+            ),
+            assumption="none",
+            templates=("Q0", "Q1", "Q8"),
+            instances=900,
+            fast_instances=240,
+            seed=701,
+            build_events=_flash_crowd_events,
+            build_contracts=_flash_crowd_contracts,
+        ),
+        Scenario(
+            name="step_drift",
+            description=(
+                "The paper's Section V-D experiment as a contract: a "
+                "full plan-space scramble at the halfway point must be "
+                "caught by the drift response within a bounded number "
+                "of instances, with no false alarm before it."
+            ),
+            assumption="1+2",
+            templates=("Q1",),
+            instances=900,
+            fast_instances=300,
+            seed=702,
+            build_events=_step_drift_events,
+            build_contracts=_step_drift_contracts,
+            config=_DRIFT_DETECTOR_CONFIG,
+            manipulation=(("Q1", ManipulationSpec(cost_jitter=4.0, seed=7)),),
+        ),
+        Scenario(
+            name="slow_drift",
+            description=(
+                "Plan-space scramble intensity ramping linearly from a "
+                "third of the run to its end; the detector must still "
+                "fire before the run completes (creeping drift, not "
+                "just step drift)."
+            ),
+            assumption="1+2",
+            templates=("Q1",),
+            instances=900,
+            fast_instances=450,
+            seed=703,
+            build_events=_slow_drift_events,
+            build_contracts=_slow_drift_contracts,
+            config=_DRIFT_DETECTOR_CONFIG,
+            manipulation=(
+                ("Q1", ManipulationSpec(cost_jitter=4.0, seed=11)),
+            ),
+        ),
+        Scenario(
+            name="multi_template_burst",
+            description=(
+                "Correlated bursts alternating between templates in "
+                "large blocks; per-template locality survives "
+                "interleaving, so no false drift alarms and the regret "
+                "budget holds."
+            ),
+            assumption="none",
+            templates=("Q0", "Q1"),
+            instances=800,
+            fast_instances=240,
+            seed=704,
+            build_events=_burst_events,
+            build_contracts=_burst_contracts,
+        ),
+        Scenario(
+            name="cold_start_storm",
+            description=(
+                "A total optimizer outage after a short warmup; the "
+                "fallback chain must serve, the breaker must isolate "
+                "the outage and re-close once it heals, and nothing "
+                "may raise."
+            ),
+            assumption="none",
+            templates=("Q1",),
+            instances=900,
+            fast_instances=300,
+            seed=705,
+            build_events=_cold_start_storm_events,
+            build_contracts=_cold_start_storm_contracts,
+        ),
+        Scenario(
+            name="heavy_tail_costs",
+            description=(
+                "Cost-only scramble (labels intact) with heavy-tailed "
+                "x7 jitter from the first instance: an Assumption-2 "
+                "violation that negative feedback must catch while the "
+                "drift detector stays quiet."
+            ),
+            assumption="2",
+            templates=("Q1",),
+            instances=900,
+            fast_instances=300,
+            seed=706,
+            build_events=_heavy_tail_events,
+            build_contracts=_heavy_tail_contracts,
+            manipulation=(
+                (
+                    "Q1",
+                    ManipulationSpec(
+                        cost_jitter=6.0, scramble_labels=False, seed=13
+                    ),
+                ),
+            ),
+        ),
+        Scenario(
+            name="cache_pressure",
+            description=(
+                "Uniform sweep over a many-plan template with the plan "
+                "cache capped at 2 entries: constant eviction churn "
+                "must stay within capacity and degrade gracefully."
+            ),
+            assumption="none",
+            templates=("Q2",),
+            instances=800,
+            fast_instances=240,
+            seed=707,
+            build_events=_cache_pressure_events,
+            build_contracts=_cache_pressure_contracts,
+            config=PPCConfig(cache_capacity=2),
+        ),
+    )
+}
+
+#: Stable listing order for CLI/bench output.
+SCENARIO_NAMES: "tuple[str, ...]" = tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a named scenario, with a helpful error."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known scenarios are "
+            f"{list(SCENARIO_NAMES)}"
+        ) from None
+
+
+__all__ = [
+    "SCENARIOS",
+    "SCENARIO_NAMES",
+    "BreakerClosed",
+    "ContractVerdict",
+    "DriftCaughtWithin",
+    "DriftShift",
+    "EvictionPressure",
+    "FallbackServed",
+    "FaultPhase",
+    "ManipulationSpec",
+    "NegativeFeedbackCaught",
+    "NoFalseAlarm",
+    "NoUnhandledExceptions",
+    "QueryEvent",
+    "RegretBudget",
+    "SLOHolds",
+    "Scenario",
+    "get_scenario",
+]

@@ -1,0 +1,157 @@
+"""Plan-cache behavior under sustained eviction pressure.
+
+``tests/core/test_cache.py`` pins the small-scale semantics; these
+tests drive thousands of plans (and a fleet of per-template caches)
+through the eviction policy to pin the properties the cache_pressure
+scenario's contract asserts end-to-end: capacity is never exceeded,
+eviction accounting stays exact under churn, the MRU fallback answer
+survives any amount of turnover, and caching potential (not just
+recency) picks the victims.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import PlanCache
+from repro.core.monitor import PerformanceMonitor
+from repro.obs import MetricsRegistry, names as metric_names
+
+
+class _FakePlan:
+    def __init__(self, name):
+        self.fingerprint = name
+
+
+class TestChurn:
+    def test_thousands_of_plans_never_exceed_capacity(self):
+        cache = PlanCache(capacity=32)
+        for plan_id in range(5000):
+            cache.put(plan_id, _FakePlan(plan_id))
+            assert len(cache) <= 32
+        assert len(cache) == 32
+        assert cache.evictions == 5000 - 32
+        # LRU churn keeps exactly the newest plans resident.
+        for plan_id in range(5000 - 32, 5000):
+            assert plan_id in cache
+
+    def test_eviction_accounting_is_exact_under_interleaved_churn(self):
+        cache = PlanCache(capacity=8)
+        hits = misses = 0
+        for round_number in range(1000):
+            plan_id = round_number % 40
+            if cache.get(plan_id) is None:
+                misses += 1
+                cache.put(plan_id, _FakePlan(plan_id))
+            else:
+                hits += 1
+        assert cache.hits == hits
+        assert cache.misses == misses
+        assert cache.hits + cache.misses == 1000
+        # Every miss after the first 8 inserts forced an eviction.
+        assert cache.evictions == misses - 8
+        assert cache.hit_rate == pytest.approx(hits / 1000)
+
+    def test_refreshing_resident_plans_never_evicts(self):
+        cache = PlanCache(capacity=4)
+        for plan_id in range(4):
+            cache.put(plan_id, _FakePlan(plan_id))
+        for __ in range(1000):
+            for plan_id in range(4):
+                cache.put(plan_id, _FakePlan(plan_id))
+        assert cache.evictions == 0
+        assert len(cache) == 4
+
+
+class TestMRUFallback:
+    def test_most_recent_survives_any_turnover(self):
+        cache = PlanCache(capacity=2)
+        for plan_id in range(3000):
+            cache.put(plan_id, _FakePlan(plan_id))
+            assert cache.most_recent() == plan_id
+
+    def test_most_recent_tracks_gets_not_just_puts(self):
+        cache = PlanCache(capacity=4)
+        for plan_id in range(4):
+            cache.put(plan_id, _FakePlan(plan_id))
+        cache.get(1)
+        assert cache.most_recent() == 1
+
+    def test_most_recent_does_not_touch_accounting(self):
+        cache = PlanCache(capacity=2)
+        cache.put(7, _FakePlan("a"))
+        before = (cache.hits, cache.misses)
+        for __ in range(100):
+            cache.most_recent()
+        assert (cache.hits, cache.misses) == before
+
+    def test_most_recent_empty_and_after_clear(self):
+        cache = PlanCache(capacity=2)
+        assert cache.most_recent() is None
+        cache.put(1, _FakePlan("a"))
+        cache.clear()
+        assert cache.most_recent() is None
+        assert len(cache) == 0
+
+
+class TestCachingPotentialUnderPressure:
+    def test_low_precision_plans_are_sacrificed_first(self):
+        """Under churn with a monitor attached, the plans whose
+        predictions keep failing lose their slots even when recently
+        touched; the reliable plan stays resident throughout."""
+        monitor = PerformanceMonitor(window=50)
+        cache = PlanCache(capacity=4, monitor=monitor)
+        for plan_id in range(4):
+            cache.put(plan_id, _FakePlan(plan_id))
+        for __ in range(50):
+            monitor.record_prediction(0, correct=True)
+            monitor.record_prediction(1, correct=False)
+        for plan_id in range(100, 1100):
+            monitor.record_prediction(plan_id, correct=False)
+            cache.put(plan_id, _FakePlan(plan_id))
+            assert 0 in cache, "the proven plan must never be the victim"
+        assert 1 not in cache
+        assert cache.evictions == 1000
+
+    def test_graceful_degradation_thrashing_still_serves(self):
+        """A capacity-1 cache under pure thrash still answers every
+        fallback request and keeps exact accounting — degraded, never
+        broken."""
+        cache = PlanCache(capacity=1)
+        for plan_id in range(2000):
+            assert cache.get(plan_id) is None
+            cache.put(plan_id, _FakePlan(plan_id))
+            assert cache.most_recent() == plan_id
+        assert cache.misses == 2000
+        assert cache.evictions == 1999
+        assert cache.hit_rate == 0.0
+
+
+class TestManyTemplates:
+    def test_per_template_cache_fleet_stays_bounded(self):
+        """A thousand templates, each with its own small cache and
+        metric stream: per-template accounting stays independent and
+        the shared registry aggregates every eviction."""
+        registry = MetricsRegistry()
+        caches = {
+            f"T{n}": PlanCache(
+                capacity=2,
+                metrics=registry,
+                template=f"T{n}",
+            )
+            for n in range(1000)
+        }
+        for name, cache in caches.items():
+            for plan_id in range(5):
+                cache.put(plan_id, _FakePlan((name, plan_id)))
+        for cache in caches.values():
+            assert len(cache) == 2
+            assert cache.evictions == 3
+        evictions = sum(
+            value
+            for labels, value in registry.counter_series(
+                metric_names.CACHE_EVENTS_TOTAL
+            )
+            if labels.get("event") == "eviction"
+        )
+        assert evictions == 3000

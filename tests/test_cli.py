@@ -313,3 +313,55 @@ class TestFaultsTraceOut:
         assert traces
         # The error-biased sampler kept evidence of degraded decisions.
         assert any(t.errored for t in traces)
+
+
+class TestScenarios:
+    def test_list_names_every_scenario(self, capsys):
+        from repro.workload.scenarios import SCENARIO_NAMES
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIO_NAMES:
+            assert name in out
+
+    def test_run_one_scenario_writes_matrix(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "matrix.json"
+        assert main(
+            [
+                "scenarios", "run", "cache_pressure",
+                "--fast", "--out", str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PASS cache_pressure" in out
+        matrix = json.loads(out_path.read_text())
+        assert matrix["passed"] is True
+        assert matrix["scenarios"][0]["scenario"] == "cache_pressure"
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["scenarios", "run", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestReplay:
+    def test_record_then_verify_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "replay", "record", "cache_pressure",
+                "--fast", "--out", str(trace),
+            ]
+        ) == 0
+        assert "recorded" in capsys.readouterr().out
+        assert main(["replay", "verify", str(trace)]) == 0
+        assert "bit-identically" in capsys.readouterr().out
+
+    def test_record_requires_out(self, capsys):
+        assert main(["replay", "record", "cache_pressure"]) == 1
+        assert "--out" in capsys.readouterr().err
+
+    def test_missing_trace_file_rejected(self, capsys):
+        assert main(["replay", "verify", "/nonexistent/trace.jsonl"]) == 1
+        assert "failed" in capsys.readouterr().err

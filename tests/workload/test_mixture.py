@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import WorkloadError
+from repro.exceptions import ConfigurationError, WorkloadError
 from repro.workload import MixtureWorkload
 
 
@@ -69,6 +69,72 @@ class TestGeneration:
             MixtureWorkload({"a": 2}, zipf_exponent=-1.0)
         with pytest.raises(WorkloadError):
             MixtureWorkload({"a": 2}).generate(0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_zipf_exponent(self, bad):
+        with pytest.raises(ConfigurationError, match="finite"):
+            MixtureWorkload({"a": 2}, zipf_exponent=bad)
+
+    def test_expected_share_unknown_template(self, mixture):
+        with pytest.raises(ConfigurationError, match="unknown template"):
+            mixture.expected_share("Q99")
+
+
+class TestExplicitWeights:
+    DIMS = {"a": 2, "b": 2, "c": 2}
+
+    def test_weights_pin_popularity(self):
+        mixture = MixtureWorkload(
+            self.DIMS, seed=0, weights={"a": 30.0, "b": 1.0, "c": 1.0}
+        )
+        assert mixture.expected_share("a") == pytest.approx(30.0 / 32.0)
+        assert mixture.expected_share("b") == pytest.approx(1.0 / 32.0)
+        workload = mixture.generate(2000)
+        share_a = sum(1 for name, __ in workload if name == "a") / 2000
+        assert share_a == pytest.approx(30.0 / 32.0, abs=0.05)
+
+    def test_integer_weights_are_accepted(self):
+        mixture = MixtureWorkload(
+            self.DIMS, seed=0, weights={"a": 2, "b": 1, "c": 1}
+        )
+        assert mixture.expected_share("a") == pytest.approx(0.5)
+
+    def test_unknown_template_in_weights(self):
+        with pytest.raises(ConfigurationError, match="unknown templates"):
+            MixtureWorkload(
+                self.DIMS,
+                weights={"a": 1.0, "b": 1.0, "c": 1.0, "ghost": 1.0},
+            )
+
+    def test_weights_must_cover_every_template(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            MixtureWorkload(self.DIMS, weights={"a": 1.0, "b": 1.0})
+
+    @pytest.mark.parametrize(
+        "bad", [0.0, -1.0, float("nan"), float("inf"), -float("inf")]
+    )
+    def test_degenerate_weight_values(self, bad):
+        with pytest.raises(ConfigurationError, match="positive finite"):
+            MixtureWorkload(
+                self.DIMS, weights={"a": bad, "b": 1.0, "c": 1.0}
+            )
+
+    @pytest.mark.parametrize("bad", [True, "3", None, [1.0]])
+    def test_non_numeric_weight_values(self, bad):
+        with pytest.raises(ConfigurationError, match="must be a number"):
+            MixtureWorkload(
+                self.DIMS, weights={"a": bad, "b": 1.0, "c": 1.0}
+            )
+
+    def test_weights_ignore_zipf_exponent(self):
+        flat = MixtureWorkload(
+            self.DIMS,
+            zipf_exponent=3.0,
+            seed=0,
+            weights={"a": 1.0, "b": 1.0, "c": 1.0},
+        )
+        assert flat.expected_share("a") == pytest.approx(1.0 / 3.0)
+        assert flat.expected_share("c") == pytest.approx(1.0 / 3.0)
 
 
 class TestFrameworkIntegration:

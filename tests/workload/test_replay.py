@@ -1,0 +1,199 @@
+"""Deterministic trace record/replay/verify.
+
+The determinism claim is the tentpole: a recorded trace re-driven
+through a fresh executor must reproduce the decision sequence bit for
+bit.  These tests pin the round-trips the claim rests on (config,
+events, the trace file format), the parity itself, tamper detection,
+and the committed golden trace that guards cross-version determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.config import PPCConfig, SLODefinition, TelemetryConfig
+from repro.exceptions import ConfigurationError
+from repro.resilience.faults import FaultSpec
+from repro.workload.replay import (
+    TRACE_VERSION,
+    config_from_dict,
+    config_to_dict,
+    event_from_dict,
+    event_to_dict,
+    load_trace,
+    record_trace,
+    replay_trace,
+    verify_trace,
+)
+from repro.workload.scenarios import (
+    DriftShift,
+    FaultPhase,
+    QueryEvent,
+    get_scenario,
+)
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_trace.jsonl"
+
+
+class TestConfigRoundTrip:
+    def test_default_config(self):
+        config = PPCConfig()
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_customized_config_with_nested_slos(self):
+        config = PPCConfig(
+            cache_capacity=2,
+            drift_threshold=0.6,
+            monitor_window=50,
+            telemetry=TelemetryConfig(
+                slos=(
+                    SLODefinition(
+                        name="x", signal="regret", objective=0.25
+                    ),
+                )
+            ),
+        )
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+        assert rebuilt.telemetry.slos[0].name == "x"
+
+    def test_round_trip_survives_json(self):
+        config = PPCConfig(confidence_threshold=0.75)
+        payload = json.loads(json.dumps(config_to_dict(config)))
+        assert config_from_dict(payload) == config
+
+
+class TestEventRoundTrip:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            QueryEvent("Q1", (0.25, 0.75), advance=2.5),
+            DriftShift("Q1", 0.4),
+            FaultPhase("optimizer", FaultSpec(failure_probability=1.0)),
+            FaultPhase("optimizer", None),
+        ],
+    )
+    def test_round_trip(self, event):
+        payload = json.loads(json.dumps(event_to_dict(event)))
+        assert event_from_dict(payload) == event
+
+    def test_unknown_event_object(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            event_to_dict(object())
+
+    def test_unknown_event_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown trace event"):
+            event_from_dict({"kind": "mystery"})
+
+
+class TestTraceFormat:
+    def test_record_writes_header_events_decisions(self, tmp_path):
+        scenario = get_scenario("cache_pressure")
+        trace = tmp_path / "trace.jsonl"
+        result = record_trace(scenario, trace, fast=True)
+        header, events, decisions = load_trace(trace)
+        assert header["version"] == TRACE_VERSION
+        assert header["scenario"] == "cache_pressure"
+        assert header["seed"] == scenario.seed
+        assert header["templates"] == list(scenario.templates)
+        assert header["config"]["cache_capacity"] == 2
+        assert len(events) == scenario.fast_instances
+        assert decisions == result.decisions
+        assert result.passed
+
+    def test_no_header_is_an_error(self, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"kind": "decision", "i": 0}\n')
+        with pytest.raises(ConfigurationError, match="no header"):
+            load_trace(trace)
+
+    def test_duplicate_header_is_an_error(self, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        header = json.dumps({"kind": "header", "version": TRACE_VERSION})
+        trace.write_text(header + "\n" + header + "\n")
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            load_trace(trace)
+
+    def test_unsupported_version_is_an_error(self, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text(
+            json.dumps({"kind": "header", "version": TRACE_VERSION + 1})
+            + "\n"
+        )
+        with pytest.raises(ConfigurationError, match="not supported"):
+            load_trace(trace)
+
+    def test_invalid_json_reports_line_number(self, tmp_path):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text(
+            json.dumps({"kind": "header", "version": TRACE_VERSION})
+            + "\nnot json\n"
+        )
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            load_trace(trace)
+
+
+class TestReplayParity:
+    def test_record_then_verify_is_bit_identical(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        record_trace(get_scenario("cache_pressure"), trace, fast=True)
+        report = verify_trace(trace)
+        assert report["identical"], report["mismatches"]
+        assert report["instances"] == report["replayed"]
+        assert report["mismatches"] == []
+
+    def test_replay_returns_recorded_decisions(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        result = record_trace(
+            get_scenario("cache_pressure"), trace, fast=True
+        )
+        header, replayed = replay_trace(trace)
+        assert header["scenario"] == "cache_pressure"
+        assert replayed == result.decisions
+
+    def test_tampered_decision_is_detected(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        record_trace(get_scenario("cache_pressure"), trace, fast=True)
+        lines = trace.read_text().splitlines()
+        for index, raw in enumerate(lines):
+            payload = json.loads(raw)
+            if payload.get("kind") == "decision":
+                payload["executed_plan"] = payload["executed_plan"] + 1
+                lines[index] = json.dumps(payload, sort_keys=True)
+                break
+        trace.write_text("\n".join(lines) + "\n")
+        report = verify_trace(trace)
+        assert not report["identical"]
+        assert report["mismatches"]
+        fields = report["mismatches"][0]["fields"]
+        assert "executed_plan" in fields
+
+    def test_missing_decisions_are_mismatches(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        record_trace(get_scenario("cache_pressure"), trace, fast=True)
+        lines = [
+            raw
+            for raw in trace.read_text().splitlines()
+            if json.loads(raw).get("kind") != "decision"
+        ]
+        trace.write_text("\n".join(lines) + "\n")
+        report = verify_trace(trace)
+        assert not report["identical"]
+        assert report["instances"] == 0
+        assert report["replayed"] > 0
+
+
+class TestGoldenTrace:
+    """The committed trace is the cross-version determinism regression
+    test: any change that perturbs the decision flow breaks it loudly
+    (and the fix is to understand the perturbation, then re-record)."""
+
+    def test_golden_trace_exists_and_verifies(self):
+        assert GOLDEN.exists()
+        report = verify_trace(GOLDEN)
+        assert report["identical"], report["mismatches"]
+        assert report["scenario"] == "step_drift"
+        assert report["instances"] == 300
