@@ -5,15 +5,19 @@ streams for reproducible sampling, an injectable clock for retry and
 breaker logic, a central metric-name registry, atomic fsync+rename
 persistence — but conventions that nothing enforces decay.  This
 package is the enforcement layer: a small AST-based rule framework
-(:mod:`repro.analysis.core`), the nine project rules
-(:mod:`repro.analysis.rules`, codes ``RPR001``–``RPR009``), inline
-``# repro: noqa[RULE]`` suppressions, a committed baseline for
-incremental burn-down (:mod:`repro.analysis.baseline`), and text/JSON
+(:mod:`repro.analysis.core`), the nine per-file project rules
+(:mod:`repro.analysis.rules`, codes ``RPR001``–``RPR009``), the
+whole-program effect analysis and its ``RPR101``–``RPR104`` rules
+(:mod:`repro.analysis.effects` — call-graph purity, determinism
+taint, mutation discipline, documented exceptions), inline ``# repro:
+noqa[RULE]`` suppressions, a committed baseline for incremental
+burn-down (:mod:`repro.analysis.baseline`), and text/JSON/GitHub
 reporters (:mod:`repro.analysis.report`).
 
-Run it as ``repro lint`` or ``python -m repro.analysis``; CI gates on
-both the repository tree being clean and the rules themselves firing
-on known-bad snippets (``--selftest``).
+Run it as ``repro lint`` or ``python -m repro.analysis`` (add
+``--effects`` for the interprocedural pass); CI gates on both the
+repository tree being clean and the rules themselves firing on
+known-bad snippets (``--selftest``).
 """
 
 from repro.analysis.baseline import (
@@ -31,7 +35,7 @@ from repro.analysis.core import (
     lint_source,
     rule_registry,
 )
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_github, render_json, render_text
 from repro.analysis.selftest import SELFTEST_CASES, run_selftest
 
 __all__ = [
@@ -45,6 +49,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "render_github",
     "render_json",
     "render_text",
     "rule_registry",

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from collections.abc import Iterable
 
 from repro.analysis.core import Finding
+from repro.core.persistence import atomic_write_text
 from repro.exceptions import ConfigurationError
 
 #: Schema version of the baseline document.
@@ -113,9 +114,8 @@ def write_baseline(
             )
         ],
     }
-    pathlib.Path(path).write_text(  # repro: noqa[RPR005] - dev tooling
-        json.dumps(document, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
+    atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
     )
     return len(entries)
 

@@ -23,6 +23,7 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.core import lint_paths
 from repro.analysis.report import (
+    render_github,
     render_json,
     render_rules,
     render_text,
@@ -39,7 +40,11 @@ def build_parser() -> argparse.ArgumentParser:
             "discipline (RPR002), metric-name registry (RPR003), "
             "exception hygiene (RPR004), atomic persistence (RPR005), "
             "float tolerance (RPR006), typed public API (RPR007), "
-            "session-state ownership (RPR008), span discipline (RPR009)"
+            "session-state ownership (RPR008), span discipline (RPR009); "
+            "with --effects, the whole-program RPR1xx family: obs-layer "
+            "purity (RPR101), predict-path determinism (RPR102), "
+            "mutation-count discipline (RPR103), documented public "
+            "exceptions (RPR104)"
         ),
     )
     parser.add_argument(
@@ -50,9 +55,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="report format (json is what CI consumes)",
+        help=(
+            "report format (json for machine consumption; github emits "
+            "::error workflow commands for inline PR annotations)"
+        ),
+    )
+    parser.add_argument(
+        "--effects",
+        action="store_true",
+        help=(
+            "also run the whole-program effect analysis "
+            "(RPR101-RPR104): call-graph purity, determinism taint, "
+            "mutation discipline, exception documentation"
+        ),
+    )
+    parser.add_argument(
+        "--graph-out",
+        metavar="PATH",
+        help=(
+            "with --effects: write the analyzed call graph artifact "
+            "(Graphviz if PATH ends in .dot, JSON otherwise)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -99,8 +124,24 @@ def main(argv: "list[str] | None" = None) -> int:
         return 0
     if args.selftest:
         return _run_selftest()
+    if args.graph_out and not args.effects:
+        print("error: --graph-out requires --effects", file=sys.stderr)
+        return 2
 
     findings, errors = lint_paths(args.paths)
+    if args.effects:
+        # Imported lazily: the per-file path stays import-light and the
+        # engine pulls in the project stub tables only when asked.
+        from repro.analysis.effects import analyze_paths, write_graph
+
+        effect_findings, project = analyze_paths(args.paths)
+        findings = sorted(
+            findings + effect_findings,
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+        errors.extend(project.errors)
+        if args.graph_out:
+            write_graph(project, args.graph_out)
     try:
         baseline = (
             [] if args.no_baseline else load_baseline(args.baseline)
@@ -115,7 +156,11 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"baseline written: {count} entr(y/ies) -> {args.baseline}")
         return 0
 
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "github": render_github,
+        "text": render_text,
+    }[args.format]
     print(renderer(fresh, accepted, stale, errors))
     return 1 if fresh or errors else 0
 

@@ -97,6 +97,7 @@ class ModuleContext:
         self.imported_names: dict[str, str] = {}
         self._collect_imports()
         self.suppressions = _collect_suppressions(self.lines)
+        self._statement_spans = _statement_spans(self.tree)
 
     # ------------------------------------------------------------------
     # Import resolution
@@ -144,6 +145,33 @@ class ModuleContext:
     def suppressed(self, lineno: int, rule: str) -> bool:
         codes = self.suppressions.get(lineno)
         return codes is not None and (ALL_RULES in codes or rule in codes)
+
+    def suppressed_node(self, node: ast.AST, rule: str) -> bool:
+        """Range-aware suppression: a ``noqa`` on *any* physical line
+        of the enclosing simple statement covers a finding anchored
+        anywhere inside it, so a wrapped call may carry the comment
+        wherever black put the closing paren.  Block-opening nodes
+        (``def``/``class``/``except``) anchor findings at their header
+        and would otherwise swallow a ``noqa`` meant for a statement
+        deep in their body — they stay header-line-only.
+        """
+        lineno = getattr(node, "lineno", 1)
+        if isinstance(
+            node,
+            (
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+                ast.ExceptHandler,
+            ),
+        ):
+            return self.suppressed(lineno, rule)
+        end = getattr(node, "end_lineno", None) or lineno
+        start, end = self._statement_spans.get(lineno, (lineno, end))
+        return any(
+            self.suppressed(line, rule)
+            for line in range(start, max(start, end) + 1)
+        )
 
 
 class Rule:
@@ -221,6 +249,45 @@ def _module_name(path: str) -> str:
     return stem
 
 
+#: Compound statements own nested statements; their spans must not
+#: become suppression groups (a ``noqa`` deep in a function body would
+#: otherwise cover the whole ``def``).  Only the simple statements —
+#: calls, assignments, raises — group their wrapped physical lines.
+_COMPOUND_STATEMENTS = tuple(
+    getattr(ast, name)
+    for name in (
+        "If",
+        "For",
+        "AsyncFor",
+        "While",
+        "With",
+        "AsyncWith",
+        "Try",
+        "TryStar",
+        "Match",
+        "FunctionDef",
+        "AsyncFunctionDef",
+        "ClassDef",
+    )
+    if hasattr(ast, name)
+)
+
+
+def _statement_spans(tree: ast.AST) -> "dict[int, tuple[int, int]]":
+    """Physical line -> ``(first, last)`` line of the enclosing simple
+    statement, for the multi-line ``noqa`` check."""
+    spans: dict[int, tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, _COMPOUND_STATEMENTS):
+            continue
+        end = node.end_lineno or node.lineno
+        for line in range(node.lineno, end + 1):
+            spans[line] = (node.lineno, end)
+    return spans
+
+
 def _collect_suppressions(lines: "list[str]") -> dict[int, set]:
     suppressions: dict[int, set] = {}
     for lineno, text in enumerate(lines, start=1):
@@ -257,7 +324,7 @@ def lint_source(
         for node, message in rule.check(ctx):
             lineno = getattr(node, "lineno", 1)
             col = getattr(node, "col_offset", 0)
-            if ctx.suppressed(lineno, rule.code):
+            if ctx.suppressed_node(node, rule.code):
                 continue
             findings.append(
                 Finding(

@@ -1,0 +1,213 @@
+"""Effect stubs for the numpy/stdlib surface the project calls into.
+
+The whole-program engine (:mod:`repro.analysis.effects.engine`) only
+sees the project's own AST; anything outside it — numpy, the standard
+library — needs a declared effect.  This table is that declaration:
+a dotted-name lookup classifying external calls into the effect
+lattice (``rng``, ``clock``, ``fs``, ``net``, ``alloc``).
+
+The table is deliberately *optimistic*: an external call matching no
+entry is treated as effect-free.  That keeps the engine's findings
+actionable (no flood of "unknown call" noise) at the cost of missing
+an exotic entry point — the per-file rules (RPR001/RPR002/RPR005)
+remain the belt to this suspenders.  The two injected-clock aliases in
+:mod:`repro.resilience.clocks` are *sanctioned*: calling them is how a
+default parameter says "wall clock unless a test injects a virtual
+one", so they carry no effect here (RPR102 allows them by design).
+"""
+
+from __future__ import annotations
+
+# Reuse the per-file rules' ground truth for what counts as global RNG
+# so the interprocedural closure can never disagree with RPR001/RPR002.
+from repro.analysis.rules import _BANNED_TIME, _NUMPY_LEGACY_RNG, _STDLIB_RNG
+
+#: Injected-clock aliases: the sanctioned way to *reference* the wall
+#: clock.  Calls to these carry no effect — tests replace them.
+SANCTIONED_CLOCKS = frozenset(
+    {
+        "repro.resilience.clocks.system_clock",
+        "repro.resilience.clocks.system_sleep",
+    }
+)
+
+#: Raw wall-clock reads/spends (mirrors RPR002's banned set;
+#: ``perf_counter``/``perf_counter_ns`` measure durations and stay
+#: effect-free, exactly like the per-file rule).
+CLOCK_CALLS = frozenset(
+    {f"time.{name}" for name in _BANNED_TIME}
+    | {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Unseeded / global-state RNG entry points (mirrors RPR001) plus the
+#: OS-entropy taps the per-file rule has no reason to meet.
+RNG_CALLS = frozenset(
+    {f"numpy.random.{name}" for name in _NUMPY_LEGACY_RNG}
+    | {f"random.{name}" for name in _STDLIB_RNG}
+    | {
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: ``numpy.random.default_rng`` draws OS entropy only when called with
+#: no arguments; the engine special-cases it on the argument count.
+DEFAULT_RNG = "numpy.random.default_rng"
+
+#: Filesystem access by exact dotted name.
+FS_CALLS = frozenset(
+    {
+        "open",
+        "os.fdopen",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.mkdir",
+        "os.makedirs",
+        "os.rmdir",
+        "os.fsync",
+        "os.link",
+        "os.symlink",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copyfile",
+        "shutil.move",
+        "shutil.rmtree",
+        "tempfile.mkstemp",
+        "tempfile.mkdtemp",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+        "tempfile.TemporaryDirectory",
+    }
+)
+
+#: Filesystem access by method name on an *unresolved* receiver — how
+#: ``some_path.write_text(...)`` looks when ``some_path`` is a local.
+#: Names are specific enough (pathlib's I/O surface) that collisions
+#: with project methods are not expected.
+FS_METHODS = frozenset(
+    {
+        "write_text",
+        "write_bytes",
+        "read_text",
+        "read_bytes",
+        "unlink",
+        "touch",
+        "mkdir",
+        "rmdir",
+        "hardlink_to",
+        "symlink_to",
+    }
+)
+
+#: Network access (none expected in this codebase; the entry exists so
+#: the first socket sneaking toward the predict path is caught).
+NET_CALLS = frozenset(
+    {
+        "socket.socket",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "http.client.HTTPConnection",
+        "http.client.HTTPSConnection",
+    }
+)
+
+#: Fresh-array allocators: recorded as the ``alloc`` effect so the
+#: call-graph artifact shows which vectorized kernels allocate.  No
+#: rule gates on it (hot-path allocation is a perf review aid, not an
+#: invariant) — it rides along in ``--graph-out``.
+ALLOC_CALLS = frozenset(
+    {
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.empty",
+        "numpy.empty_like",
+        "numpy.zeros",
+        "numpy.zeros_like",
+        "numpy.ones",
+        "numpy.ones_like",
+        "numpy.full",
+        "numpy.full_like",
+        "numpy.arange",
+        "numpy.linspace",
+        "numpy.eye",
+        "numpy.copy",
+        "numpy.concatenate",
+        "numpy.stack",
+        "numpy.vstack",
+        "numpy.hstack",
+    }
+)
+
+#: In-place mutators callable as plain functions: ``np.add.at(target,
+#: ...)`` mutates its first argument.  The engine checks the argument
+#: subtree for ``self.<attr>`` roots (RPR103's synopsis contract).
+INPLACE_FUNCTIONS = frozenset(
+    {
+        "numpy.add.at",
+        "numpy.subtract.at",
+        "numpy.multiply.at",
+        "numpy.divide.at",
+        "numpy.maximum.at",
+        "numpy.minimum.at",
+        "numpy.put",
+        "numpy.place",
+        "numpy.copyto",
+    }
+)
+
+#: Method names that mutate their receiver in place — list/set/dict
+#: and ndarray surfaces plus the project's histogram ``insert``.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "sort",
+        "reverse",
+        "fill",
+        "partial_fit",
+    }
+)
+
+
+def classify_call(dotted: str, argless: bool) -> "str | None":
+    """Effect of one external call, or ``None`` when effect-free.
+
+    ``argless`` matters only for ``numpy.random.default_rng`` — seeded
+    construction is the sanctioned idiom, the no-argument form draws
+    OS entropy.
+    """
+    if dotted in SANCTIONED_CLOCKS:
+        return None
+    if dotted in RNG_CALLS or (dotted == DEFAULT_RNG and argless):
+        return "rng"
+    if dotted in CLOCK_CALLS:
+        return "clock"
+    if dotted in FS_CALLS:
+        return "fs"
+    if dotted in NET_CALLS:
+        return "net"
+    if dotted in ALLOC_CALLS:
+        return "alloc"
+    return None

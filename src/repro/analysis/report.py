@@ -90,8 +90,77 @@ def render_json(
     return json.dumps(document, indent=2, sort_keys=True)
 
 
+def _escape_workflow_property(value: str) -> str:
+    """Escape a value for a workflow-command *property* (file=...)."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _escape_workflow_message(value: str) -> str:
+    """Escape a value for a workflow-command *message* (after ``::``)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def render_github(
+    fresh: "list[Finding]",
+    accepted: "list[Finding] | None" = None,
+    stale: "list[BaselineEntry] | None" = None,
+    errors: "list[str] | None" = None,
+) -> str:
+    """GitHub Actions workflow commands: ``::error file=...,line=...``.
+
+    Each fresh finding becomes an inline annotation on the PR diff;
+    file errors and stale baseline entries become file-less ``::error``
+    / ``::warning`` lines.  A trailing plain-text summary keeps the raw
+    log readable — runners ignore lines that are not workflow commands.
+    """
+    lines = []
+    for finding in fresh:
+        level = "error" if finding.severity == "error" else "warning"
+        lines.append(
+            f"::{level} file={_escape_workflow_property(finding.path)},"
+            f"line={finding.line},col={finding.col},"
+            f"title={finding.rule}::"
+            + _escape_workflow_message(
+                f"{finding.rule} {finding.message}"
+            )
+        )
+    for error in errors or []:
+        lines.append("::error::" + _escape_workflow_message(error))
+    for entry in stale or []:
+        lines.append(
+            "::warning::"
+            + _escape_workflow_message(
+                f"stale baseline entry: {entry.rule} {entry.path} "
+                f"{entry.snippet!r} (matched nothing; remove it)"
+            )
+        )
+    summary = summarize(fresh)
+    parts = [f"{summary['total']} finding(s)"]
+    if accepted:
+        parts.append(f"{len(accepted)} baselined")
+    if summary["by_rule"]:
+        parts.append(
+            "by rule: "
+            + ", ".join(
+                f"{rule}={count}"
+                for rule, count in summary["by_rule"].items()
+            )
+        )
+    lines.append("; ".join(parts))
+    return "\n".join(lines)
+
+
 def render_rules() -> str:
-    """``--list-rules``: every rule with its scope and rationale."""
+    """``--list-rules``: every rule with its scope and rationale —
+    the per-file rules first, then the whole-program RPR1xx family."""
+    from repro.analysis.effects.rules import effect_rules
+
     lines = []
     for rule in all_rules():
         scope = (
@@ -103,5 +172,11 @@ def render_rules() -> str:
         lines.append(f"    scope : {scope}")
         if rule.exempt_modules:
             lines.append(f"    exempt: {', '.join(rule.exempt_modules)}")
+        lines.append(f"    fix   : {rule.rationale}")
+    for rule in effect_rules():
+        lines.append(
+            f"{rule.code} [{rule.severity}] {rule.title} (whole-program)"
+        )
+        lines.append(f"    scope : {rule.scope}")
         lines.append(f"    fix   : {rule.rationale}")
     return "\n".join(lines)

@@ -192,4 +192,9 @@ def run_selftest() -> "list[str]":
                 f"{case.rule}: good fixture produced {len(good)} "
                 f"unexpected finding(s): {good[0].message}"
             )
+    # The whole-program rules carry their own multi-module fixture
+    # pairs; one selftest entry point gates both families in CI.
+    from repro.analysis.effects.selftest import run_effects_selftest
+
+    failures.extend(run_effects_selftest())
     return failures

@@ -45,9 +45,12 @@ Small utilities for poking at the reproduction without writing code:
   a scenario's full event stream + decision sequence, re-run it from
   scratch, and verify the replayed decisions are bit-identical
   (exit 1 on any divergence);
-* ``lint`` — the AST-based invariant linter (rules RPR001-RPR009:
-  determinism, clock, metrics, persistence, span discipline; see
-  ``repro lint --list-rules``), exit 1 on fresh findings;
+* ``lint`` — the AST-based invariant linter (per-file rules
+  RPR001-RPR009: determinism, clock, metrics, persistence, span
+  discipline; with ``--effects`` the whole-program rules
+  RPR101-RPR104: call-graph purity, predict-path determinism,
+  mutation discipline, documented exceptions — see ``repro lint
+  --list-rules``), exit 1 on fresh findings;
 * ``assumptions Q1`` — validate plan choice predictability on a template.
 """
 
@@ -1250,7 +1253,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = commands.add_parser(
         "lint",
         help="invariant linter (RPR rules); args pass through, "
-        "e.g. `repro lint src --format json` or `repro lint --selftest`",
+        "e.g. `repro lint src --effects` or `repro lint --selftest`",
     )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER)
     lint.set_defaults(handler=_cmd_lint)

@@ -82,7 +82,8 @@ class PlanPredictor(ABC):
     def _check_point(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=float).reshape(-1)
         if x.shape[0] != self.dimensions:
-            raise ValueError(
+            # Callers and tests pin ValueError for shape mismatches.
+            raise ValueError(  # repro: noqa[RPR104] - shape contract
                 f"expected a {self.dimensions}-dimensional point, "
                 f"got {x.shape[0]}"
             )
@@ -102,18 +103,18 @@ class PlanPredictor(ABC):
         points = np.asarray(points, dtype=float)
         if points.ndim == 1:
             if points.shape[0] != self.dimensions:
-                raise ValueError(
+                raise ValueError(  # repro: noqa[RPR104] - shape contract
                     f"expected a {self.dimensions}-dimensional point, "
                     f"got shape {points.shape}"
                 )
             points = points[None, :]
         elif points.ndim != 2:
-            raise ValueError(
+            raise ValueError(  # repro: noqa[RPR104] - shape contract
                 f"expected an (m, {self.dimensions}) batch, "
                 f"got shape {points.shape}"
             )
         if points.shape[1] != self.dimensions:
-            raise ValueError(
+            raise ValueError(  # repro: noqa[RPR104] - shape contract
                 f"expected {self.dimensions}-dimensional points, "
                 f"got shape {points.shape}"
             )

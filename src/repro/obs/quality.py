@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.obs import names
 from repro.obs.audit import regret_audit
 
@@ -60,7 +61,9 @@ def synopsis_scorecard(densities: np.ndarray) -> dict[str, float]:
     """
     densities = np.asarray(densities, dtype=float)
     if densities.ndim != 3:
-        raise ValueError("expected a (transforms, plans, probes) tensor")
+        raise ConfigurationError(
+            "expected a (transforms, plans, probes) tensor"
+        )
     __, plan_count, probes = densities.shape
     cell_mass = densities.sum(axis=1)  # (t, probes)
     occupied = cell_mass > 0.0

@@ -1,0 +1,121 @@
+"""Known blind spots of the per-file linter — fixed or fenced.
+
+Two historical gaps: (a) ``# repro: noqa`` was keyed to a single
+physical line, so a statement black wrapped across lines could only be
+suppressed by putting the comment on the exact line the rule anchored
+to; (b) import-alias resolution stopped at the local module's tables,
+so a banned call laundered through a ``from ... import x as y``
+re-export was invisible.  (a) is fixed by range-aware suppression —
+with a deliberate carve-out for block-opening nodes; (b) stays a
+per-file blind spot by design and the whole-program engine closes it.
+"""
+
+from repro.analysis import lint_source
+from repro.analysis.effects import build_project_from_sources
+
+
+class TestMultiLineStatementNoqa:
+    WRAPPED = (
+        "import time\n"
+        "time.sleep(\n"
+        "    1.0\n"
+        ")\n"
+    )
+
+    def test_unsuppressed_wrapped_call_still_fires(self):
+        findings = lint_source(self.WRAPPED, module="repro.core.scratch")
+        assert [f.rule for f in findings] == ["RPR002"]
+
+    def test_noqa_on_anchor_line(self):
+        source = (
+            "import time\n"
+            "time.sleep(  # repro: noqa[RPR002]\n"
+            "    1.0\n"
+            ")\n"
+        )
+        assert lint_source(source, module="repro.core.scratch") == []
+
+    def test_noqa_on_closing_paren_line(self):
+        source = (
+            "import time\n"
+            "time.sleep(\n"
+            "    1.0\n"
+            ")  # repro: noqa[RPR002]\n"
+        )
+        assert lint_source(source, module="repro.core.scratch") == []
+
+    def test_noqa_on_interior_line(self):
+        source = (
+            "import time\n"
+            "time.sleep(\n"
+            "    1.0  # repro: noqa[RPR002]\n"
+            ")\n"
+        )
+        assert lint_source(source, module="repro.core.scratch") == []
+
+    def test_suppression_stays_statement_scoped(self):
+        source = (
+            "import time\n"
+            "time.sleep(\n"
+            "    1.0\n"
+            ")  # repro: noqa[RPR002]\n"
+            "time.sleep(2.0)\n"
+        )
+        findings = lint_source(source, module="repro.core.scratch")
+        assert [(f.rule, f.line) for f in findings] == [("RPR002", 5)]
+
+
+class TestBlockNodesStayHeaderScoped:
+    """RPR007 anchors at the ``def`` whose *range* is the whole body —
+    a ``noqa`` on some body line must not silence the signature rule."""
+
+    def test_body_noqa_does_not_suppress_def_anchored_rule(self):
+        source = (
+            "def api(value):\n"
+            "    x = 1  # repro: noqa[RPR007]\n"
+            "    return x + value\n"
+        )
+        findings = lint_source(source, module="repro.core.scratch")
+        assert [f.rule for f in findings] == ["RPR007"]
+
+    def test_def_line_noqa_does_suppress_it(self):
+        source = (
+            "def api(value):  # repro: noqa[RPR007]\n"
+            "    return value\n"
+        )
+        assert lint_source(source, module="repro.core.scratch") == []
+
+
+class TestReexportBlindSpot:
+    """``from repro.util.entropy import jitter as fuzz`` then calling
+    ``fuzz()``: per-file RPR001 sees a call to an unknown project name
+    and stays quiet — that is its documented per-file boundary.  The
+    whole-program engine resolves the alias to the defining module and
+    carries the effect through."""
+
+    FACADE = (
+        "from repro.util.entropy import jitter as fuzz\n"
+        "def sample():\n"
+        "    return fuzz()\n"
+    )
+    ENTROPY = (
+        "import random\n"
+        "def jitter():\n"
+        "    return random.random()\n"
+    )
+
+    def test_per_file_linter_misses_the_laundered_rng(self):
+        findings = lint_source(self.FACADE, module="repro.workload.facade")
+        assert [f for f in findings if f.rule == "RPR001"] == []
+
+    def test_effects_engine_resolves_through_the_alias(self):
+        project = build_project_from_sources(
+            {
+                "repro.workload.facade": self.FACADE,
+                "repro.util.entropy": self.ENTROPY,
+            }
+        )
+        info = project.functions["repro.workload.facade.sample"]
+        (call,) = info.calls
+        assert call.resolved == "repro.util.entropy.jitter"
+        assert "rng" in info.effects

@@ -53,6 +53,61 @@ def test_malformed_baseline_exits_two(tmp_path, capsys):
     assert main([str(path), "--baseline", str(baseline)]) == 2
 
 
+def test_github_format_emits_workflow_commands(tmp_path, capsys):
+    path = _module_file(tmp_path, "bad.py", BAD)
+    assert main(
+        [str(path), "--no-baseline", "--format", "github"]
+    ) == 1
+    out = capsys.readouterr().out
+    (annotation,) = [
+        line for line in out.splitlines() if line.startswith("::error ")
+    ]
+    assert "line=2" in annotation
+    assert "title=RPR002" in annotation
+    assert "::RPR002 " in annotation
+
+
+def test_effects_flag_runs_whole_program_rules(tmp_path, capsys):
+    # Per-file clean, but the closure reaches time.time through a
+    # helper module: only --effects catches it.
+    framework = (
+        "from repro.core.timing import stamp\n"
+        "class TemplateSession:\n"
+        "    def execute(self, x):\n"
+        "        return stamp(x)\n"
+    )
+    timing = (
+        "import time\n"
+        "def stamp(x):\n"
+        "    return x, time.perf_counter(), time.time()\n"
+    )
+    _module_file(tmp_path, "framework.py", framework)
+    path = _module_file(tmp_path, "timing.py", timing)
+    root = path.parent.parent.parent
+    assert main([str(root), "--no-baseline"]) == 1  # RPR002 on time.time
+    capsys.readouterr()
+    assert main([str(root), "--no-baseline", "--effects"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR102" in out
+    assert "TemplateSession.execute" in out
+
+
+def test_graph_out_requires_effects(tmp_path, capsys):
+    path = _module_file(tmp_path, "good.py", GOOD)
+    assert main([str(path), "--graph-out", str(tmp_path / "g.json")]) == 2
+
+
+def test_graph_out_writes_artifact(tmp_path, capsys):
+    path = _module_file(tmp_path, "good.py", GOOD)
+    target = tmp_path / "graph.json"
+    assert main(
+        [str(path), "--no-baseline", "--effects", "--graph-out", str(target)]
+    ) == 0
+    document = json.loads(target.read_text())
+    assert "functions" in document
+    assert "calls" in document
+
+
 def test_selftest_exits_zero(capsys):
     assert main(["--selftest"]) == 0
     assert "selftest OK" in capsys.readouterr().out
@@ -62,4 +117,6 @@ def test_list_rules_mentions_every_rule(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for code in (f"RPR00{i}" for i in range(1, 9)):
+        assert code in out
+    for code in (f"RPR10{i}" for i in range(1, 5)):
         assert code in out

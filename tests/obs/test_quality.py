@@ -7,6 +7,7 @@ import pytest
 
 from repro.config import PPCConfig
 from repro.core.framework import TemplateSession
+from repro.exceptions import ConfigurationError
 from repro.obs import MetricsRegistry
 from repro.obs import names as metric_names
 from repro.obs.quality import (
@@ -20,7 +21,7 @@ from repro.workload import RandomTrajectoryWorkload
 
 class TestSynopsisScorecard:
     def test_rejects_wrong_rank(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             synopsis_scorecard(np.zeros((2, 3)))
 
     def test_empty_synopsis_scores_zero(self):
