@@ -32,10 +32,15 @@ def write_result(name: str, lines: "list[str] | str") -> pathlib.Path:
 def write_bench_json(name: str, payload: dict) -> pathlib.Path:
     """Persist a machine-readable benchmark snapshot.
 
-    Written to ``benchmarks/results/BENCH_<name>.json`` so future PRs
-    can diff overhead percentages and p95 latencies against the
-    committed trajectory instead of eyeballing the text tables.
+    Written to ``benchmarks/results/BENCH_<name>.json`` so
+    ``repro bench compare`` can gate future runs against the committed
+    trajectory instead of eyeballing the text tables.  Every snapshot
+    must be a valid schema-v2 envelope (see :mod:`repro.bench.schema`);
+    an ad-hoc dict is rejected before it can poison the baselines.
     """
+    from repro.bench.schema import validate_envelope
+
+    validate_envelope(payload)
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -1,121 +1,61 @@
 """Amortized batch-predict throughput on the hot path.
 
-One Q1 session is warmed through the normal online workflow, then the
-same probe batch is pushed through the struct-of-arrays
-``predict_batch`` primitive and, for comparison, the scalar
-``predict`` loop it replaced as the hot path.  Batch and scalar paths
-are bit-for-bit identical in their decisions (the parity suite proves
-it), so this bench isolates pure throughput.
+Thin wrapper over :func:`repro.bench.runners.run_predict_throughput` —
+the same measurement core behind ``repro bench run`` — so the pytest
+bench, the CI gate, and the committed schema-v2 snapshot can never
+drift apart.  One Q1 session is warmed through the normal online
+workflow, then the same probe batch is pushed through the
+struct-of-arrays ``predict_batch`` primitive and, for comparison, the
+scalar ``predict`` loop it replaced; the runner asserts the two paths
+agree bit-for-bit.
 
 The acceptance bar from the vectorization work: the batch path must
-amortize to at most ``TARGET_US`` microseconds per instance; the hard
-assert fails at 2x that so shared CI runners warn rather than flake.
-The machine-readable snapshot lands in
-``benchmarks/results/BENCH_predict.json``.
+amortize to at most ``PREDICT_TARGET_US`` microseconds per instance;
+the hard assert fails at 2x that so shared CI runners warn rather than
+flake.  The snapshot lands in ``benchmarks/results/BENCH_predict.json``.
 """
 
 import warnings
-from time import perf_counter
 
 from _bench_utils import write_bench_json, write_result
-from repro.config import PPCConfig
-from repro.core.framework import TemplateSession
-from repro.tpch import plan_space_for
-from repro.workload import RandomTrajectoryWorkload
-
-WARMUP = 500
-PROBES = 1500
-REPEATS = 5
-
-#: Amortized per-instance budget for the batch path (the PR gate).
-TARGET_US = 150.0
-#: Hard-fail ceiling: 2x the target absorbs shared-runner noise.
-HARD_LIMIT_US = 2.0 * TARGET_US
-
-
-def _warmed_session() -> TemplateSession:
-    config = PPCConfig(
-        confidence_threshold=0.8,
-        mean_invocation_probability=0.05,
-        drift_response=False,
-    )
-    session = TemplateSession(plan_space_for("Q1"), config, seed=17)
-    warm = RandomTrajectoryWorkload(2, spread=0.02, seed=5).generate(WARMUP)
-    for x in warm:
-        session.execute(x)
-    return session
-
-
-def _measure() -> dict[str, float]:
-    """Best-of-N amortized per-instance seconds, batch vs scalar."""
-    session = _warmed_session()
-    probes = RandomTrajectoryWorkload(2, spread=0.02, seed=6).generate(
-        PROBES
-    )
-    online = session.online
-
-    # Predictions do not mutate synopses, so the same warmed state
-    # serves every repeat and the minimum is a like-for-like best-of.
-    best_batch = float("inf")
-    best_scalar = float("inf")
-    batch_predictions = None
-    scalar_predictions = None
-    for __ in range(REPEATS):
-        t0 = perf_counter()
-        batch_predictions = online.predict_batch(probes)
-        best_batch = min(best_batch, (perf_counter() - t0) / PROBES)
-
-        t0 = perf_counter()
-        scalar_predictions = [online.predict(x) for x in probes]
-        best_scalar = min(best_scalar, (perf_counter() - t0) / PROBES)
-
-    # Sanity: the two paths agree bit-for-bit on this workload.
-    assert batch_predictions == scalar_predictions
-    return {"batch": best_batch, "scalar": best_scalar}
+from repro.bench.runners import (
+    PREDICT_HARD_LIMIT_US,
+    PREDICT_PROBES,
+    PREDICT_REPEATS,
+    PREDICT_TARGET_US,
+    PREDICT_WARMUP,
+    run_predict_throughput,
+)
 
 
 def test_predict_throughput(benchmark):
-    best = benchmark.pedantic(_measure, rounds=1, iterations=1)
-    batch_us = best["batch"] * 1e6
-    scalar_us = best["scalar"] * 1e6
-    speedup = scalar_us / batch_us if batch_us > 0.0 else float("inf")
+    envelope = benchmark.pedantic(
+        run_predict_throughput, rounds=1, iterations=1
+    )
+    metrics = envelope["metrics"]
+    batch_us = metrics["batch_us_per_instance"]["value"]
+    scalar_us = metrics["scalar_us_per_instance"]["value"]
+    speedup = metrics["speedup"]["value"]
     lines = [
         "Amortized predict throughput, batch primitive vs scalar loop",
-        f"(Q1, {WARMUP} warmup instances, {PROBES} probes, best of "
-        f"{REPEATS})",
+        f"(Q1, {PREDICT_WARMUP} warmup instances, {PREDICT_PROBES} "
+        f"probes, best of {PREDICT_REPEATS})",
         "",
         f"batch : {batch_us:8.2f} us/instance",
         f"scalar: {scalar_us:8.2f} us/instance",
         f"speedup: {speedup:.1f}x",
-        f"gate: target <= {TARGET_US:.0f} us (warn), "
-        f"hard fail > {HARD_LIMIT_US:.0f} us",
+        f"gate: target <= {PREDICT_TARGET_US:.0f} us (warn), "
+        f"hard fail > {PREDICT_HARD_LIMIT_US:.0f} us",
     ]
     write_result("predict_throughput", lines)
-    write_bench_json(
-        "predict",
-        {
-            "bench": "predict_throughput",
-            "workload": {
-                "template": "Q1",
-                "warmup": WARMUP,
-                "probes": PROBES,
-                "repeats": REPEATS,
-            },
-            "batch_us_per_instance": batch_us,
-            "scalar_us_per_instance": scalar_us,
-            "speedup": speedup,
-            "gate": {
-                "target_us": TARGET_US,
-                "hard_limit_us": HARD_LIMIT_US,
-            },
-        },
-    )
-    if batch_us > TARGET_US:
+    write_bench_json("predict", envelope)
+    if batch_us > PREDICT_TARGET_US:
         warnings.warn(
             f"batch predict amortized {batch_us:.1f} us/instance "
-            f"exceeds the {TARGET_US:.0f} us target",
+            f"exceeds the {PREDICT_TARGET_US:.0f} us target",
             stacklevel=1,
         )
     # Hard bar: 2x the target tolerates runner noise but still catches
     # a real regression back toward the scalar baseline.
-    assert batch_us <= HARD_LIMIT_US
+    assert batch_us <= PREDICT_HARD_LIMIT_US
+    assert envelope["gate"]["passed"]

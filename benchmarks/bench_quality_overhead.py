@@ -1,140 +1,51 @@
 """Quality-telemetry sampling overhead on the serving path.
 
-Three identically seeded frameworks run the same trajectory workload
-in lockstep on virtual clocks advancing one simulated second per
+Thin wrapper over :func:`repro.bench.runners.run_quality_overhead` —
+the same measurement core behind ``repro bench run``.  Three
+identically seeded frameworks run the same trajectory workload in
+lockstep on virtual clocks advancing one simulated second per
 instance: telemetry disabled, the shipped default (snapshot every 5
 simulated seconds, scorecard refresh every 12th snapshot), and an
 aggressive cadence (snapshot every second, scorecard every 4th).
 Telemetry is read-only over session state and consumes no RNG, so all
-three make bit-identical decisions and the comparison isolates pure
-sampling cost.
+three make bit-identical decisions (the runner asserts it) and the
+comparison isolates pure sampling cost.
 
 The acceptance bar: the shipped default must stay within 5 % of the
 untelemetered baseline on this storm-shaped workload — the ISSUE 5
 gate for leaving cache-quality telemetry always-on.
 """
 
-from time import perf_counter
-
 from _bench_utils import write_bench_json, write_result
-from repro.config import PPCConfig, TelemetryConfig
-from repro.core.framework import PPCFramework
-from repro.obs import names as metric_names
-from repro.resilience import VirtualClock
-from repro.tpch import plan_space_for
-from repro.workload import RandomTrajectoryWorkload
-
-WARMUP = 500
-PROBES = 1500
-REPEATS = 3
-ADVANCE = 1.0  # simulated seconds per instance
-
-MODES = (
-    ("off", TelemetryConfig(enabled=False)),
-    ("sampled", TelemetryConfig()),  # shipped default: 5 s / every 12th
-    ("aggressive", TelemetryConfig(sample_interval=1.0, quality_every=4)),
+from repro.bench.runners import (
+    OVERHEAD_PROBES,
+    OVERHEAD_REPEATS,
+    OVERHEAD_WARMUP,
+    QUALITY_ADVANCE,
+    QUALITY_MODES,
+    run_quality_overhead,
 )
 
 
-def _framework(telemetry: TelemetryConfig) -> "tuple[PPCFramework, VirtualClock]":
-    clock = VirtualClock()
-    config = PPCConfig(
-        confidence_threshold=0.8,
-        mean_invocation_probability=0.05,
-        drift_response=False,
-        telemetry=telemetry,
-    )
-    framework = PPCFramework(
-        config, seed=17, clock=clock, sleep=clock.sleep
-    )
-    framework.register(plan_space_for("Q1"))
-    return framework, clock
-
-
-def _measure_modes() -> "tuple[dict[str, float], dict[str, PPCFramework]]":
-    """Best-of-N per-instance seconds for each telemetry mode."""
-    rigs = {name: _framework(cfg) for name, cfg in MODES}
-    warm = RandomTrajectoryWorkload(2, spread=0.02, seed=5).generate(WARMUP)
-    for x in warm:
-        for framework, clock in rigs.values():
-            framework.execute("Q1", x)
-            clock.advance(ADVANCE)
-    probes = RandomTrajectoryWorkload(2, spread=0.02, seed=6).generate(
-        PROBES * REPEATS
-    )
-    best = dict.fromkeys(rigs, float("inf"))
-    for repeat in range(REPEATS):
-        batch = probes[repeat * PROBES : (repeat + 1) * PROBES]
-        for name, (framework, clock) in rigs.items():
-            t0 = perf_counter()
-            for x in batch:
-                framework.execute("Q1", x)
-                clock.advance(ADVANCE)
-            best[name] = min(best[name], (perf_counter() - t0) / PROBES)
-    # Sanity: telemetry actually sampled in the instrumented modes, and
-    # the decisions stayed bit-identical across all three.
-    assert rigs["off"][0].telemetry is None
-    assert rigs["sampled"][0].telemetry.sample_count > 0
-    assert rigs["aggressive"][0].telemetry.sample_count > (
-        rigs["sampled"][0].telemetry.sample_count
-    )
-    reference = [
-        (r.executed_plan, r.optimizer_invoked)
-        for r in rigs["off"][0].session("Q1").records
-    ]
-    for name, (framework, __) in rigs.items():
-        assert [
-            (r.executed_plan, r.optimizer_invoked)
-            for r in framework.session("Q1").records
-        ] == reference, f"mode {name} diverged"
-    return best, {name: rig[0] for name, rig in rigs.items()}
-
-
-def _predict_p95(framework: PPCFramework) -> float:
-    digest = framework.metrics.histogram_summary(
-        metric_names.STAGE_SECONDS, template="Q1", stage="predict"
-    )
-    return float(digest["p95"]) if digest else 0.0
-
-
 def test_quality_overhead(benchmark):
-    best, frameworks = benchmark.pedantic(
-        _measure_modes, rounds=1, iterations=1
+    envelope = benchmark.pedantic(
+        run_quality_overhead, rounds=1, iterations=1
     )
-    baseline = best["off"]
+    modes = envelope["details"]["modes"]
     lines = [
         "Quality-telemetry overhead on the serving path",
-        f"(Q1, {WARMUP} warmup + {REPEATS}x{PROBES} probes, "
-        f"{ADVANCE}s simulated per instance, best of {REPEATS})",
+        f"(Q1, {OVERHEAD_WARMUP} warmup + {OVERHEAD_REPEATS}x"
+        f"{OVERHEAD_PROBES} probes, {QUALITY_ADVANCE}s simulated per "
+        f"instance, best of {OVERHEAD_REPEATS})",
         "",
     ]
-    modes_payload = {}
-    for name, __ in MODES:
-        overhead = best[name] / baseline - 1.0
+    for name, __ in QUALITY_MODES:
         lines.append(
-            f"{name:10s}: {best[name] * 1e6:8.2f} us/instance  "
-            f"({overhead:+.1%} vs off)"
+            f"{name:10s}: {modes[name]['us_per_instance']:8.2f} "
+            f"us/instance  ({modes[name]['overhead_pct'] / 100.0:+.1%} "
+            "vs off)"
         )
-        modes_payload[name] = {
-            "us_per_instance": best[name] * 1e6,
-            "overhead_pct": overhead * 100.0,
-            "predict_p95_seconds": _predict_p95(frameworks[name]),
-        }
     write_result("quality_overhead", lines)
-    write_bench_json(
-        "quality",
-        {
-            "bench": "quality_overhead",
-            "workload": {
-                "template": "Q1",
-                "warmup": WARMUP,
-                "probes": PROBES,
-                "repeats": REPEATS,
-                "advance_seconds": ADVANCE,
-            },
-            "modes": modes_payload,
-            "gate": {"mode": "sampled", "max_overhead_pct": 5.0},
-        },
-    )
+    write_bench_json("quality", envelope)
     # The shipped default must be cheap enough to leave on.
-    assert best["sampled"] < 1.05 * baseline
+    assert envelope["metrics"]["sampled_overhead_pct"]["value"] < 5.0

@@ -1,33 +1,31 @@
 """Adversarial scenario matrix: every named scenario, every contract.
 
-Runs the fast tier of the whole scenario fleet (the same tier CI
-runs), asserts every robustness contract holds, and additionally pins
-the replay determinism property: a recorded trace of one scenario must
-re-run bit-identically.  The machine-readable matrix lands in
-``benchmarks/results/BENCH_scenarios.json`` so contract observations
-(detection latency, regret, fallback counts) can be diffed across PRs
-instead of eyeballed.
+Thin wrapper over :func:`repro.bench.runners.run_scenarios` — the same
+measurement core behind ``repro bench run`` and ``repro scenarios run
+--out``.  Runs the fast tier of the whole scenario fleet (the same
+tier CI runs), asserts every robustness contract holds, and
+additionally pins the replay determinism property: a recorded trace of
+one scenario must re-run bit-identically.  The schema-v2 matrix lands
+in ``benchmarks/results/BENCH_scenarios.json`` so contract
+observations (detection latency, regret, fallback counts) can be
+diffed across PRs instead of eyeballed.
 """
 
-import time
-
 from _bench_utils import write_bench_json, write_result
+from repro.bench.runners import run_scenarios
 from repro.workload.replay import record_trace, verify_trace
-from repro.workload.runner import run_matrix
 from repro.workload.scenarios import SCENARIO_NAMES, get_scenario
 
 
-def test_scenario_matrix(tmp_path):
-    t0 = time.perf_counter()
-    payload = run_matrix(SCENARIO_NAMES, fast=True)
-    elapsed = time.perf_counter() - t0
-
+def test_scenario_matrix():
+    envelope = run_scenarios()
+    elapsed = envelope["metrics"]["elapsed_seconds"]["value"]
     lines = [
         "Adversarial scenario fleet, fast tier "
         f"({len(SCENARIO_NAMES)} scenarios, {elapsed:.1f}s)",
         "",
     ]
-    for row in payload["scenarios"]:
+    for row in envelope["details"]["scenarios"]:
         status = "PASS" if row["passed"] else "FAIL"
         lines.append(
             f"{status} {row['scenario']:<22s} {row['instances']:>5d} "
@@ -41,16 +39,16 @@ def test_scenario_matrix(tmp_path):
                 f"{contract['observed']}"
             )
     write_result("scenarios", lines)
-    payload["elapsed_seconds"] = elapsed
-    write_bench_json("scenarios", payload)
+    write_bench_json("scenarios", envelope)
 
     failed = [
         f"{row['scenario']}: {contract['contract']}"
-        for row in payload["scenarios"]
+        for row in envelope["details"]["scenarios"]
         for contract in row["contracts"]
         if not contract["passed"]
     ]
     assert not failed, f"robustness contracts breached: {failed}"
+    assert envelope["metrics"]["contracts_failed"]["value"] == 0
 
 
 def test_replay_round_trip(tmp_path):

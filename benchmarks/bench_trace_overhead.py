@@ -1,119 +1,44 @@
 """Decision-tracing overhead on the predict/execute hot path.
 
-Three identically seeded sessions run the same trajectory workload
-with tracing disabled, at the default sampling policy (head + error
-bias — the shipped configuration), and fully traced (every execution
-records a complete span tree).  Sampling is deterministic and
-RNG-free, so the three sessions make bit-identical decisions and the
-comparison isolates pure tracing cost.
+Thin wrapper over :func:`repro.bench.runners.run_trace_overhead` — the
+same measurement core behind ``repro bench run``.  Three identically
+seeded sessions run the same trajectory workload with tracing
+disabled, at the default sampling policy (head + error bias — the
+shipped configuration), and fully traced (every execution records a
+complete span tree).  Sampling is deterministic and RNG-free, so the
+three sessions make bit-identical decisions and the comparison
+isolates pure tracing cost.
 
 The acceptance bar: the *sampled* default must stay within 10 % of the
 untraced baseline — the flight recorder is meant to be always-on.
 """
 
-from time import perf_counter
-
 from _bench_utils import write_bench_json, write_result
-from repro.config import PPCConfig, TraceConfig
-from repro.core.framework import TemplateSession
-from repro.obs import names as metric_names
-from repro.tpch import plan_space_for
-from repro.workload import RandomTrajectoryWorkload
-
-WARMUP = 500
-PROBES = 1500
-REPEATS = 3
-
-MODES = (
-    ("off", TraceConfig(enabled=False)),
-    ("sampled", TraceConfig()),  # shipped default: head + error bias
-    ("full", TraceConfig(interval=1, capacity=4096, error_capacity=512)),
+from repro.bench.runners import (
+    OVERHEAD_PROBES,
+    OVERHEAD_REPEATS,
+    OVERHEAD_WARMUP,
+    TRACE_MODES,
+    run_trace_overhead,
 )
 
 
-def _session(trace: TraceConfig) -> TemplateSession:
-    config = PPCConfig(
-        confidence_threshold=0.8,
-        mean_invocation_probability=0.05,
-        drift_response=False,
-        trace=trace,
-    )
-    return TemplateSession(plan_space_for("Q1"), config, seed=17)
-
-
-def _measure_modes() -> "tuple[dict[str, float], dict[str, TemplateSession]]":
-    """Best-of-N per-instance seconds for each tracing mode.
-
-    All sessions advance through the same instance stream in lockstep,
-    so repeat ``k`` times the same cache state in every mode and the
-    minimum over repeats is a like-for-like comparison.
-    """
-    sessions = {name: _session(cfg) for name, cfg in MODES}
-    warm = RandomTrajectoryWorkload(2, spread=0.02, seed=5).generate(WARMUP)
-    for x in warm:
-        for session in sessions.values():
-            session.execute(x)
-    probes = RandomTrajectoryWorkload(2, spread=0.02, seed=6).generate(
-        PROBES * REPEATS
-    )
-    best = dict.fromkeys(sessions, float("inf"))
-    for repeat in range(REPEATS):
-        batch = probes[repeat * PROBES : (repeat + 1) * PROBES]
-        for name, session in sessions.items():
-            t0 = perf_counter()
-            for x in batch:
-                session.execute(x)
-            best[name] = min(best[name], (perf_counter() - t0) / PROBES)
-    # Sanity: full mode actually recorded the probes it claims to time.
-    assert len(sessions["full"].tracer.traces()) > 0
-    assert len(sessions["off"].tracer.traces()) == 0
-    return best, sessions
-
-
-def _predict_p95(session: TemplateSession) -> float:
-    digest = session.metrics.histogram_summary(
-        metric_names.STAGE_SECONDS, template="Q1", stage="predict"
-    )
-    return float(digest["p95"]) if digest else 0.0
-
-
 def test_trace_overhead(benchmark):
-    best, sessions = benchmark.pedantic(
-        _measure_modes, rounds=1, iterations=1
-    )
-    baseline = best["off"]
+    envelope = benchmark.pedantic(run_trace_overhead, rounds=1, iterations=1)
+    modes = envelope["details"]["modes"]
     lines = [
         "Decision-tracing overhead on the predict/execute path",
-        f"(Q1, {WARMUP} warmup + {REPEATS}x{PROBES} probes, best of "
-        f"{REPEATS})",
+        f"(Q1, {OVERHEAD_WARMUP} warmup + {OVERHEAD_REPEATS}x"
+        f"{OVERHEAD_PROBES} probes, best of {OVERHEAD_REPEATS})",
         "",
     ]
-    modes_payload = {}
-    for name, __ in MODES:
-        overhead = best[name] / baseline - 1.0
+    for name, __ in TRACE_MODES:
         lines.append(
-            f"{name:8s}: {best[name] * 1e6:8.2f} us/instance  "
-            f"({overhead:+.1%} vs off)"
+            f"{name:8s}: {modes[name]['us_per_instance']:8.2f} "
+            f"us/instance  ({modes[name]['overhead_pct'] / 100.0:+.1%} "
+            "vs off)"
         )
-        modes_payload[name] = {
-            "us_per_instance": best[name] * 1e6,
-            "overhead_pct": overhead * 100.0,
-            "predict_p95_seconds": _predict_p95(sessions[name]),
-        }
     write_result("trace_overhead", lines)
-    write_bench_json(
-        "trace",
-        {
-            "bench": "trace_overhead",
-            "workload": {
-                "template": "Q1",
-                "warmup": WARMUP,
-                "probes": PROBES,
-                "repeats": REPEATS,
-            },
-            "modes": modes_payload,
-            "gate": {"mode": "sampled", "max_overhead_pct": 10.0},
-        },
-    )
+    write_bench_json("trace", envelope)
     # The shipped default must be cheap enough to leave on.
-    assert best["sampled"] < 1.10 * baseline
+    assert envelope["metrics"]["sampled_overhead_pct"]["value"] < 10.0

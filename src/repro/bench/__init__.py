@@ -1,0 +1,45 @@
+"""The unified benchmark harness behind ``repro bench``.
+
+Every benchmark the repo ships (the pytest benches under
+``benchmarks/`` and the CI gate) reports through one schema-v2
+envelope — metric name/unit/direction with per-metric tolerances, the
+workload's seeds and repeats, and an environment fingerprint
+(python/numpy/platform/commit) — so results from different machines
+and different PRs are comparable artifacts instead of ad-hoc JSON.
+
+* :mod:`repro.bench.schema` — the envelope constructor + validator;
+* :mod:`repro.bench.runners` — the measurement cores (shared by the
+  pytest benches and ``repro bench run``) and the bench registry;
+* :mod:`repro.bench.history` — the append-only run journal
+  (``benchmarks/results/history.jsonl``);
+* :mod:`repro.bench.compare` — MAD-based regression detection against
+  the committed baseline snapshots (``repro bench compare`` exits 1 on
+  any regression).
+"""
+
+from repro.bench.compare import compare_run, render_compare
+from repro.bench.history import append_run, load_history, metric_history
+from repro.bench.runners import BENCHES, SUITES, run_suite
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    env_fingerprint,
+    make_envelope,
+    metric,
+    validate_envelope,
+)
+
+__all__ = [
+    "BENCHES",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "append_run",
+    "compare_run",
+    "env_fingerprint",
+    "load_history",
+    "make_envelope",
+    "metric",
+    "metric_history",
+    "render_compare",
+    "run_suite",
+    "validate_envelope",
+]

@@ -1,0 +1,186 @@
+"""MAD-based regression detection against the committed baselines.
+
+For every metric of every bench that both the fresh run and the
+committed ``BENCH_*.json`` baseline report, the allowed worsening is::
+
+    allowance = max(tolerance_abs,
+                    |baseline| * tolerance_pct / 100,
+                    mad_k * 1.4826 * MAD(history values))
+
+The tolerances come from the *baseline* envelope (they were reviewed
+and committed with it); the MAD term widens the bar by the measured
+run-over-run noise of that metric in ``history.jsonl`` — the robust
+analogue of "3 sigma", immune to the occasional outlier run that would
+inflate a standard deviation.  With fewer than ``MIN_HISTORY`` journal
+points the MAD term is skipped (a 2-point MAD is noise about noise).
+
+A metric regresses when it worsens past the allowance in its declared
+direction; it can also be reported ``improved`` (better by more than
+the allowance) or ``missing`` (the fresh run dropped a baseline
+metric — treated as a failure, silent metric loss is how gates rot).
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Any
+
+from repro.bench.history import metric_history
+
+__all__ = [
+    "DEFAULT_MAD_K",
+    "MIN_HISTORY",
+    "compare_run",
+    "render_compare",
+]
+
+#: How many robust standard deviations of journal noise to allow.
+DEFAULT_MAD_K = 3.0
+
+#: Journal points needed before the MAD term participates.
+MIN_HISTORY = 4
+
+#: Scale factor turning a MAD into a normal-consistent sigma estimate.
+_MAD_SIGMA = 1.4826
+
+
+def _noise_allowance(values: list[float], mad_k: float) -> float:
+    if len(values) < MIN_HISTORY:
+        return 0.0
+    center = median(values)
+    mad = median(abs(v - center) for v in values)
+    return mad_k * _MAD_SIGMA * mad
+
+
+def _compare_metric(
+    bench: str,
+    name: str,
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    history_values: list[float],
+    mad_k: float,
+) -> dict[str, Any]:
+    baseline_value = float(baseline["value"])
+    current_value = float(current["value"])
+    allowance = max(
+        float(baseline.get("tolerance_abs", 0.0)),
+        abs(baseline_value) * float(baseline.get("tolerance_pct", 0.0)) / 100.0,
+        _noise_allowance(history_values, mad_k),
+    )
+    direction = baseline.get("direction", "lower")
+    delta = current_value - baseline_value
+    worsening = delta if direction == "lower" else -delta
+    if worsening > allowance:
+        status = "regression"
+    elif worsening < -allowance:
+        status = "improved"
+    else:
+        status = "ok"
+    return {
+        "bench": bench,
+        "metric": name,
+        "status": status,
+        "current": current_value,
+        "baseline": baseline_value,
+        "unit": baseline.get("unit", ""),
+        "direction": direction,
+        "allowance": allowance,
+        "history_points": len(history_values),
+    }
+
+
+def compare_run(
+    current: dict[str, dict[str, Any]],
+    baselines: dict[str, dict[str, Any]],
+    history_entries: "list[dict[str, Any]] | None" = None,
+    current_run_id: "int | None" = None,
+    mad_k: float = DEFAULT_MAD_K,
+) -> dict[str, Any]:
+    """Judge a fresh run's envelopes against the committed baselines.
+
+    ``current`` and ``baselines`` map bench name → envelope; benches
+    present on only one side are skipped (a new bench has no baseline
+    yet; compare gates only what is pinned).  ``history_entries`` is
+    the loaded journal (the fresh run itself is excluded via
+    ``current_run_id`` so it cannot vote on its own allowance).
+    """
+    history_entries = history_entries if history_entries is not None else []
+    verdicts: list[dict[str, Any]] = []
+    for bench in sorted(set(current) & set(baselines)):
+        baseline_metrics = baselines[bench].get("metrics", {})
+        current_metrics = current[bench].get("metrics", {})
+        for name, baseline_metric in sorted(baseline_metrics.items()):
+            current_metric = current_metrics.get(name)
+            if current_metric is None:
+                verdicts.append(
+                    {
+                        "bench": bench,
+                        "metric": name,
+                        "status": "missing",
+                        "current": None,
+                        "baseline": float(baseline_metric["value"]),
+                        "unit": baseline_metric.get("unit", ""),
+                        "direction": baseline_metric.get("direction", "lower"),
+                        "allowance": 0.0,
+                        "history_points": 0,
+                    }
+                )
+                continue
+            values = metric_history(
+                history_entries, bench, name, exclude_run=current_run_id
+            )
+            verdicts.append(
+                _compare_metric(
+                    bench,
+                    name,
+                    current_metric,
+                    baseline_metric,
+                    values,
+                    mad_k,
+                )
+            )
+    failures = [v for v in verdicts if v["status"] in ("regression", "missing")]
+    return {
+        "verdicts": verdicts,
+        "benches_compared": sorted(set(current) & set(baselines)),
+        "benches_skipped": sorted(set(current) ^ set(baselines)),
+        "failures": failures,
+        "passed": not failures,
+    }
+
+
+_STATUS_MARK = {
+    "ok": "ok  ",
+    "improved": "ok +",
+    "regression": "FAIL",
+    "missing": "FAIL",
+}
+
+
+def render_compare(report: dict[str, Any]) -> str:
+    """Human-readable verdict table for ``repro bench compare``."""
+    lines = [
+        f"{'':4s} {'bench':<20s} {'metric':<28s} {'current':>12s} "
+        f"{'baseline':>12s} {'allowed +/-':>12s}"
+    ]
+    for verdict in report["verdicts"]:
+        current = verdict["current"]
+        current_text = "missing" if current is None else f"{current:.4g}"
+        lines.append(
+            f"{_STATUS_MARK[verdict['status']]} {verdict['bench']:<20s} "
+            f"{verdict['metric']:<28s} {current_text:>12s} "
+            f"{verdict['baseline']:>12.4g} {verdict['allowance']:>12.4g}"
+            + (f" {verdict['unit']}" if verdict["unit"] else "")
+        )
+    if report["benches_skipped"]:
+        lines.append(
+            "skipped (no counterpart): " + ", ".join(report["benches_skipped"])
+        )
+    if report["passed"]:
+        lines.append("PASS: no metric regressed past its allowance")
+    else:
+        names = ", ".join(
+            f"{v['bench']}.{v['metric']}" for v in report["failures"]
+        )
+        lines.append(f"REGRESSION: {names}")
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Schema v2 of the committed benchmark snapshots (``BENCH_*.json``).
+
+Version 1 was whatever dict each bench happened to dump; nothing could
+be compared mechanically.  Version 2 is a uniform envelope::
+
+    {
+      "schema_version": 2,
+      "bench": "predict_throughput",
+      "env":  {"python": ..., "numpy": ..., "platform": ...,
+               "machine": ..., "commit": ..., "version": ...},
+      "workload": {..., "seeds": {...}},          # what ran
+      "metrics": {
+        "batch_us_per_instance": {
+          "value": 15.9, "unit": "us/instance",
+          "direction": "lower",                   # which way is better
+          "tolerance_pct": 100.0                  # and/or tolerance_abs
+        }, ...
+      },
+      "gate": {...},                              # the bench's own bar
+      "details": {...}                            # free-form extras
+    }
+
+The per-metric ``direction`` + tolerance travel *with the committed
+baseline*, so ``repro bench compare`` needs no out-of-band config: a
+fresh run regresses exactly when a metric worsens past the baseline's
+declared allowance (widened by measured noise — see
+:mod:`repro.bench.compare`).
+
+:func:`validate_envelope` collects every problem and raises one
+:class:`~repro.exceptions.BenchError`; the committed snapshots are
+validated in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import platform as _platform
+from typing import Any
+
+import numpy as np
+
+from repro.buildinfo import VERSION, commit_id
+from repro.exceptions import BenchError
+
+__all__ = [
+    "DIRECTIONS",
+    "SCHEMA_VERSION",
+    "env_fingerprint",
+    "load_envelope",
+    "make_envelope",
+    "metric",
+    "validate_envelope",
+]
+
+SCHEMA_VERSION = 2
+
+#: Which way a metric improves.
+DIRECTIONS = ("lower", "higher")
+
+_ENV_KEYS = ("python", "numpy", "platform", "machine", "commit", "version")
+
+
+def env_fingerprint() -> dict[str, str]:
+    """Where this measurement ran: interpreter, numpy, OS, commit."""
+    return {
+        "python": _platform.python_version(),
+        "numpy": np.__version__,
+        "platform": _platform.platform(),
+        "machine": _platform.machine(),
+        "commit": commit_id(),
+        "version": VERSION,
+    }
+
+
+def metric(
+    value: float,
+    unit: str,
+    direction: str = "lower",
+    tolerance_pct: "float | None" = None,
+    tolerance_abs: "float | None" = None,
+) -> dict[str, Any]:
+    """One envelope metric entry.
+
+    ``tolerance_pct`` is relative to the committed baseline value (the
+    right shape for throughput numbers on noisy shared runners);
+    ``tolerance_abs`` is in the metric's own unit (the right shape for
+    overhead percentages, which hover near zero).  At least one must be
+    given — a metric without a declared allowance cannot be gated.
+    """
+    if direction not in DIRECTIONS:
+        raise BenchError(f"metric direction must be one of {DIRECTIONS}")
+    if tolerance_pct is None and tolerance_abs is None:
+        raise BenchError("metric needs tolerance_pct and/or tolerance_abs")
+    entry: dict[str, Any] = {
+        "value": float(value),
+        "unit": unit,
+        "direction": direction,
+    }
+    if tolerance_pct is not None:
+        entry["tolerance_pct"] = float(tolerance_pct)
+    if tolerance_abs is not None:
+        entry["tolerance_abs"] = float(tolerance_abs)
+    return entry
+
+
+def make_envelope(
+    bench: str,
+    metrics: dict[str, dict[str, Any]],
+    workload: "dict[str, Any] | None" = None,
+    gate: "dict[str, Any] | None" = None,
+    details: "dict[str, Any] | None" = None,
+) -> dict[str, Any]:
+    """Assemble and validate one schema-v2 envelope."""
+    envelope: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "env": env_fingerprint(),
+        "workload": workload if workload is not None else {},
+        "metrics": metrics,
+    }
+    if gate is not None:
+        envelope["gate"] = gate
+    if details is not None:
+        envelope["details"] = details
+    validate_envelope(envelope)
+    return envelope
+
+
+def _check_metric(name: str, entry: Any, problems: list[str]) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"metric {name!r} is not an object")
+        return
+    value = entry.get("value")
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(value)
+    ):
+        problems.append(f"metric {name!r} value must be a finite number")
+    if not isinstance(entry.get("unit"), str) or not entry["unit"]:
+        problems.append(f"metric {name!r} needs a non-empty unit")
+    if entry.get("direction") not in DIRECTIONS:
+        problems.append(
+            f"metric {name!r} direction must be one of {DIRECTIONS}"
+        )
+    tolerances = 0
+    for key in ("tolerance_pct", "tolerance_abs"):
+        if key not in entry:
+            continue
+        tolerance = entry[key]
+        if (
+            isinstance(tolerance, bool)
+            or not isinstance(tolerance, (int, float))
+            or not math.isfinite(tolerance)
+            or tolerance < 0
+        ):
+            problems.append(f"metric {name!r} {key} must be a number >= 0")
+        else:
+            tolerances += 1
+    if not tolerances:
+        problems.append(
+            f"metric {name!r} needs tolerance_pct and/or tolerance_abs"
+        )
+
+
+def validate_envelope(payload: Any) -> None:
+    """Raise :class:`BenchError` listing every schema violation."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        raise BenchError("envelope is not a JSON object")
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {payload.get('schema_version')!r}"
+        )
+    if not isinstance(payload.get("bench"), str) or not payload["bench"]:
+        problems.append("bench must be a non-empty string")
+    env = payload.get("env")
+    if not isinstance(env, dict):
+        problems.append("env fingerprint missing")
+    else:
+        for key in _ENV_KEYS:
+            if not isinstance(env.get(key), str) or not env[key]:
+                problems.append(f"env.{key} must be a non-empty string")
+    if not isinstance(payload.get("workload"), dict):
+        problems.append("workload must be an object")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append("metrics must be a non-empty object")
+    else:
+        for name, entry in metrics.items():
+            _check_metric(name, entry, problems)
+    for optional in ("gate", "details"):
+        if optional in payload and not isinstance(payload[optional], dict):
+            problems.append(f"{optional} must be an object")
+    if problems:
+        raise BenchError(
+            f"invalid bench envelope ({len(problems)} problem(s)): "
+            + "; ".join(problems)
+        )
+
+
+def load_envelope(path: "str | pathlib.Path") -> dict[str, Any]:
+    """Read + validate a committed ``BENCH_*.json`` snapshot."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise BenchError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"baseline {path} is not JSON: {exc}") from exc
+    validate_envelope(payload)
+    return payload

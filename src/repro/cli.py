@@ -45,6 +45,20 @@ Small utilities for poking at the reproduction without writing code:
   a scenario's full event stream + decision sequence, re-run it from
   scratch, and verify the replayed decisions are bit-identical
   (exit 1 on any divergence);
+* ``profile Q1 --instances 400`` — hot-path stage profiler: run a
+  seeded workload with the deterministic in-process profiler enabled
+  and print the per-stage call/cumulative/self-time tree (normalize →
+  predict → decide → optimize/execute → feedback, plus the
+  predictor-internal stages on traced instances);
+  ``--collapsed-out stacks.json`` writes collapsed stacks for
+  flamegraph tooling;
+* ``plan-profile Q1`` — structural profile of a template's plan space
+  (plan-area fractions, region counts);
+* ``bench run --suite ci`` / ``bench compare`` / ``bench history`` —
+  the unified benchmark harness: run the registered benches, journal
+  schema-v2 envelopes to ``benchmarks/results/history.jsonl``, and
+  gate the latest run against the committed ``BENCH_*.json`` baselines
+  with MAD-widened per-metric tolerances (exit 1 on any regression);
 * ``lint`` — the AST-based invariant linter (per-file rules
   RPR001-RPR009: determinism, clock, metrics, persistence, span
   discipline; with ``--effects`` the whole-program rules
@@ -887,7 +901,9 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     """Adversarial scenario fleet: list the fleet or run contracts."""
     import json
     import pathlib
+    from time import perf_counter
 
+    from repro.bench.runners import scenarios_envelope
     from repro.core.persistence import atomic_write_text
     from repro.workload.replay import record_trace
     from repro.workload.runner import ScenarioRunner
@@ -920,6 +936,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     if record_dir is not None:
         record_dir.mkdir(parents=True, exist_ok=True)
     rows = []
+    started = perf_counter()
     for name, scenario in zip(names, scenarios, strict=True):
         if record_dir is not None:
             result = record_trace(
@@ -933,6 +950,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         row = runner.summarize(result)
         rows.append(row)
         _print_scenario_row(row)
+    elapsed = perf_counter() - started
     payload = {
         "tier": "fast" if args.fast else "full",
         "batch_size": args.batch_size,
@@ -940,7 +958,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         "passed": all(row["passed"] for row in rows),
     }
     if args.out:
-        atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
+        envelope = scenarios_envelope(payload, elapsed)
+        atomic_write_text(args.out, json.dumps(envelope, indent=2, sort_keys=True) + "\n")
         print(f"wrote scenario matrix to {args.out}")
     return 0 if payload["passed"] else 1
 
@@ -1038,7 +1057,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return _cmd_lint_args(args.lint_args)
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
+def _cmd_plan_profile(args: argparse.Namespace) -> int:
     from repro.optimizer.diagnostics import profile_plan_space
 
     space = plan_space_for(args.template)
@@ -1049,6 +1068,143 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     ranked = sorted(profile.area_fractions.items(), key=lambda kv: -kv[1])
     for plan, fraction in ranked:
         print(f"P{plan:<4d} {fraction:7.1%}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Hot-path stage profiler: run a workload, print the stage tree."""
+    import json
+
+    from repro.config import ProfileConfig, TraceConfig
+    from repro.core.persistence import atomic_write_text
+    from repro.obs.profiling import render_profile
+
+    config = PPCConfig(
+        confidence_threshold=args.gamma,
+        profiling=ProfileConfig(enabled=True, interval=args.every),
+        # interval=1 traces every instance, so the predictor-internal
+        # stages (transform/aggregate/noise_elimination/confidence)
+        # appear in the profile; raise --deep-every to sample them.
+        trace=TraceConfig(interval=args.deep_every),
+    )
+    framework = PPCFramework(config, seed=args.seed)
+    for offset, template in enumerate(dict.fromkeys(args.templates)):
+        space = plan_space_for(template)
+        framework.register(space)
+        workload = RandomTrajectoryWorkload(
+            space.dimensions, spread=args.spread, seed=args.seed + offset
+        ).generate(args.instances)
+        for point in workload:
+            framework.execute(template, point)
+    report = framework.profile_report()
+    print(render_profile(report))
+    if args.collapsed_out:
+        payload = {
+            "unit": "microseconds",
+            "stacks": framework.profiler.collapsed(),
+        }
+        atomic_write_text(
+            args.collapsed_out,
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+        print(f"wrote collapsed stacks to {args.collapsed_out}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Unified bench harness: run suites, gate on committed baselines."""
+    import pathlib
+
+    from repro.bench import (
+        SUITES,
+        compare_run,
+        load_history,
+        metric_history,
+        render_compare,
+        run_suite,
+    )
+    from repro.bench.history import latest_run
+    from repro.bench.runners import load_baselines
+    from repro.exceptions import BenchError
+
+    results_dir = pathlib.Path(args.results_dir)
+    history_path = (
+        pathlib.Path(args.history)
+        if args.history
+        else results_dir / "history.jsonl"
+    )
+
+    if args.action == "run":
+        names = list(args.names) if args.names else list(SUITES[args.suite])
+        try:
+            outcome = run_suite(
+                names,
+                results_dir,
+                history_path=history_path,
+                refresh_baselines=args.refresh_baselines,
+                suite_label=args.suite,
+                log=print,
+            )
+        except BenchError as exc:
+            print(f"bench run failed: {exc}", file=sys.stderr)
+            return 1
+        failed = [
+            name
+            for name, envelope in outcome["envelopes"].items()
+            if envelope.get("gate", {}).get("passed") is False
+        ]
+        if failed:
+            print(
+                "bench gate failed: " + ", ".join(sorted(failed)),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.action == "compare":
+        entries = load_history(history_path)
+        try:
+            run_id, current = latest_run(entries)
+            baselines = load_baselines(results_dir, sorted(current))
+        except BenchError as exc:
+            print(f"bench compare failed: {exc}", file=sys.stderr)
+            return 1
+        report = compare_run(
+            current,
+            baselines,
+            history_entries=entries,
+            current_run_id=run_id,
+        )
+        print(
+            f"comparing journal run {run_id} against the committed "
+            f"baselines in {results_dir}"
+        )
+        print(render_compare(report))
+        return 0 if report["passed"] else 1
+
+    # history: print each metric's run-over-run trajectory.
+    entries = load_history(history_path)
+    if not entries:
+        print(f"no bench history at {history_path}")
+        return 0
+    benches = sorted(
+        {str(entry["bench"]) for entry in entries if "bench" in entry}
+    )
+    if args.names:
+        benches = [name for name in benches if name in set(args.names)]
+    for bench in benches:
+        metric_names = sorted(
+            {
+                name
+                for entry in entries
+                if entry.get("bench") == bench
+                for name in entry["envelope"].get("metrics", {})
+            }
+        )
+        for name in metric_names:
+            values = metric_history(entries, bench, name)
+            trajectory = " -> ".join(f"{value:.4g}" for value in values)
+            print(f"{bench}.{name:<28s} {trajectory}")
     return 0
 
 
@@ -1297,11 +1453,70 @@ def build_parser() -> argparse.ArgumentParser:
     replay.set_defaults(handler=_cmd_replay)
 
     profile = commands.add_parser(
-        "profile", help="structural profile of a template's plan space"
+        "profile",
+        help="hot-path stage profiler: per-stage self/cumulative time "
+        "over a seeded workload (text tree + collapsed stacks)",
     )
-    profile.add_argument("template", choices=list(TEMPLATE_NAMES))
-    profile.add_argument("--samples", type=int, default=3000)
+    profile.add_argument(
+        "templates", choices=list(TEMPLATE_NAMES), nargs="+"
+    )
+    profile.add_argument("--instances", type=int, default=400)
+    profile.add_argument("--spread", type=float, default=0.02)
+    profile.add_argument("--gamma", type=float, default=0.8)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--every", type=int, default=1,
+        help="profile every Nth execution per template",
+    )
+    profile.add_argument(
+        "--deep-every", type=int, default=1,
+        help="trace-sampling interval feeding the predictor-internal "
+        "stages (1 = every instance carries the deep spans)",
+    )
+    profile.add_argument(
+        "--collapsed-out", default=None,
+        help="write collapsed-stack JSON (flamegraph input) here",
+    )
     profile.set_defaults(handler=_cmd_profile)
+
+    plan_profile = commands.add_parser(
+        "plan-profile",
+        help="structural profile of a template's plan space",
+    )
+    plan_profile.add_argument("template", choices=list(TEMPLATE_NAMES))
+    plan_profile.add_argument("--samples", type=int, default=3000)
+    plan_profile.set_defaults(handler=_cmd_plan_profile)
+
+    bench = commands.add_parser(
+        "bench",
+        help="unified bench harness: run suites into the history "
+        "journal, compare the latest run against the committed "
+        "baselines (exit 1 on regression), print metric trajectories",
+    )
+    bench.add_argument("action", choices=("run", "compare", "history"))
+    bench.add_argument(
+        "names", nargs="*",
+        help="bench names (run: override the suite; history: filter)",
+    )
+    bench.add_argument("--suite", choices=("ci", "full"), default="ci")
+    bench.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="where the committed BENCH_*.json baselines live",
+    )
+    bench.add_argument(
+        "--history", default=None,
+        help="history journal path "
+        "(default: <results-dir>/history.jsonl)",
+    )
+    bench.add_argument(
+        "--refresh-baselines", action="store_true",
+        help="rewrite the committed baseline snapshots from this run",
+    )
+    bench.add_argument(
+        "--against", choices=("committed",), default="committed",
+        help="what compare judges the latest journal run against",
+    )
+    bench.set_defaults(handler=_cmd_bench)
 
     experiment = commands.add_parser(
         "experiment", help="run one paper experiment at reduced scale"

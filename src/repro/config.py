@@ -87,6 +87,30 @@ class TraceConfig:
             raise ConfigurationError("trace capacities must be >= 1")
 
 
+@dataclass(frozen=True)
+class ProfileConfig:
+    """Stage-profiler knobs (see :mod:`repro.obs.profiling`).
+
+    Disabled (the default) the profiler does not exist: the tracer owns
+    no profiler object and unsampled executions keep returning the
+    shared ``NOOP_TRACE`` singleton — the hot path is bit-identical to
+    a build without the feature.  Enabled, every ``interval``-th
+    execution per template is timed stage-by-stage on the existing span
+    seam; sampling is deterministic (a per-template counter, no RNG),
+    so profiled runs make the same decisions as unprofiled ones.
+    """
+
+    enabled: bool = False
+    interval: int = 1
+    max_paths: int = 256
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ConfigurationError("profile interval must be >= 1")
+        if self.max_paths < 8:
+            raise ConfigurationError("profile max_paths must be >= 8")
+
+
 #: Signals an SLO can be defined over (``signal`` field of
 #: :class:`SLODefinition`).
 SLO_SIGNALS = ("hit_rate", "predict_p95", "regret")
@@ -230,6 +254,9 @@ class PPCConfig:
     #: Windowed telemetry (time-series sampling, plan-space scorecards,
     #: SLO burn rates); sampling runs on the injected clock only.
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    #: Hot-path stage profiler (self/cumulative time per decision
+    #: stage); off by default — enabling it never changes a decision.
+    profiling: ProfileConfig = field(default_factory=ProfileConfig)
 
     def __post_init__(self) -> None:
         if self.transforms < 1:

@@ -49,6 +49,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.buildinfo import VERSION, commit_id
 from repro.config import PPCConfig
 from repro.core.cache import PlanCache
 from repro.core.monitor import PerformanceMonitor
@@ -58,6 +59,7 @@ from repro.exceptions import PredictionError, ResilienceError
 from repro.metrics.classification import PrecisionRecall, summarize
 from repro.metrics.classification import PredictionOutcome
 from repro.obs import MetricsRegistry, names as metric_names
+from repro.obs.profiling import StageProfiler
 from repro.obs.quality import export_quality_gauges
 from repro.obs.slo import SLOEngine
 from repro.obs.timeseries import TimeSeriesStore
@@ -124,6 +126,7 @@ class TemplateSession:
         fault_injector: "FaultInjector | None" = None,
         clock: "Callable[[], float] | None" = None,
         sleep: "Callable[[float], None] | None" = None,
+        profiler: "StageProfiler | None" = None,
     ) -> None:
         self.plan_space = plan_space
         self.config = config or PPCConfig()
@@ -180,8 +183,14 @@ class TemplateSession:
             seed=seed,
         )
         self.online.predictor.bind_metrics(self.metrics, template=template)
+        if profiler is None and self.config.profiling.enabled:
+            profiler = StageProfiler(self.config.profiling)
+        self.profiler = profiler
         self.tracer = DecisionTracer(
-            template, config=self.config.trace, metrics=self.metrics
+            template,
+            config=self.config.trace,
+            metrics=self.metrics,
+            profiler=self.profiler,
         )
         self.optimizer_invocations = 0
         self.drift_events = 0
@@ -815,6 +824,20 @@ class PPCFramework:
         else:
             self._seed_root = np.random.SeedSequence(seed)
         self.sessions: dict[str, TemplateSession] = {}
+        # One shared stage profiler, so report()/collapsed() aggregate
+        # across every template of the deployment.  Disabled → None:
+        # the tracer seam stays exactly as it was without the feature.
+        self.profiler: "StageProfiler | None" = (
+            StageProfiler(self.config.profiling)
+            if self.config.profiling.enabled
+            else None
+        )
+        # Build identity: constant 1-valued gauge carrying version and
+        # commit labels, so every scrape (and every merged fleet
+        # registry) says exactly what code produced it.
+        self.metrics.gauge(
+            metric_names.BUILD_INFO, version=VERSION, commit=commit_id()
+        ).set(1.0)
         self.governor = None
         if memory_budget_bytes is not None:
             from repro.core.governor import MemoryGovernor
@@ -859,6 +882,7 @@ class PPCFramework:
             fault_injector=self.fault_injector,
             clock=self._clock,
             sleep=self._sleep,
+            profiler=self.profiler,
         )
         self.sessions[plan_space.template.name] = session
         if self.governor is not None:
@@ -943,6 +967,12 @@ class PPCFramework:
             )
             for name, session in self.sessions.items()
         }
+
+    def profile_report(self) -> "dict | None":
+        """Aggregated stage-profiler report, or ``None`` when disabled."""
+        if self.profiler is None:
+            return None
+        return self.profiler.report()
 
     @property
     def clock_source(self) -> str:

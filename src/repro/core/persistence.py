@@ -315,6 +315,27 @@ def atomic_write_text(
     return path
 
 
+def append_text(path: "str | pathlib.Path", text: str) -> pathlib.Path:
+    """Durably append ``text`` to ``path`` (creating it if missing).
+
+    The journal-file primitive behind ``benchmarks/results/history.jsonl``:
+    an append is flushed and fsynced before returning, so a crash can
+    lose at most the line being written — never corrupt earlier lines.
+    Appends are not atomic the way :func:`atomic_write_text` renames
+    are; callers writing JSONL keep each record on one line so a torn
+    tail is detectable (and skippable) on read.
+    """
+    path = pathlib.Path(path)
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        raise PersistenceError(f"failed to append to {path}: {exc}") from exc
+    return path
+
+
 def save_predictor(
     predictor: HistogramPredictor,
     path: "str | pathlib.Path",

@@ -46,3 +46,9 @@ class ResilienceError(ReproError):
     """The degraded-mode machinery itself failed: the optimizer is
     unavailable (circuit open or retries exhausted) and no fallback
     plan exists, or a fault-injection harness raised deliberately."""
+
+
+class BenchError(ReproError):
+    """A benchmark envelope, baseline, or history record is malformed —
+    the bench harness refuses to compare apples to unparseable oranges
+    rather than report a spurious pass."""

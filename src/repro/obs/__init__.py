@@ -15,6 +15,10 @@ A dependency-free metrics layer sized for a hot path:
   bounded, error-biased per-template flight recorder
   (:class:`~repro.obs.tracing.DecisionTracer`), behind deterministic
   sampling so the unsampled hot path stays allocation-free;
+* :mod:`repro.obs.profiling` — the deterministic stage profiler riding
+  the span seam (:class:`~repro.obs.profiling.StageProfiler`):
+  per-template self/cumulative stage times, text tree and
+  collapsed-stack output for ``repro profile``;
 * :mod:`repro.obs.audit` — the misprediction regret audit that joins
   recorded traces against optimizer ground truth and blames the
   pipeline stage that caused each suboptimal decision;
@@ -42,6 +46,7 @@ from repro.obs.registry import (
     LatencyHistogram,
     MetricsRegistry,
 )
+from repro.obs.profiling import ProfileTrace, StageProfiler, render_profile
 from repro.obs.timing import time_block, timed
 from repro.obs.tracing import (
     NOOP_TRACE,
@@ -71,15 +76,18 @@ __all__ = [
     "Gauge",
     "LatencyHistogram",
     "MetricsRegistry",
+    "ProfileTrace",
     "RingSeries",
     "SLOEngine",
     "Span",
+    "StageProfiler",
     "TimeSeriesStore",
     "attribute_stage",
     "compute_scorecard",
     "evaluate_slo",
     "names",
     "regret_audit",
+    "render_profile",
     "render_prometheus",
     "render_report_html",
     "render_report_json",

@@ -154,6 +154,11 @@ SLO_STATE = "ppc_slo_state"
 #: exactly at the objective.
 SLO_BURN_RATE = "ppc_slo_burn_rate"
 
+#: Build identity of the serving process (labels: version, commit) —
+#: gauge, always 1; join on it to know exactly what code produced any
+#: other series.
+BUILD_INFO = "ppc_build_info"
+
 #: The decision-flow stages timed inside ``TemplateSession.execute``.
 STAGES = ("predict", "optimize", "execute", "feedback")
 
@@ -198,6 +203,11 @@ class MetricSpec(NamedTuple):
 #: lines here; :func:`help_text` and the names test keep this inventory
 #: in lockstep with the module-level constants above.
 INVENTORY: "tuple[MetricSpec, ...]" = (
+    MetricSpec(
+        BUILD_INFO,
+        "gauge",
+        "Build identity of the serving process (version/commit labels)",
+    ),
     MetricSpec(
         STAGE_SECONDS,
         "histogram",

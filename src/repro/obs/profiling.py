@@ -1,0 +1,313 @@
+"""Deterministic in-process stage profiler for the decision hot path.
+
+Rides the span seam of :mod:`repro.obs.tracing`: every stage the
+framework already brackets with ``trace.span(...)`` — normalize →
+density lookup (per-transform) → vote aggregation → noise elimination →
+confidence → decide → execute → feedback → drift — is timed into
+per-template accumulators keyed by the full stage *path*, so both
+cumulative and self time fall out (self = cumulative minus the direct
+children's cumulative).
+
+Three properties are load-bearing:
+
+* **Decisions never change.**  Profiling consumes no RNG and never
+  flips ``trace.active`` — a profiled-but-unsampled execution gets a
+  :class:`ProfileTrace` whose ``active`` stays ``False``, so attribute
+  computation stays skipped and ``execute_batch`` keeps its precomputed
+  vectorized predictions.  The lockstep parity test in
+  ``tests/obs/test_profiling.py`` pins this bit-for-bit.
+* **O(1) when disabled.**  With ``ProfileConfig.enabled`` false the
+  tracer owns no profiler object at all; unsampled executions return
+  the shared ``NOOP_TRACE`` singleton exactly as before.
+* **Deterministic sampling, injected clock.**  Every ``interval``-th
+  execution per template is profiled (a plain counter, no RNG), and the
+  clock is injectable — tests drive a fake clock and assert exact
+  stage times; production defaults to ``perf_counter``.
+
+Rendering: :meth:`StageProfiler.report` returns the aggregate,
+:func:`render_profile` draws the text stage tree, and
+:meth:`StageProfiler.collapsed` emits ``template;stage;...`` →
+self-microseconds stacks in the collapsed format flamegraph tools eat.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any
+
+from repro.config import ProfileConfig
+
+__all__ = [
+    "ProfileFrame",
+    "ProfileTrace",
+    "StageProfiler",
+    "render_profile",
+]
+
+#: Name of the implicit root stage wrapping one whole execution (the
+#: same name ``DecisionTrace`` gives its root span).
+ROOT_STAGE = "decision"
+
+
+class _PathStat:
+    """Accumulator for one stage path: call count + cumulative time."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+
+
+class _SilentSpan:
+    """Attribute sink yielded by :meth:`ProfileTrace.span`."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> "_SilentSpan":
+        return self
+
+
+_SILENT_SPAN = _SilentSpan()
+
+
+class ProfileFrame:
+    """One execution's stage walls, folded into the profiler at the end.
+
+    The frame keeps a stack of ``(stage name, start time)`` mirroring
+    the open spans; ``exit`` records ``(full path, duration)`` locally
+    and :meth:`complete` folds the whole execution into the owning
+    :class:`StageProfiler` in one pass — so a raised execution (whose
+    spans are closed by ``DecisionTrace.finish``) still lands.
+    """
+
+    __slots__ = ("_clock", "_entries", "_path", "_profiler", "_starts", "_template")
+
+    def __init__(
+        self,
+        profiler: "StageProfiler",
+        template: str,
+        clock: Callable[[], float],
+    ) -> None:
+        self._profiler = profiler
+        self._template = template
+        self._clock = clock
+        self._path: list[str] = [ROOT_STAGE]
+        self._starts: list[float] = [clock()]
+        self._entries: list[tuple[tuple[str, ...], float]] = []
+
+    def enter(self, name: str) -> None:
+        self._path.append(name)
+        self._starts.append(self._clock())
+
+    def exit(self) -> None:
+        if len(self._starts) <= 1:
+            return
+        start = self._starts.pop()
+        path = tuple(self._path)
+        self._path.pop()
+        self._entries.append((path, self._clock() - start))
+
+    def complete(self) -> None:
+        """Close anything still open, time the root, fold the frame."""
+        while len(self._starts) > 1:
+            self.exit()
+        start = self._starts.pop()
+        self._entries.append(((ROOT_STAGE,), self._clock() - start))
+        self._profiler._fold(self._template, self._entries)
+
+
+class ProfileTrace:
+    """Trace stand-in for profiled-but-unsampled executions.
+
+    ``active`` stays ``False`` — exactly like ``NOOP_TRACE`` — so
+    callers skip attribute computation and the batch path keeps its
+    precomputed predictions; only the stage walls are read.  Decisions
+    are therefore bit-identical to the unprofiled run.
+    """
+
+    __slots__ = ("profile",)
+
+    active = False
+
+    def __init__(self, profile: ProfileFrame) -> None:
+        self.profile = profile
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[_SilentSpan]:
+        self.profile.enter(name)
+        try:
+            yield _SILENT_SPAN
+        finally:
+            self.profile.exit()
+
+    def annotate(self, **attributes: Any) -> None:
+        return None
+
+
+class StageProfiler:
+    """Per-template stage-time aggregation over many executions.
+
+    One instance is shared by every session of a framework (or owned by
+    a standalone session), so ``report()`` covers the whole deployment.
+    ``begin`` is the sampling gate: it returns a :class:`ProfileFrame`
+    for every ``interval``-th execution of each template and ``None``
+    otherwise — deterministic, counter-based, RNG-free.
+    """
+
+    def __init__(
+        self,
+        config: "ProfileConfig | None" = None,
+        clock: "Callable[[], float] | None" = None,
+    ) -> None:
+        self.config = config if config is not None else ProfileConfig(enabled=True)
+        self._clock = clock if clock is not None else perf_counter
+        self._stats: dict[str, dict[tuple[str, ...], _PathStat]] = {}
+        self._order: dict[str, dict[tuple[str, ...], int]] = {}
+        self._seen: dict[str, int] = {}
+        self._profiled: dict[str, int] = {}
+        self._dropped_paths: dict[str, int] = {}
+
+    def begin(self, template: str) -> "ProfileFrame | None":
+        """Sampling gate: a frame for every ``interval``-th execution."""
+        seen = self._seen.get(template, 0)
+        self._seen[template] = seen + 1
+        if seen % self.config.interval != 0:
+            return None
+        return ProfileFrame(self, template, self._clock)
+
+    def _fold(self, template: str, entries: list[tuple[tuple[str, ...], float]]) -> None:
+        stats = self._stats.setdefault(template, {})
+        order = self._order.setdefault(template, {})
+        self._profiled[template] = self._profiled.get(template, 0) + 1
+        for path, seconds in entries:
+            stat = stats.get(path)
+            if stat is None:
+                if len(stats) >= self.config.max_paths:
+                    # Bounded memory: past the cap new paths are counted
+                    # as dropped instead of accumulated (report() shows
+                    # the drop count so truncation is never silent).
+                    self._dropped_paths[template] = (
+                        self._dropped_paths.get(template, 0) + 1
+                    )
+                    continue
+                stat = stats[path] = _PathStat()
+                order[path] = len(order)
+            stat.calls += 1
+            stat.seconds += seconds
+
+    def reset(self) -> None:
+        self._stats.clear()
+        self._order.clear()
+        self._seen.clear()
+        self._profiled.clear()
+        self._dropped_paths.clear()
+
+    def _preorder(self, template: str) -> list[tuple[str, ...]]:
+        """Paths parent-before-children, siblings in first-seen order."""
+        order = self._order.get(template, {})
+
+        def key(path: tuple[str, ...]) -> tuple[int, ...]:
+            return tuple(
+                order.get(path[: depth + 1], len(order))
+                for depth in range(len(path))
+            )
+
+        return sorted(self._stats.get(template, {}), key=key)
+
+    def report(self) -> dict[str, Any]:
+        """Aggregate stage table: per template, per path, calls + time.
+
+        ``self_seconds`` is cumulative time minus the cumulative time of
+        the path's *direct* children, clamped at zero (clock jitter on
+        near-empty stages can make the raw difference slightly
+        negative).
+        """
+        templates: dict[str, Any] = {}
+        for template, stats in self._stats.items():
+            rows = []
+            for path in self._preorder(template):
+                stat = stats[path]
+                child_seconds = sum(
+                    other.seconds
+                    for other_path, other in stats.items()
+                    if len(other_path) == len(path) + 1
+                    and other_path[: len(path)] == path
+                )
+                rows.append(
+                    {
+                        "path": list(path),
+                        "stage": path[-1],
+                        "depth": len(path) - 1,
+                        "calls": stat.calls,
+                        "cum_seconds": stat.seconds,
+                        "self_seconds": max(stat.seconds - child_seconds, 0.0),
+                    }
+                )
+            templates[template] = {
+                "executions_seen": self._seen.get(template, 0),
+                "executions_profiled": self._profiled.get(template, 0),
+                "paths_dropped": self._dropped_paths.get(template, 0),
+                "stages": rows,
+            }
+        return {
+            "enabled": self.config.enabled,
+            "interval": self.config.interval,
+            "templates": templates,
+        }
+
+    def collapsed(self) -> dict[str, float]:
+        """Collapsed stacks: ``template;stage;...`` → self-microseconds.
+
+        The flamegraph convention — one entry per full stack, weighted
+        by self time, semicolon-joined frames.
+        """
+        report = self.report()
+        stacks: dict[str, float] = {}
+        for template, payload in report["templates"].items():
+            for row in payload["stages"]:
+                key = ";".join([template, *row["path"]])
+                stacks[key] = row["self_seconds"] * 1e6
+        return stacks
+
+
+def _render_template(name: str, payload: dict[str, Any], lines: list[str]) -> None:
+    profiled = payload["executions_profiled"]
+    lines.append(
+        f"template {name}: {profiled} of {payload['executions_seen']} "
+        "executions profiled"
+    )
+    if payload["paths_dropped"]:
+        lines.append(
+            f"  (truncated: {payload['paths_dropped']} stage paths over cap)"
+        )
+    lines.append(
+        f"  {'stage':<32s} {'calls':>8s} {'cum ms':>10s} "
+        f"{'self ms':>10s} {'per-call us':>12s}"
+    )
+    for row in payload["stages"]:
+        indent = "  " * row["depth"]
+        per_call = (
+            row["cum_seconds"] / row["calls"] * 1e6 if row["calls"] else 0.0
+        )
+        lines.append(
+            f"  {indent + row['stage']:<32s} {row['calls']:>8d} "
+            f"{row['cum_seconds'] * 1e3:>10.3f} "
+            f"{row['self_seconds'] * 1e3:>10.3f} {per_call:>12.1f}"
+        )
+
+
+def render_profile(report: dict[str, Any]) -> str:
+    """Human-readable stage tree for ``repro profile``."""
+    lines = [
+        "stage profiler"
+        f" (interval {report['interval']},"
+        f" {'enabled' if report['enabled'] else 'disabled'})"
+    ]
+    for name in sorted(report["templates"]):
+        _render_template(name, report["templates"][name], lines)
+    if len(lines) == 1:
+        lines.append("no executions profiled")
+    return "\n".join(lines)

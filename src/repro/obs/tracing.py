@@ -35,6 +35,7 @@ import json
 
 from repro.config import TraceConfig
 from repro.obs import names
+from repro.obs.profiling import ProfileFrame, ProfileTrace, StageProfiler
 from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -149,6 +150,7 @@ class NoopTrace:
     __slots__ = ()
 
     active = False
+    profile: "ProfileFrame | None" = None
 
     def span(self, name: str, **attributes: Any) -> _NoopSpan:
         return _NOOP_SPAN
@@ -163,16 +165,33 @@ NOOP_TRACE = NoopTrace()
 class DecisionTrace:
     """The full story of one cache prediction, as a tree of spans."""
 
-    __slots__ = ("_stack", "_t0", "decision", "outcome", "point", "root", "seq", "template")
+    __slots__ = (
+        "_stack",
+        "_t0",
+        "decision",
+        "outcome",
+        "point",
+        "profile",
+        "root",
+        "seq",
+        "template",
+    )
 
     active = True
 
-    def __init__(self, template: str, seq: int, decision: str) -> None:
+    def __init__(
+        self,
+        template: str,
+        seq: int,
+        decision: str,
+        profile: "ProfileFrame | None" = None,
+    ) -> None:
         self.template = template
         self.seq = seq
         self.decision = decision
         self.point: list[float] | None = None
         self.outcome: dict[str, Any] | None = None
+        self.profile = profile
         self._t0 = perf_counter()
         self.root = Span("decision")
         self._stack: list[Span] = [self.root]
@@ -187,12 +206,16 @@ class DecisionTrace:
             span.attributes.update(attributes)
         self._stack[-1].children.append(span)
         self._stack.append(span)
+        if self.profile is not None:
+            self.profile.enter(name)
         return span
 
     def close_span(self) -> None:
         if len(self._stack) > 1:
             span = self._stack.pop()
             span.duration = perf_counter() - self._t0 - span.start
+            if self.profile is not None:
+                self.profile.exit()
 
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
@@ -346,9 +369,11 @@ class DecisionTracer:
         template: str,
         config: TraceConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        profiler: "StageProfiler | None" = None,
     ) -> None:
         self.template = template
         self.config = config if config is not None else TraceConfig()
+        self.profiler = profiler
         self.recorder = FlightRecorder(
             capacity=self.config.capacity,
             error_capacity=self.config.error_capacity,
@@ -373,7 +398,9 @@ class DecisionTracer:
         }
         self._sampled = dict.fromkeys(names.SAMPLER_DECISIONS, 0)
 
-    def begin(self, force: bool = False) -> DecisionTrace | NoopTrace:
+    def begin(
+        self, force: bool = False
+    ) -> "DecisionTrace | ProfileTrace | NoopTrace":
         """Sample this execution; deterministic, consumes no RNG."""
         seq = self._seq
         self._seq += 1
@@ -392,13 +419,26 @@ class DecisionTracer:
             decision = "skipped"
         self._sampler_counters[decision].inc()
         self._sampled[decision] += 1
+        # The profiler samples independently of the tracer (its own
+        # deterministic counter), so stage times keep flowing at trace
+        # interval 0 — but it never flips ``active``: a profiled,
+        # trace-skipped execution behaves exactly like an unsampled one.
+        profile = (
+            self.profiler.begin(self.template)
+            if self.profiler is not None
+            else None
+        )
         if decision == "skipped":
+            if profile is not None:
+                return ProfileTrace(profile)
             return NOOP_TRACE
-        return DecisionTrace(template=self.template, seq=seq, decision=decision)
+        return DecisionTrace(
+            template=self.template, seq=seq, decision=decision, profile=profile
+        )
 
     def finish(
         self,
-        trace: DecisionTrace | NoopTrace,
+        trace: "DecisionTrace | ProfileTrace | NoopTrace",
         record: "ExecutionRecord | None" = None,
         error: BaseException | None = None,
     ) -> None:
@@ -414,6 +454,8 @@ class DecisionTracer:
         if incident and self.config.enabled and self.config.error_burst:
             self._burst_left = max(self._burst_left, self.config.error_burst)
         if not isinstance(trace, DecisionTrace):
+            if trace.profile is not None:
+                trace.profile.complete()
             return
         if error is not None:
             outcome: dict[str, Any] = {
@@ -438,6 +480,8 @@ class DecisionTracer:
         else:
             outcome = {}
         trace.finish(outcome)
+        if trace.profile is not None:
+            trace.profile.complete()
         evicted = self.recorder.admit(trace)
         self._recorded_counter.inc()
         if evicted:

@@ -202,6 +202,11 @@ class PlanCachingService:
             collected.extend(self.framework.session(name).tracer.traces())
         return collected
 
+    def profile(self) -> "dict | None":
+        """Aggregated stage-profiler report (``None`` unless
+        ``PPCConfig.profiling.enabled``)."""
+        return self.framework.profile_report()
+
     def instance_at(
         self, template_name: str, point: np.ndarray
     ) -> QueryInstance:

@@ -34,6 +34,7 @@ from typing import Any
 
 from repro.config import (
     PPCConfig,
+    ProfileConfig,
     ResilienceConfig,
     SLODefinition,
     TelemetryConfig,
@@ -68,6 +69,8 @@ def config_from_dict(payload: "dict[str, Any]") -> PPCConfig:
     data = dict(payload)
     data["resilience"] = ResilienceConfig(**data["resilience"])
     data["trace"] = TraceConfig(**data["trace"])
+    if "profiling" in data:  # absent in traces recorded before schema v2
+        data["profiling"] = ProfileConfig(**data["profiling"])
     telemetry = dict(data["telemetry"])
     telemetry["slos"] = tuple(
         SLODefinition(**slo) for slo in telemetry["slos"]

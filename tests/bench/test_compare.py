@@ -1,0 +1,137 @@
+"""MAD-based regression detection: the ``repro bench compare`` core."""
+
+from repro.bench.compare import MIN_HISTORY, compare_run, render_compare
+from repro.bench.schema import make_envelope, metric
+
+
+def _envelope(value, tolerance_pct=10.0, direction="lower", bench="demo"):
+    return make_envelope(
+        bench,
+        metrics={
+            "latency": metric(
+                value, "us", direction, tolerance_pct=tolerance_pct
+            )
+        },
+    )
+
+
+def _journal(values, bench="demo"):
+    return [
+        {
+            "run_id": i + 1,
+            "bench": bench,
+            "envelope": _envelope(value, bench=bench),
+        }
+        for i, value in enumerate(values)
+    ]
+
+
+class TestVerdicts:
+    def test_unchanged_run_passes(self):
+        report = compare_run({"demo": _envelope(100.0)}, {"demo": _envelope(100.0)})
+        assert report["passed"]
+        assert report["verdicts"][0]["status"] == "ok"
+
+    def test_injected_twenty_pct_slowdown_fails(self):
+        # The acceptance criterion: a synthetic >=20% slowdown against a
+        # 10%-tolerance baseline must exit as a regression.
+        report = compare_run(
+            {"demo": _envelope(120.0)}, {"demo": _envelope(100.0)}
+        )
+        assert not report["passed"]
+        (failure,) = report["failures"]
+        assert failure["status"] == "regression"
+        assert failure["metric"] == "latency"
+
+    def test_improvement_is_flagged_not_failed(self):
+        report = compare_run(
+            {"demo": _envelope(50.0)}, {"demo": _envelope(100.0)}
+        )
+        assert report["passed"]
+        assert report["verdicts"][0]["status"] == "improved"
+
+    def test_higher_is_better_direction(self):
+        baseline = _envelope(100.0, direction="higher")
+        worse = _envelope(80.0, direction="higher")
+        report = compare_run({"demo": worse}, {"demo": baseline})
+        assert not report["passed"]
+
+    def test_missing_metric_is_a_failure(self):
+        current = make_envelope(
+            "demo",
+            metrics={"other": metric(1.0, "us", "lower", tolerance_abs=1.0)},
+        )
+        report = compare_run({"demo": current}, {"demo": _envelope(100.0)})
+        assert not report["passed"]
+        assert report["failures"][0]["status"] == "missing"
+
+    def test_unpaired_benches_are_skipped(self):
+        report = compare_run(
+            {"only_current": _envelope(1.0, bench="only_current")},
+            {"only_baseline": _envelope(1.0, bench="only_baseline")},
+        )
+        assert report["passed"]
+        assert set(report["benches_skipped"]) == {
+            "only_current",
+            "only_baseline",
+        }
+        assert report["benches_compared"] == []
+
+
+class TestMADAllowance:
+    def test_noisy_history_widens_the_bar(self):
+        # 10% tolerance alone fails a 115 vs 100 run; a history that
+        # swings by +/-20 teaches compare that this metric is noisy.
+        entries = _journal([80.0, 120.0, 85.0, 115.0, 100.0])
+        report = compare_run(
+            {"demo": _envelope(115.0)},
+            {"demo": _envelope(100.0)},
+            history_entries=entries,
+        )
+        assert report["passed"]
+        assert report["verdicts"][0]["history_points"] >= MIN_HISTORY
+
+    def test_short_history_contributes_nothing(self):
+        entries = _journal([80.0, 120.0])  # below MIN_HISTORY
+        report = compare_run(
+            {"demo": _envelope(115.0)},
+            {"demo": _envelope(100.0)},
+            history_entries=entries,
+        )
+        assert not report["passed"]
+
+    def test_current_run_cannot_vote_on_its_own_allowance(self):
+        # Six journaled runs, but five of them are the current run's id:
+        # excluded, the history is too short to widen anything.
+        entries = _journal([100.0])
+        entries += [
+            {"run_id": 7, "bench": "demo", "envelope": _envelope(500.0)}
+            for __ in range(5)
+        ]
+        report = compare_run(
+            {"demo": _envelope(115.0)},
+            {"demo": _envelope(100.0)},
+            history_entries=entries,
+            current_run_id=7,
+        )
+        assert not report["passed"]
+
+
+class TestRender:
+    def test_pass_and_fail_lines(self):
+        good = compare_run({"demo": _envelope(100.0)}, {"demo": _envelope(100.0)})
+        assert "PASS" in render_compare(good)
+        bad = compare_run({"demo": _envelope(200.0)}, {"demo": _envelope(100.0)})
+        text = render_compare(bad)
+        assert "REGRESSION: demo.latency" in text
+        assert "FAIL" in text
+
+    def test_missing_renders_placeholder(self):
+        current = make_envelope(
+            "demo",
+            metrics={"other": metric(1.0, "us", "lower", tolerance_abs=1.0)},
+        )
+        text = render_compare(
+            compare_run({"demo": current}, {"demo": _envelope(100.0)})
+        )
+        assert "missing" in text

@@ -1,0 +1,109 @@
+"""Schema-v2 envelope construction and validation."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    env_fingerprint,
+    load_envelope,
+    make_envelope,
+    metric,
+    validate_envelope,
+)
+from repro.exceptions import BenchError
+
+
+def _envelope(**overrides):
+    envelope = make_envelope(
+        "demo",
+        metrics={"latency": metric(12.5, "us", "lower", tolerance_pct=50.0)},
+        workload={"probes": 100, "seeds": {"session": 17}},
+        gate={"passed": True},
+    )
+    envelope.update(overrides)
+    return envelope
+
+
+class TestEnvFingerprint:
+    def test_has_all_keys_nonempty(self):
+        env = env_fingerprint()
+        for key in ("python", "numpy", "platform", "machine", "commit",
+                    "version"):
+            assert isinstance(env[key], str) and env[key], key
+
+
+class TestMetric:
+    def test_requires_a_tolerance(self):
+        with pytest.raises(BenchError):
+            metric(1.0, "us", "lower")
+
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(BenchError):
+            metric(1.0, "us", "sideways", tolerance_abs=1.0)
+
+    def test_carries_both_tolerances(self):
+        entry = metric(
+            1.0, "us", "higher", tolerance_pct=10.0, tolerance_abs=0.5
+        )
+        assert entry["tolerance_pct"] == 10.0
+        assert entry["tolerance_abs"] == 0.5
+        assert entry["direction"] == "higher"
+
+
+class TestValidateEnvelope:
+    def test_good_envelope_passes(self):
+        validate_envelope(_envelope())
+
+    def test_wrong_schema_version_rejected(self):
+        with pytest.raises(BenchError, match="schema_version"):
+            validate_envelope(_envelope(schema_version=1))
+
+    def test_missing_metrics_rejected(self):
+        with pytest.raises(BenchError, match="metrics"):
+            validate_envelope(_envelope(metrics={}))
+
+    def test_non_finite_value_rejected(self):
+        bad = _envelope()
+        bad["metrics"]["latency"]["value"] = float("inf")
+        with pytest.raises(BenchError, match="finite"):
+            validate_envelope(bad)
+
+    def test_metric_without_tolerance_rejected(self):
+        bad = _envelope()
+        del bad["metrics"]["latency"]["tolerance_pct"]
+        with pytest.raises(BenchError, match="tolerance"):
+            validate_envelope(bad)
+
+    def test_incomplete_env_rejected(self):
+        bad = _envelope()
+        bad["env"] = {"python": "3.11"}
+        with pytest.raises(BenchError, match="env"):
+            validate_envelope(bad)
+
+    def test_all_problems_reported_at_once(self):
+        bad = _envelope(schema_version=99, bench="", metrics={})
+        with pytest.raises(BenchError, match="3 problem"):
+            validate_envelope(bad)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(BenchError):
+            validate_envelope([1, 2, 3])
+
+
+class TestLoadEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text(json.dumps(_envelope(), sort_keys=True))
+        assert load_envelope(path)["schema_version"] == SCHEMA_VERSION
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BenchError, match="cannot read"):
+            load_envelope(tmp_path / "nope.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchError, match="not JSON"):
+            load_envelope(path)

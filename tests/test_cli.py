@@ -134,14 +134,50 @@ class TestExperimentCommand:
             cli_main(["experiment", "fig99"])
 
 
-class TestProfileCommand:
-    def test_profile_prints_summary(self, capsys):
+class TestPlanProfileCommand:
+    def test_plan_profile_prints_summary(self, capsys):
         from repro.cli import main as cli_main
 
-        assert cli_main(["profile", "Q1", "--samples", "400"]) == 0
+        assert cli_main(["plan-profile", "Q1", "--samples", "400"]) == 0
         out = capsys.readouterr().out
         assert "plans observed" in out
         assert "area" in out
+
+
+class TestProfileCommand:
+    def test_profile_prints_stage_tree(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["profile", "Q1", "--instances", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "decision" in out
+        assert "normalize" in out
+        assert "execute_plan" in out
+        # Deep predictor stages appear because tracing runs at interval 1.
+        assert "aggregate" in out
+
+    def test_profile_writes_collapsed_stacks(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main as cli_main
+
+        out_path = tmp_path / "stacks.json"
+        assert (
+            cli_main(
+                [
+                    "profile", "Q1",
+                    "--instances", "120",
+                    "--collapsed-out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_path.read_text())
+        assert payload["unit"] == "microseconds"
+        assert any(
+            key.startswith("Q1;decision") for key in payload["stacks"]
+        )
+        assert all(value >= 0.0 for value in payload["stacks"].values())
 
 
 class TestExplain:
@@ -336,9 +372,13 @@ class TestScenarios:
         ) == 0
         out = capsys.readouterr().out
         assert "PASS cache_pressure" in out
-        matrix = json.loads(out_path.read_text())
-        assert matrix["passed"] is True
-        assert matrix["scenarios"][0]["scenario"] == "cache_pressure"
+        # --out writes a schema-v2 bench envelope, not the raw matrix.
+        envelope = json.loads(out_path.read_text())
+        assert envelope["schema_version"] == 2
+        assert envelope["gate"]["passed"] is True
+        assert envelope["metrics"]["contracts_failed"]["value"] == 0
+        rows = envelope["details"]["scenarios"]
+        assert rows[0]["scenario"] == "cache_pressure"
 
     def test_unknown_scenario_rejected(self, capsys):
         assert main(["scenarios", "run", "nope"]) == 1
