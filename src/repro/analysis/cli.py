@@ -44,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
             "with --effects, the whole-program RPR1xx family: obs-layer "
             "purity (RPR101), predict-path determinism (RPR102), "
             "mutation-count discipline (RPR103), documented public "
-            "exceptions (RPR104)"
+            "exceptions (RPR104), lifecycle-event coverage (RPR105)"
         ),
     )
     parser.add_argument(
@@ -67,8 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "also run the whole-program effect analysis "
-            "(RPR101-RPR104): call-graph purity, determinism taint, "
-            "mutation discipline, exception documentation"
+            "(RPR101-RPR105): call-graph purity, determinism taint, "
+            "mutation discipline, exception documentation, lifecycle-"
+            "event coverage"
         ),
     )
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""The whole-program rules RPR101–RPR104.
+"""The whole-program rules RPR101–RPR105.
 
 Each rule is a query over an analyzed :class:`~repro.analysis.effects
 .engine.Project` and yields :class:`~repro.analysis.core.Finding`
@@ -57,6 +57,10 @@ SYNOPSIS_ATTRS = frozenset(
     {"_histograms", "_counts", "_cost_sums", "total_points", "total_mass"}
 )
 _MUTATION_COUNTER = "_mutations"
+
+#: The per-class lifecycle emission helper RPR105 requires mutating
+#: entries to reach (``repro.obs.events`` journal discipline).
+_EMIT_METHOD = "_emit_event"
 
 #: Public-API packages whose escaping exceptions must be documented
 #: ``repro.exceptions`` types (RPR104).
@@ -346,6 +350,90 @@ class MutationDiscipline(EffectRule):
         return entry, set()
 
 
+class LifecycleEventCoverage(EffectRule):
+    """RPR105: every synopsis mutation journals a lifecycle event.
+
+    The lineage engine (``repro.obs.lineage``) reconstructs cache state
+    purely from the event journal, so its conclusions are only as
+    complete as the emission coverage: a public predictor method that
+    bumps ``_mutations`` without reaching the class's ``_emit_event``
+    helper mutates the learned state invisibly — ``repro lineage why``
+    would answer from a journal with a hole in it.  Same per-entry
+    closure discipline as RPR103: the entry may emit itself or via a
+    callee, and ``__init__``-only construction paths are exempt (the
+    journal is bound after construction, so pool replay is deliberately
+    unjournaled).
+    """
+
+    code = "RPR105"
+    title = "synopsis mutation without a lifecycle event emission"
+    rationale = (
+        "journal every runtime synopsis mutation: call self._emit_event "
+        "(repro.obs.events) on each public path that bumps _mutations"
+    )
+    scope = ", ".join(SYNOPSIS_MODULES)
+
+    def check(self, project: Project) -> "Iterator[Finding]":
+        for cls_qualname, cls in sorted(project.classes.items()):
+            if not _module_in(cls.module, SYNOPSIS_MODULES):
+                continue
+            methods = {
+                name: project.functions[f"{cls_qualname}.{name}"]
+                for name in cls.methods
+                if f"{cls_qualname}.{name}" in project.functions
+            }
+            edges = {
+                name: {
+                    site.resolved.rsplit(".", 1)[-1]
+                    for site in info.calls
+                    if site.resolved is not None
+                    and site.resolved.startswith(cls_qualname + ".")
+                }
+                for name, info in methods.items()
+            }
+            bumps = MutationDiscipline._closure(
+                methods,
+                edges,
+                lambda info: _MUTATION_COUNTER in info.self_writes,
+            )
+            emits = MutationDiscipline._closure(
+                methods, edges, lambda info: info.name == _EMIT_METHOD
+            )
+            bump_attrs = {
+                name: (
+                    {_MUTATION_COUNTER}
+                    if _MUTATION_COUNTER in info.self_writes
+                    else set()
+                )
+                for name, info in methods.items()
+            }
+            entries = [
+                name
+                for name, info in sorted(methods.items())
+                if info.is_public and name != "__init__"
+            ]
+            for name in entries:
+                if name not in bumps or name in emits:
+                    continue
+                info = methods[name]
+                chain, __ = MutationDiscipline._mutation_witness(
+                    name, edges, bump_attrs
+                )
+                finding = _make_finding(
+                    project,
+                    self,
+                    info,
+                    info.lineno,
+                    info.lineno,
+                    f"{cls.name}.{name} bumps {_MUTATION_COUNTER} "
+                    f"without journaling a lifecycle event (no "
+                    f"{_EMIT_METHOD} on the path); mutation chain: "
+                    f"{chain}",
+                )
+                if finding is not None:
+                    yield finding
+
+
 class DocumentedPublicExceptions(EffectRule):
     """RPR104: the public API raises documented ``repro.exceptions``.
 
@@ -417,6 +505,7 @@ def effect_rules() -> "list[EffectRule]":
         PredictPathDeterminism(),
         MutationDiscipline(),
         DocumentedPublicExceptions(),
+        LifecycleEventCoverage(),
     ]
 
 

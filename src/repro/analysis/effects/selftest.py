@@ -143,6 +143,51 @@ EFFECT_SELFTEST_CASES = (
         },
         witness_contains=("insert", "_store"),
     ),
+    # RPR105: a public predictor method bumping _mutations through a
+    # helper without any _emit_event on the path; the twin journals
+    # (via the same helper, proving closure propagation).  The
+    # init-only pool replay stays exempt and unjournaled in both.
+    EffectSelfTestCase(
+        rule="RPR105",
+        bad={
+            "repro.core.lsh_predictor": (
+                "class LshPredictor:\n"
+                "    def __init__(self):\n"
+                "        self._events = None\n"
+                "        self._mutations = 0\n"
+                "        self._insert_pool()\n"
+                "    def _insert_pool(self):\n"
+                "        self._mutations += 1\n"
+                "    def _emit_event(self, kind, **fields):\n"
+                "        if self._events is not None:\n"
+                "            self._events(kind, **fields)\n"
+                "    def insert(self, cell):\n"
+                "        self._store(cell)\n"
+                "    def _store(self, cell):\n"
+                "        self._mutations += 1\n"
+            ),
+        },
+        good={
+            "repro.core.lsh_predictor": (
+                "class LshPredictor:\n"
+                "    def __init__(self):\n"
+                "        self._events = None\n"
+                "        self._mutations = 0\n"
+                "        self._insert_pool()\n"
+                "    def _insert_pool(self):\n"
+                "        self._mutations += 1\n"
+                "    def _emit_event(self, kind, **fields):\n"
+                "        if self._events is not None:\n"
+                "            self._events(kind, **fields)\n"
+                "    def insert(self, cell):\n"
+                "        self._store(cell)\n"
+                "    def _store(self, cell):\n"
+                "        self._mutations += 1\n"
+                "        self._emit_event('point_inserted', plan=cell)\n"
+            ),
+        },
+        witness_contains=("insert", "_store", "_emit_event"),
+    ),
     # RPR104: a ValueError escaping a public core function through a
     # helper; the twin raises the project exception type (and a
     # wrapped variant proves catch masks subtract).

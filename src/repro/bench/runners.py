@@ -24,7 +24,13 @@ from typing import Any, Callable, NamedTuple
 
 from repro.bench.history import append_run
 from repro.bench.schema import load_envelope, make_envelope, metric
-from repro.config import PPCConfig, ProfileConfig, TelemetryConfig, TraceConfig
+from repro.config import (
+    EventsConfig,
+    PPCConfig,
+    ProfileConfig,
+    TelemetryConfig,
+    TraceConfig,
+)
 from repro.core.framework import PPCFramework, TemplateSession
 from repro.core.persistence import atomic_write_text
 from repro.exceptions import BenchError
@@ -38,6 +44,7 @@ from repro.workload.scenarios import SCENARIO_NAMES
 __all__ = [
     "BENCHES",
     "SUITES",
+    "run_events_overhead",
     "run_predict_throughput",
     "run_profile_overhead",
     "run_quality_overhead",
@@ -448,6 +455,103 @@ def run_profile_overhead() -> dict[str, Any]:
     )
 
 
+EVENTS_WARMUP = 300
+EVENTS_PROBES = 1000
+EVENTS_REPEATS = 3
+#: The journal's acceptance bar: enabled with a production-sized ring,
+#: the hot path slows by less than this.
+EVENTS_MAX_OVERHEAD_PCT = 5.0
+
+EVENTS_MODES = (
+    ("off", EventsConfig()),
+    ("on", EventsConfig(enabled=True, capacity=4096)),
+)
+
+
+def run_events_overhead() -> dict[str, Any]:
+    """Lifecycle-journal cost when enabled, with decision parity.
+
+    Two identically seeded sessions run the same trajectory in
+    lockstep: events off (the shipped default) and events on with the
+    default ring.  Emission consumes no RNG and never flips
+    ``trace.active``, so the decisions must match bit-for-bit — checked
+    here, and pinned by the parity test in ``tests/obs``.
+    """
+    sessions = {
+        name: TemplateSession(
+            plan_space_for("Q1"),
+            _hot_path_config(events=cfg),
+            seed=SESSION_SEED,
+        )
+        for name, cfg in EVENTS_MODES
+    }
+    warm, probes = _overhead_workload(
+        EVENTS_WARMUP, EVENTS_PROBES, EVENTS_REPEATS
+    )
+    for x in warm:
+        for session in sessions.values():
+            session.execute(x)
+    best = dict.fromkeys(sessions, float("inf"))
+    for repeat in range(EVENTS_REPEATS):
+        batch = probes[
+            repeat * EVENTS_PROBES : (repeat + 1) * EVENTS_PROBES
+        ]
+        for name, session in sessions.items():
+            t0 = perf_counter()
+            for x in batch:
+                session.execute(x)
+            best[name] = min(
+                best[name], (perf_counter() - t0) / EVENTS_PROBES
+            )
+    journal = sessions["on"].events
+    if journal is None or not journal.emitted:
+        raise BenchError("events rig journaled nothing")
+    if sessions["off"].events is not None:
+        raise BenchError("off rig unexpectedly owns a journal")
+    reference = [
+        (r.executed_plan, r.optimizer_invoked, r.predicted, r.confidence)
+        for r in sessions["off"].records
+    ]
+    journaled = [
+        (r.executed_plan, r.optimizer_invoked, r.predicted, r.confidence)
+        for r in sessions["on"].records
+    ]
+    if journaled != reference:
+        raise BenchError("event journaling changed decisions")
+    modes = _mode_payload(best, sessions)
+    return make_envelope(
+        "events_overhead",
+        metrics={
+            "off_us_per_instance": metric(
+                modes["off"]["us_per_instance"],
+                "us/instance",
+                "lower",
+                tolerance_pct=100.0,
+            ),
+            "enabled_overhead_pct": metric(
+                modes["on"]["overhead_pct"],
+                "pct",
+                "lower",
+                tolerance_abs=EVENTS_MAX_OVERHEAD_PCT,
+            ),
+        },
+        workload={
+            "template": "Q1",
+            "warmup": EVENTS_WARMUP,
+            "probes": EVENTS_PROBES,
+            "repeats": EVENTS_REPEATS,
+            "events_emitted": journal.emitted,
+            "seeds": _seeds(),
+        },
+        gate={
+            "mode": "on",
+            "max_overhead_pct": EVENTS_MAX_OVERHEAD_PCT,
+            "parity": True,
+        },
+        details={"modes": modes},
+    )
+
+
 # ----------------------------------------------------------------------
 # Scenario fleet
 # ----------------------------------------------------------------------
@@ -520,6 +624,9 @@ BENCHES: dict[str, BenchDef] = {
         ),
         BenchDef(
             "profile_overhead", "profile", run_profile_overhead, ("ci", "full")
+        ),
+        BenchDef(
+            "events_overhead", "events", run_events_overhead, ("ci", "full")
         ),
         BenchDef("scenarios", "scenarios", run_scenarios, ("ci", "full")),
         BenchDef("trace_overhead", "trace", run_trace_overhead, ("full",)),

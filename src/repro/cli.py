@@ -52,6 +52,14 @@ Small utilities for poking at the reproduction without writing code:
   predictor-internal stages on traced instances);
   ``--collapsed-out stacks.json`` writes collapsed stacks for
   flamegraph tooling;
+* ``lineage why --template Q1 --plan 3`` / ``lineage timeline`` /
+  ``lineage export --out events.jsonl`` — cache lineage forensics:
+  run a workload with the synopsis lifecycle event journal enabled
+  (or load an exported journal with ``--journal``) and answer "why is
+  plan P cached for template T" with the full insert → feedback →
+  eviction/drift provenance chain, render the typed event timeline,
+  or export the journal as checksummed JSONL (``--at SEQ`` time-travels
+  to any event offset);
 * ``plan-profile Q1`` — structural profile of a template's plan space
   (plan-area fractions, region counts);
 * ``bench run --suite ci`` / ``bench compare`` / ``bench history`` —
@@ -62,9 +70,10 @@ Small utilities for poking at the reproduction without writing code:
 * ``lint`` — the AST-based invariant linter (per-file rules
   RPR001-RPR009: determinism, clock, metrics, persistence, span
   discipline; with ``--effects`` the whole-program rules
-  RPR101-RPR104: call-graph purity, predict-path determinism,
-  mutation discipline, documented exceptions — see ``repro lint
-  --list-rules``), exit 1 on fresh findings;
+  RPR101-RPR105: call-graph purity, predict-path determinism,
+  mutation discipline, documented exceptions, lifecycle-event
+  coverage — see ``repro lint --list-rules``), exit 1 on fresh
+  findings;
 * ``assumptions Q1`` — validate plan choice predictability on a template.
 """
 
@@ -945,6 +954,12 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 fast=args.fast,
                 batch_size=args.batch_size,
             )
+            # Scenarios that journal the synopsis lifecycle (the drift
+            # fleet) also leave their journal next to the trace, so a
+            # contract failure ships with its full cache lineage.
+            journal = result.executor.framework.events
+            if journal is not None and journal.emitted:
+                journal.export(record_dir / f"journal_{name}.jsonl")
         else:
             result = runner.run(scenario)
         row = runner.summarize(result)
@@ -1108,6 +1123,99 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             json.dumps(payload, indent=2, sort_keys=True) + "\n",
         )
         print(f"wrote collapsed stacks to {args.collapsed_out}")
+    return 0
+
+
+def _cmd_lineage(args: argparse.Namespace) -> int:
+    """Cache lineage forensics over the lifecycle event journal."""
+    import json
+
+    from repro.config import EventsConfig
+    from repro.exceptions import PersistenceError
+    from repro.obs.events import (
+        export_journal,
+        load_journal,
+        render_timeline,
+    )
+    from repro.obs.lineage import LineageEngine
+
+    if args.journal:
+        try:
+            events, torn_tail = load_journal(args.journal)
+        except PersistenceError as exc:
+            print(f"lineage: {exc}", file=sys.stderr)
+            return 1
+        if torn_tail:
+            print(
+                "warning: journal has a torn tail; final line dropped",
+                file=sys.stderr,
+            )
+        engine = LineageEngine(events)
+    else:
+        config = PPCConfig(
+            confidence_threshold=args.gamma,
+            events=EventsConfig(enabled=True, capacity=args.capacity),
+        )
+        unknown = [
+            name for name in args.templates if name not in TEMPLATE_NAMES
+        ]
+        if unknown:
+            print(
+                f"lineage: unknown templates {unknown} "
+                f"(choose from {', '.join(TEMPLATE_NAMES)})",
+                file=sys.stderr,
+            )
+            return 1
+        framework = PPCFramework(config, seed=args.seed)
+        for offset, template in enumerate(dict.fromkeys(args.templates)):
+            space = plan_space_for(template)
+            framework.register(space)
+            workload = RandomTrajectoryWorkload(
+                space.dimensions, spread=args.spread, seed=args.seed + offset
+            ).generate(args.instances)
+            for point in workload:
+                framework.execute(template, point)
+        engine = framework.lineage()
+
+    if args.action == "export":
+        if not args.out:
+            print("lineage export requires --out PATH", file=sys.stderr)
+            return 1
+        count = export_journal(engine.events, args.out)
+        print(f"wrote {count} lifecycle events to {args.out}")
+        return 0
+
+    if args.action == "timeline":
+        events = engine.timeline(
+            template=args.template, kind=args.kind, at=args.at
+        )
+        print(render_timeline(events, limit=args.tail))
+        return 0
+
+    # why
+    if args.template is None or args.plan is None:
+        print(
+            "lineage why requires --template and --plan", file=sys.stderr
+        )
+        return 1
+    verdict = engine.why(args.template, args.plan, at=args.at)
+    if args.json:
+        print(json.dumps(verdict, indent=2, sort_keys=True))
+        return 0
+    print(verdict["explanation"])
+    state = engine.state_at(args.template, at=args.at)
+    cached = ", ".join(str(plan) for plan in state["cached"]) or "none"
+    line = (
+        f"cache state at seq {state['at']}: plans [{cached}] cached, "
+        f"synopsis generation {state['generation']}, "
+        f"{state['evictions']} evictions"
+    )
+    if state["last_drift"] is not None:
+        line += f", last drift drop at seq {state['last_drift']}"
+    print(line)
+    if verdict["history"]:
+        print("history:")
+        print(render_timeline(verdict["history"], limit=args.tail))
     return 0
 
 
@@ -1478,6 +1586,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="write collapsed-stack JSON (flamegraph input) here",
     )
     profile.set_defaults(handler=_cmd_profile)
+
+    lineage = commands.add_parser(
+        "lineage",
+        help="cache lineage forensics over the synopsis lifecycle "
+        "journal: provenance queries (why), typed event timeline, "
+        "checksummed JSONL export",
+    )
+    lineage.add_argument("action", choices=("why", "timeline", "export"))
+    lineage.add_argument(
+        "--journal", default=None,
+        help="load an exported journal instead of running a workload",
+    )
+    lineage.add_argument(
+        "--template", default=None,
+        help="template id (required for why; filters timeline)",
+    )
+    lineage.add_argument(
+        "--plan", type=int, default=None,
+        help="plan id to explain (why)",
+    )
+    lineage.add_argument(
+        "--at", type=int, default=None,
+        help="time-travel: reconstruct state after this event seq "
+        "(default: end of stream)",
+    )
+    lineage.add_argument(
+        "--kind", default=None,
+        help="filter the timeline to one event kind",
+    )
+    lineage.add_argument("--tail", type=int, default=40)
+    lineage.add_argument(
+        "--json", action="store_true",
+        help="emit the why verdict as JSON",
+    )
+    lineage.add_argument("--out", default=None, help="export path")
+    lineage.add_argument(
+        "templates", nargs="*", default=["Q1"],
+        metavar="TEMPLATE",
+        help="templates to drive when no --journal is given "
+        "(default: Q1)",
+    )
+    lineage.add_argument("--instances", type=int, default=400)
+    lineage.add_argument("--spread", type=float, default=0.02)
+    lineage.add_argument("--gamma", type=float, default=0.8)
+    lineage.add_argument("--seed", type=int, default=0)
+    lineage.add_argument("--capacity", type=int, default=4096)
+    lineage.set_defaults(handler=_cmd_lineage)
 
     plan_profile = commands.add_parser(
         "plan-profile",

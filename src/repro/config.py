@@ -111,6 +111,29 @@ class ProfileConfig:
             raise ConfigurationError("profile max_paths must be >= 8")
 
 
+@dataclass(frozen=True)
+class EventsConfig:
+    """Synopsis lifecycle event-journal knobs (:mod:`repro.obs.events`).
+
+    Disabled (the default) the journal does not exist: no session or
+    predictor holds an emitter, mutation paths pay one ``is None``
+    check, and nothing is allocated — the hot path is bit-identical to
+    a build without the feature.  Enabled, every synopsis mutation,
+    eviction, drift drop, breaker transition and fallback serving
+    appends one typed event to a bounded ring (oldest events rotate
+    out under a non-silent ``dropped`` counter, like the profiler's
+    ``max_paths``).  Emission is RNG-free and clock-injected, so
+    journaled runs make bit-identical decisions to unjournaled ones.
+    """
+
+    enabled: bool = False
+    capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.capacity < 64:
+            raise ConfigurationError("events capacity must be >= 64")
+
+
 #: Signals an SLO can be defined over (``signal`` field of
 #: :class:`SLODefinition`).
 SLO_SIGNALS = ("hit_rate", "predict_p95", "regret")
@@ -257,6 +280,9 @@ class PPCConfig:
     #: Hot-path stage profiler (self/cumulative time per decision
     #: stage); off by default — enabling it never changes a decision.
     profiling: ProfileConfig = field(default_factory=ProfileConfig)
+    #: Synopsis lifecycle event journal (cache lineage forensics); off
+    #: by default — enabling it never changes a decision.
+    events: EventsConfig = field(default_factory=EventsConfig)
 
     def __post_init__(self) -> None:
         if self.transforms < 1:

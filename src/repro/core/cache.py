@@ -11,11 +11,15 @@ recency preference (least-recently-used among equals).
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 from repro.core.monitor import PerformanceMonitor
 from repro.exceptions import ConfigurationError
 from repro.obs import MetricsRegistry, names as metric_names
 from repro.optimizer.plans import PhysicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import _TemplateEmitter
 
 
 class PlanCache:
@@ -43,6 +47,9 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self._event_counters = None
+        # Lifecycle event emitter (``repro.obs.events``); None until the
+        # owning session binds one.
+        self._events = None
         if metrics is not None:
             self._event_counters = {
                 event: metrics.counter(
@@ -56,6 +63,10 @@ class PlanCache:
     def _publish(self, event: str) -> None:
         if self._event_counters is not None:
             self._event_counters[event].inc()
+
+    def bind_events(self, emitter: "_TemplateEmitter") -> None:
+        """Attach a lifecycle event emitter (``repro.obs.events``)."""
+        self._events = emitter
 
     def __len__(self) -> int:
         return len(self._plans)
@@ -90,6 +101,20 @@ class PlanCache:
         del self._plans[victim]
         self.evictions += 1
         self._publish("eviction")
+        if self._events is not None:
+            self._events(
+                "cache_evicted",
+                plan=int(victim),
+                prec_k=(
+                    self.monitor.plan_precision(victim)
+                    if self.monitor
+                    else 1.0
+                ),
+                rec_k=(
+                    self.monitor.recall_estimate if self.monitor else 0.0
+                ),
+                resident=len(self._plans),
+            )
 
     def _caching_potential(self, plan_id: int) -> tuple[float, int]:
         """Lower = evicted first: precision estimate, then LRU order."""

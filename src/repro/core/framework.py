@@ -59,6 +59,7 @@ from repro.exceptions import PredictionError, ResilienceError
 from repro.metrics.classification import PrecisionRecall, summarize
 from repro.metrics.classification import PredictionOutcome
 from repro.obs import MetricsRegistry, names as metric_names
+from repro.obs.events import EventJournal
 from repro.obs.profiling import StageProfiler
 from repro.obs.quality import export_quality_gauges
 from repro.obs.slo import SLOEngine
@@ -127,6 +128,7 @@ class TemplateSession:
         clock: "Callable[[], float] | None" = None,
         sleep: "Callable[[float], None] | None" = None,
         profiler: "StageProfiler | None" = None,
+        events: "EventJournal | None" = None,
     ) -> None:
         self.plan_space = plan_space
         self.config = config or PPCConfig()
@@ -135,6 +137,14 @@ class TemplateSession:
         resilience = self.config.resilience
         self._clock = clock if clock is not None else system_clock
         self._sleep = sleep if sleep is not None else system_sleep
+        # Lifecycle event journal: a framework passes its shared journal
+        # in; a standalone session builds its own when configured.
+        # Disabled (the default) no journal exists and every emission
+        # site below pays one ``is None`` check.
+        if events is None and self.config.events.enabled:
+            events = EventJournal(self.config.events, clock=self._clock)
+        self.events = events
+        self._events = events.bind(template) if events is not None else None
         self.retry_policy = RetryPolicy(
             attempts=resilience.retry_attempts,
             base_delay=resilience.retry_base_delay,
@@ -183,6 +193,12 @@ class TemplateSession:
             seed=seed,
         )
         self.online.predictor.bind_metrics(self.metrics, template=template)
+        if self._events is not None:
+            # Binding journals one ``histogram_built`` (the synopsis
+            # going live); the cache emits evictions with the prec/rec
+            # scores that chose the victim.
+            self.online.bind_events(self._events)
+            self.cache.bind_events(self._events)
         if profiler is None and self.config.profiling.enabled:
             profiler = StageProfiler(self.config.profiling)
         self.profiler = profiler
@@ -295,6 +311,8 @@ class TemplateSession:
     def _on_breaker_transition(self, state: str) -> None:
         self._breaker_gauge.set(BREAKER_STATE_VALUES[state])
         self._breaker_transition_counters[state].inc()
+        if self._events is not None:
+            self._events("breaker_transition", state=state)
 
     # ------------------------------------------------------------------
     # The decision flow
@@ -325,14 +343,19 @@ class TemplateSession:
             )
         return x
 
-    def _invoke_optimizer(self, x: np.ndarray) -> "tuple[int, float] | None":
+    def _invoke_optimizer(
+        self, x: np.ndarray, reason: str = "direct"
+    ) -> "tuple[int, float] | None":
         """Guarded black-box optimizer call.
 
         Behind the circuit breaker, with retry + capped exponential
         backoff under the configured deadline.  Returns the true
         (plan id, cost) at ``x`` — inserted into the synopses and the
         plan cache — or ``None`` when the optimizer is unavailable
-        (breaker open, or every attempt failed).
+        (breaker open, or every attempt failed).  ``reason`` is the
+        invocation reason driving the call; it flows into the
+        ``point_inserted`` lifecycle event as the point's provenance
+        and never affects the decision.
         """
         if not self.breaker.allow():
             self._degraded_counters["optimizer"].inc()
@@ -353,7 +376,7 @@ class TemplateSession:
         self.optimizer_invocations += 1
         plan_id, cost = int(ids[0]), float(costs[0])
         try:
-            self._observe(x, plan_id, cost)
+            self._observe(x, plan_id, cost, provenance=reason)
         except Exception:
             # A lost training point degrades learning, never execution.
             self._degraded_counters["predictor_insert"].inc()
@@ -490,6 +513,10 @@ class TemplateSession:
         predict_seconds: float = 0.0,
     ) -> ExecutionRecord:
         """Drive one decision, sealing the trace on every exit path."""
+        if self._events is not None:
+            # Cross-link: lifecycle events emitted while this decision
+            # runs carry the active trace seq (None when unsampled).
+            self._events.set_trace(getattr(trace, "seq", None))
         try:
             record = self._decide_and_execute(
                 x, trace, precomputed=precomputed,
@@ -602,7 +629,7 @@ class TemplateSession:
                         reason=reason, breaker_before=self.breaker.state
                     )
                 retries_before = self._retries_counter.value
-                outcome = self._invoke_optimizer(x)
+                outcome = self._invoke_optimizer(x, reason)
                 if trace.active:
                     optimize_span.set(
                         breaker_after=self.breaker.state,
@@ -647,6 +674,12 @@ class TemplateSession:
                             else 1.0,
                         )
                 self._fallback_counters[fallback_source].inc()
+                if self._events is not None:
+                    self._events(
+                        "fallback_served",
+                        source=fallback_source,
+                        plan=int(executed_plan),
+                    )
                 self._fallback_suboptimality.observe(
                     execution_cost / optimal_cost
                     if optimal_cost > 0.0
@@ -684,7 +717,7 @@ class TemplateSession:
                                 reason=reason,
                                 breaker_before=self.breaker.state,
                             )
-                        outcome = self._invoke_optimizer(x)
+                        outcome = self._invoke_optimizer(x, reason)
                         if trace.active:
                             verify_span.set(
                                 breaker_after=self.breaker.state,
@@ -745,6 +778,16 @@ class TemplateSession:
             self.drift_events += 1
             self._drift_counter.inc()
             with trace.span("drift") as drift_span:
+                if self._events is not None:
+                    # Journal the pre-drop picture: the monitor scores
+                    # that tripped the response and what it wiped out.
+                    self._events(
+                        "drift_drop",
+                        precision=float(self.monitor.precision_estimate),
+                        recall=float(self.monitor.recall_estimate),
+                        cached_plans=len(self.cache),
+                        points_held=int(self.online.sample_count),
+                    )
                 self.online.drop()
                 self.monitor.reset()
                 self.cache.clear()
@@ -832,6 +875,20 @@ class PPCFramework:
             if self.config.profiling.enabled
             else None
         )
+        # One shared lifecycle event journal, so sequence numbers give
+        # a total order across every template of the deployment (the
+        # merge story sharded serving will need).  Disabled → None: no
+        # session or predictor holds an emitter.
+        self.events: "EventJournal | None" = (
+            EventJournal(
+                self.config.events,
+                clock=clock if clock is not None else system_clock,
+            )
+            if self.config.events.enabled
+            else None
+        )
+        if self.events is not None:
+            self.events.bind_metrics(self.metrics)
         # Build identity: constant 1-valued gauge carrying version and
         # commit labels, so every scrape (and every merged fleet
         # registry) says exactly what code produced it.
@@ -883,6 +940,7 @@ class PPCFramework:
             clock=self._clock,
             sleep=self._sleep,
             profiler=self.profiler,
+            events=self.events,
         )
         self.sessions[plan_space.template.name] = session
         if self.governor is not None:
@@ -973,6 +1031,15 @@ class PPCFramework:
         if self.profiler is None:
             return None
         return self.profiler.report()
+
+    def lineage(self) -> "LineageEngine | None":
+        """A lineage engine over the shared lifecycle journal, or
+        ``None`` when the event journal is disabled."""
+        if self.events is None:
+            return None
+        from repro.obs.lineage import LineageEngine
+
+        return LineageEngine(self.events.events())
 
     @property
     def clock_source(self) -> str:

@@ -53,6 +53,7 @@ from repro.geometry import ball_volume
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import MetricsRegistry
+    from repro.obs.events import _TemplateEmitter
     from repro.obs.tracing import DecisionTrace
 
 _STATIC_BUILDERS = {
@@ -152,6 +153,11 @@ class HistogramPredictor(PlanPredictor):
         self._metrics = None
         self._transform_timer = None
         self._range_timer = None
+        #: Lifecycle event emitter (``repro.obs.events``); ``None`` until
+        #: the owning session binds one, so the construction-time pool
+        #: replay below journals nothing and the disabled path stays a
+        #: single ``is None`` check.
+        self._events = None
         #: Monotone synopsis-mutation counter: bumped by ``insert`` and
         #: ``drop`` so batch consumers (``TemplateSession.execute_batch``)
         #: can detect when precomputed predictions went stale.
@@ -188,6 +194,28 @@ class HistogramPredictor(PlanPredictor):
         self._range_timer = registry.histogram(
             metric_names.PREDICT_RANGE_QUERY_SECONDS, **labels
         )
+
+    def bind_events(self, emitter: "_TemplateEmitter") -> None:
+        """Attach a lifecycle event emitter (``repro.obs.events``).
+
+        Late binding, like :meth:`bind_metrics`: the constructor's pool
+        replay runs before any emitter exists, so the journal records
+        the synopsis *going live* (one ``histogram_built`` event) and
+        every mutation after that, not the seed replay.
+        """
+        self._events = emitter
+        self._emit_event(
+            "histogram_built",
+            histogram_kind=self.histogram_kind,
+            transforms=len(self.ensemble),
+            plans=self.plan_count,
+            points=self.total_points,
+        )
+
+    def _emit_event(self, kind: str, **fields) -> None:
+        """Journal one lifecycle event if an emitter is bound."""
+        if self._events is not None:
+            self._events(kind, **fields)
 
     # ------------------------------------------------------------------
     # Construction / population
@@ -237,11 +265,17 @@ class HistogramPredictor(PlanPredictor):
         plan_id: int,
         cost: float = 0.0,
         weight: float = 1.0,
+        provenance: str = "direct",
     ) -> None:
         """Add one labeled point (requires insertable histograms).
 
         ``weight < 1`` inserts a discounted point — used by the
         positive-feedback extension for unverified predictions.
+
+        ``provenance`` names the decision-flow origin of the point
+        (``cache_miss`` / ``exploration`` / ``negative_feedback`` /
+        ``positive_feedback`` / ``direct``) and is journaled with the
+        ``point_inserted`` lifecycle event; it never affects the insert.
 
         The insert is atomic across transforms: insertability, the
         weight, and every z-value are validated up front, so a rejected
@@ -268,6 +302,14 @@ class HistogramPredictor(PlanPredictor):
         self.total_points += 1
         self.total_mass += weight
         self._mutations += 1
+        if self._events is not None:
+            self._emit_event(
+                "point_inserted",
+                plan=int(plan_id),
+                cost=float(cost),
+                weight=float(weight),
+                provenance=provenance,
+            )
 
     # ------------------------------------------------------------------
     # Prediction
@@ -435,6 +477,13 @@ class HistogramPredictor(PlanPredictor):
                 eliminated=eliminated,
             )
         if eliminated:
+            if self._events is not None:
+                self._emit_event(
+                    "noise_pruned",
+                    plan=int(counts.argmax()),
+                    max_count=max_count,
+                    threshold=float(threshold),
+                )
             return None
         with trace.span("confidence") as span:
             plan_id, confidence, detail = self.model.explain_decide(
@@ -475,6 +524,17 @@ class HistogramPredictor(PlanPredictor):
         )
         if self.noise_fraction is not None and self.total_mass > 0:
             noisy = counts.max(axis=0) < self.noise_fraction * self.total_mass
+            if self._events is not None and noisy.any():
+                threshold = self.noise_fraction * self.total_mass
+                majorities = counts.argmax(axis=0)
+                maxima = counts.max(axis=0)
+                for j in np.flatnonzero(noisy):
+                    self._emit_event(
+                        "noise_pruned",
+                        plan=int(majorities[j]),
+                        max_count=float(maxima[j]),
+                        threshold=float(threshold),
+                    )
             winners = np.where(noisy, -1, winners)
         medians, any_support = self._winner_costs(
             counts_tpm, avg_costs, winners
@@ -534,6 +594,8 @@ class HistogramPredictor(PlanPredictor):
     def drop(self) -> None:
         """Drop every histogram and restart from scratch (Section IV-E:
         the reaction to a detected plan-space change)."""
+        points_dropped = self.total_points
+        mass_dropped = self.total_mass
         self._histograms = [
             [self._new_histogram() for __ in range(self.plan_count)]
             for __ in self.ensemble
@@ -542,6 +604,12 @@ class HistogramPredictor(PlanPredictor):
         self.total_points = 0
         self.total_mass = 0.0
         self._mutations += 1
+        if self._events is not None:
+            self._emit_event(
+                "histogram_rebuilt",
+                points_dropped=points_dropped,
+                mass_dropped=mass_dropped,
+            )
 
     def space_bytes(self) -> int:
         """``t * n_plans * b_h * 12`` bytes; actual bucket counts may be

@@ -35,6 +35,7 @@ from repro.lsh.stacked import StackedEnsemble
 from repro.lsh.transforms import TransformEnsemble
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import _TemplateEmitter
     from repro.obs.tracing import DecisionTrace
 
 
@@ -94,6 +95,9 @@ class LshPredictor(PlanPredictor):
             (len(self.ensemble), plan_count, self.grids[0].total_cells)
         )
         self._cost_sums = np.zeros_like(self._counts)
+        # Lifecycle event emitter; None until a session binds one, so
+        # the pool bootstrap below journals nothing.
+        self._events = None
         self._mutations = 0
         if len(pool):
             self._insert_pool(pool)
@@ -107,6 +111,28 @@ class LshPredictor(PlanPredictor):
     def mutation_count(self) -> int:
         """Number of synopsis mutations (inserts) so far."""
         return self._mutations
+
+    def bind_events(self, emitter: "_TemplateEmitter") -> None:
+        """Attach a lifecycle event emitter (``repro.obs.events``).
+
+        Late binding, mirroring ``HistogramPredictor.bind_events``: the
+        constructor's pool bootstrap precedes any emitter, so the
+        journal records the synopsis going live and every mutation
+        after, not the seed replay.
+        """
+        self._events = emitter
+        self._emit_event(
+            "histogram_built",
+            histogram_kind="grid",
+            transforms=len(self.ensemble),
+            plans=self.plan_count,
+            points=int(self._counts.sum() // max(len(self.ensemble), 1)),
+        )
+
+    def _emit_event(self, kind: str, **fields) -> None:
+        """Journal one lifecycle event if an emitter is bound."""
+        if self._events is not None:
+            self._events(kind, **fields)
 
     # ------------------------------------------------------------------
     # Population
@@ -128,14 +154,33 @@ class LshPredictor(PlanPredictor):
             )
         self._mutations += 1
 
-    def insert(self, x: np.ndarray, plan_id: int, cost: float = 0.0) -> None:
-        """Add one labeled point to every transformed grid."""
+    def insert(
+        self,
+        x: np.ndarray,
+        plan_id: int,
+        cost: float = 0.0,
+        provenance: str = "direct",
+    ) -> None:
+        """Add one labeled point to every transformed grid.
+
+        ``provenance`` names the decision-flow origin of the point and
+        is journaled with the ``point_inserted`` lifecycle event; it
+        never affects the insert.
+        """
         x = self._check_point(x)
         cells = self._cell_ids_batch(x[None, :])[:, 0]
         for index, cell in enumerate(cells):
             self._counts[index, plan_id, cell] += 1.0
             self._cost_sums[index, plan_id, cell] += cost
         self._mutations += 1
+        if self._events is not None:
+            self._emit_event(
+                "point_inserted",
+                plan=int(plan_id),
+                cost=float(cost),
+                weight=1.0,
+                provenance=provenance,
+            )
 
     # ------------------------------------------------------------------
     # Prediction

@@ -33,6 +33,7 @@ from repro.exceptions import ConfigurationError
 from repro.rng import as_generator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import _TemplateEmitter
     from repro.obs.tracing import DecisionTrace
 
 #: Default noise-elimination threshold: a prediction needs support of at
@@ -114,12 +115,28 @@ class OnlinePredictor(PlanPredictor):
         predictions."""
         return self.predictor.mutation_count
 
+    def bind_events(self, emitter: "_TemplateEmitter") -> None:
+        """Attach a lifecycle event emitter to the inner histograms."""
+        self.predictor.bind_events(emitter)
+
     # ------------------------------------------------------------------
     # Online policies
     # ------------------------------------------------------------------
-    def observe(self, x: np.ndarray, plan_id: int, cost: float) -> None:
-        """Insert a truly optimized (verified) point into the histograms."""
-        self.predictor.insert(x, plan_id, cost)
+    def observe(
+        self,
+        x: np.ndarray,
+        plan_id: int,
+        cost: float,
+        provenance: str = "direct",
+    ) -> None:
+        """Insert a truly optimized (verified) point into the histograms.
+
+        ``provenance`` names the decision-flow origin of the point
+        (cache miss, exploration, negative feedback, ...) and flows
+        through to the ``point_inserted`` lifecycle event; it never
+        affects the insert.
+        """
+        self.predictor.insert(x, plan_id, cost, provenance=provenance)
         if self.positive_feedback is not None:
             self.positive_feedback.record_verified()
 
@@ -145,6 +162,7 @@ class OnlinePredictor(PlanPredictor):
             prediction.plan_id,
             observed_cost,
             weight=self.positive_feedback.weight,
+            provenance="positive_feedback",
         )
         return True
 

@@ -19,6 +19,14 @@ A dependency-free metrics layer sized for a hot path:
   the span seam (:class:`~repro.obs.profiling.StageProfiler`):
   per-template self/cumulative stage times, text tree and
   collapsed-stack output for ``repro profile``;
+* :mod:`repro.obs.events` — the synopsis lifecycle event journal
+  (:class:`~repro.obs.events.EventJournal`): typed, RNG-free,
+  clock-injected events for every mutation of the learned cache state,
+  bounded by a rotating ring with non-silent drop accounting and
+  exportable as checksummed JSONL;
+* :mod:`repro.obs.lineage` — cache lineage forensics over the journal
+  (:class:`~repro.obs.lineage.LineageEngine`): time-travel state
+  reconstruction and provenance queries for ``repro lineage``;
 * :mod:`repro.obs.audit` — the misprediction regret audit that joins
   recorded traces against optimizer ground truth and blames the
   pipeline stage that caused each suboptimal decision;
@@ -57,6 +65,15 @@ from repro.obs.tracing import (
     render_trace,
 )
 from repro.obs.audit import attribute_stage, regret_audit
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventJournal,
+    export_journal,
+    load_journal,
+    render_timeline,
+    stream_digest,
+)
+from repro.obs.lineage import CACHING_PROVENANCES, LineageEngine
 from repro.obs.quality import compute_scorecard, synopsis_scorecard
 from repro.obs.report import (
     render_report_html,
@@ -68,13 +85,17 @@ from repro.obs.slo import SLOEngine, evaluate_slo
 from repro.obs.timeseries import RingSeries, TimeSeriesStore
 
 __all__ = [
+    "CACHING_PROVENANCES",
+    "EVENT_KINDS",
     "NOOP_TRACE",
     "Counter",
     "DecisionTrace",
     "DecisionTracer",
+    "EventJournal",
     "FlightRecorder",
     "Gauge",
     "LatencyHistogram",
+    "LineageEngine",
     "MetricsRegistry",
     "ProfileTrace",
     "RingSeries",
@@ -85,6 +106,8 @@ __all__ = [
     "attribute_stage",
     "compute_scorecard",
     "evaluate_slo",
+    "export_journal",
+    "load_journal",
     "names",
     "regret_audit",
     "render_profile",
@@ -92,8 +115,10 @@ __all__ = [
     "render_report_html",
     "render_report_json",
     "render_report_text",
+    "render_timeline",
     "render_trace",
     "sparkline",
+    "stream_digest",
     "synopsis_scorecard",
     "time_block",
     "timed",

@@ -1,0 +1,196 @@
+"""Cache lineage forensics: time-travel over the lifecycle journal.
+
+:class:`LineageEngine` replays the typed events of
+:mod:`repro.obs.events` to reconstruct, at any event offset, what the
+per-template plan cache *was* and *why* — the question the metrics
+layer cannot answer ("why is plan P cached for template T right now,
+and which insert/feedback/drift event put it there?").
+
+Reconstruction rules (DESIGN.md §12 maps each to its paper mechanism):
+
+* ``point_inserted`` with an optimizer-invocation provenance
+  (``null_prediction`` / ``exploration`` / ``cache_miss`` /
+  ``negative_feedback``) marks a cache admission — the session puts
+  the optimizer's plan right after the synopsis insert.  A
+  ``positive_feedback`` provenance is a synopsis-only insert and does
+  not touch the cache.
+* ``cache_evicted`` removes its plan (the event carries the ``prec_k``
+  / ``rec_k`` scores that justified the choice of victim).
+* ``drift_drop`` clears the whole cache — the Section IV-E drift
+  response drops the synopsis, resets the monitor and empties the
+  cache in one stroke.
+* ``histogram_built`` / ``histogram_rebuilt`` advance the synopsis
+  generation counter.
+
+The engine is a pure function of the event list: no RNG, no clock, no
+imports from the core pipeline, so it works identically on a live
+journal and on a JSONL export loaded back from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: ``point_inserted`` provenances that coincide with a cache admission
+#: (every optimizer invocation both inserts the labeled point and puts
+#: the returned plan).
+CACHING_PROVENANCES = frozenset(
+    {"null_prediction", "exploration", "cache_miss", "negative_feedback"}
+)
+
+
+class LineageEngine:
+    """Provenance queries over an ordered lifecycle event stream."""
+
+    def __init__(self, events: "list[dict[str, Any]]") -> None:
+        self._events = sorted(events, key=lambda e: e["seq"])
+
+    @property
+    def events(self) -> "list[dict[str, Any]]":
+        return list(self._events)
+
+    @property
+    def last_seq(self) -> "int | None":
+        return self._events[-1]["seq"] if self._events else None
+
+    def templates(self) -> "list[str]":
+        return sorted({event["template"] for event in self._events})
+
+    # ------------------------------------------------------------------
+    # Time travel
+    # ------------------------------------------------------------------
+    def state_at(
+        self, template: str, at: "int | None" = None
+    ) -> "dict[str, Any]":
+        """Reconstruct ``template``'s cache state after event ``at``
+        (inclusive; ``None`` = the full stream)."""
+        cached: "dict[int, dict[str, Any]]" = {}
+        generation = 0
+        last_drift: "dict[str, Any] | None" = None
+        evictions = 0
+        for event in self._events:
+            if at is not None and event["seq"] > at:
+                break
+            if event["template"] != template:
+                continue
+            kind = event["kind"]
+            if (
+                kind == "point_inserted"
+                and event.get("provenance") in CACHING_PROVENANCES
+            ):
+                cached[event["plan"]] = event
+            elif kind == "cache_evicted":
+                cached.pop(event.get("plan"), None)
+                evictions += 1
+            elif kind == "drift_drop":
+                cached.clear()
+                last_drift = event
+            elif kind in ("histogram_built", "histogram_rebuilt"):
+                generation += 1
+        return {
+            "template": template,
+            "at": at if at is not None else self.last_seq,
+            "cached": {
+                plan: {
+                    "since": admit["seq"],
+                    "provenance": admit.get("provenance"),
+                    "trace": admit.get("trace"),
+                }
+                for plan, admit in sorted(cached.items())
+            },
+            "generation": generation,
+            "evictions": evictions,
+            "last_drift": None if last_drift is None else last_drift["seq"],
+        }
+
+    # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+    def why(
+        self, template: str, plan: int, at: "int | None" = None
+    ) -> "dict[str, Any]":
+        """Why ``plan`` is (or is not) cached for ``template`` at
+        event offset ``at`` — verdict, explanation, and the full chain
+        of lifecycle events that touched the plan."""
+        history = [
+            event
+            for event in self._events
+            if (at is None or event["seq"] <= at)
+            and event["template"] == template
+            and (event.get("plan") == plan or event["kind"] == "drift_drop")
+        ]
+        state = self.state_at(template, at)
+        entry = state["cached"].get(plan)
+        verdict: "dict[str, Any]" = {
+            "template": template,
+            "plan": plan,
+            "at": state["at"],
+            "cached": entry is not None,
+            "admitted": entry,
+            "history": history,
+        }
+        if entry is not None:
+            corrections = [
+                event
+                for event in history
+                if event["kind"] == "point_inserted"
+                and event.get("provenance") == "negative_feedback"
+                and event["seq"] > entry["since"]
+            ]
+            explanation = (
+                f"plan {plan} is cached for {template}: admitted at seq "
+                f"{entry['since']} via {entry['provenance']}"
+            )
+            if corrections:
+                explanation += (
+                    f"; corrected by negative feedback at seq "
+                    f"{corrections[-1]['seq']}"
+                )
+        elif not history:
+            explanation = (
+                f"no lifecycle event ever touched plan {plan} "
+                f"for {template}"
+            )
+        else:
+            terminal = history[-1]
+            if terminal["kind"] == "drift_drop":
+                explanation = (
+                    f"plan {plan} is not cached: dropped with the whole "
+                    f"cache by the drift response at seq "
+                    f"{terminal['seq']} (precision "
+                    f"{terminal.get('precision')}, recall "
+                    f"{terminal.get('recall')})"
+                )
+            elif terminal["kind"] == "cache_evicted":
+                explanation = (
+                    f"plan {plan} is not cached: evicted at seq "
+                    f"{terminal['seq']} (prec_k="
+                    f"{terminal.get('prec_k')}, rec_k="
+                    f"{terminal.get('rec_k')})"
+                )
+            else:
+                explanation = (
+                    f"plan {plan} is not cached: last touched by "
+                    f"{terminal['kind']} at seq {terminal['seq']} "
+                    "without a surviving admission"
+                )
+        verdict["explanation"] = explanation
+        return verdict
+
+    def timeline(
+        self,
+        template: "str | None" = None,
+        kind: "str | None" = None,
+        at: "int | None" = None,
+    ) -> "list[dict[str, Any]]":
+        """The (filtered) event stream up to offset ``at``."""
+        return [
+            event
+            for event in self._events
+            if (at is None or event["seq"] <= at)
+            and (template is None or event["template"] == template)
+            and (kind is None or event["kind"] == kind)
+        ]
+
+
+__all__ = ["CACHING_PROVENANCES", "LineageEngine"]

@@ -159,6 +159,21 @@ SLO_BURN_RATE = "ppc_slo_burn_rate"
 #: other series.
 BUILD_INFO = "ppc_build_info"
 
+#: Synopsis lifecycle events appended to the event journal (labels:
+#: template, kind) — counter; one increment per emitted event.
+EVENTS_EMITTED_TOTAL = "ppc_events_emitted_total"
+
+#: Lifecycle events rotated out of the bounded journal ring — counter;
+#: a non-zero value means the timeline is truncated at the front.
+EVENTS_DROPPED_TOTAL = "ppc_events_dropped_total"
+
+#: Lifecycle events currently resident in the journal ring — gauge.
+EVENTS_OCCUPANCY = "ppc_events_occupancy"
+
+#: Lineage provenance queries answered (labels: query = why/timeline/
+#: export) — counter.
+LINEAGE_QUERIES_TOTAL = "ppc_lineage_queries_total"
+
 #: The decision-flow stages timed inside ``TemplateSession.execute``.
 STAGES = ("predict", "optimize", "execute", "feedback")
 
@@ -188,6 +203,19 @@ REJECTION_REASONS = ("bad_shape", "non_finite", "out_of_domain")
 #: Trace-sampler verdicts (``decision`` label of
 #: :data:`TRACE_SAMPLER_TOTAL`), in evaluation order.
 SAMPLER_DECISIONS = ("forced", "head", "error_bias", "interval", "skipped")
+
+#: Synopsis lifecycle event types (``kind`` label of
+#: :data:`EVENTS_EMITTED_TOTAL`); see :mod:`repro.obs.events`.
+EVENT_KINDS = (
+    "point_inserted",
+    "histogram_built",
+    "histogram_rebuilt",
+    "noise_pruned",
+    "cache_evicted",
+    "drift_drop",
+    "breaker_transition",
+    "fallback_served",
+)
 
 
 class MetricSpec(NamedTuple):
@@ -373,6 +401,26 @@ INVENTORY: "tuple[MetricSpec, ...]" = (
         SLO_BURN_RATE,
         "gauge",
         "SLO burn rate per evaluation window (1.0 = at objective)",
+    ),
+    MetricSpec(
+        EVENTS_EMITTED_TOTAL,
+        "counter",
+        "Synopsis lifecycle events appended to the event journal",
+    ),
+    MetricSpec(
+        EVENTS_DROPPED_TOTAL,
+        "counter",
+        "Lifecycle events rotated out of the bounded journal ring",
+    ),
+    MetricSpec(
+        EVENTS_OCCUPANCY,
+        "gauge",
+        "Lifecycle events currently resident in the journal ring",
+    ),
+    MetricSpec(
+        LINEAGE_QUERIES_TOTAL,
+        "counter",
+        "Lineage provenance queries answered by kind",
     ),
 )
 

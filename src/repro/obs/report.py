@@ -153,6 +153,30 @@ def render_report_text(report: "dict[str, Any]") -> str:
                 f"  predict p95 {sparkline(p95)} "
                 f"(last {_fmt(p95[-1], 6)}s)"
             )
+    lifecycle = report.get("lifecycle")
+    if lifecycle:
+        stats = lifecycle.get("stats", {})
+        lines.append("")
+        lines.append(
+            f"lifecycle journal: {stats.get('emitted', 0)} events emitted, "
+            f"{stats.get('dropped', 0)} rotated out "
+            f"(ring {stats.get('occupancy', 0)}/{stats.get('capacity', 0)})"
+        )
+        by_kind = stats.get("by_kind") or {}
+        if by_kind:
+            lines.append(
+                "  by kind: "
+                + ", ".join(
+                    f"{kind}×{count}"
+                    for kind, count in sorted(by_kind.items())
+                )
+            )
+        for event in lifecycle.get("timeline", [])[-8:]:
+            lines.append(
+                f"  #{event.get('seq', '?'):>6} "
+                f"{event.get('template', '?'):<4} "
+                f"{event.get('kind', '?')}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -279,5 +303,29 @@ def render_report_html(report: "dict[str, Any]") -> str:
                     f"<p>{_html.escape(label)}: {svg} "
                     f"<small>last {_fmt(values[-1], 6)}</small></p>"
                 )
+    lifecycle = report.get("lifecycle")
+    if lifecycle:
+        stats = lifecycle.get("stats", {})
+        parts.append("<h2>lifecycle journal</h2>")
+        parts.append(
+            f"<p>{stats.get('emitted', 0)} events emitted, "
+            f"{stats.get('dropped', 0)} rotated out (ring "
+            f"{stats.get('occupancy', 0)}/{stats.get('capacity', 0)})</p>"
+        )
+        timeline = lifecycle.get("timeline", [])
+        if timeline:
+            parts.append(
+                "<table><tr><th>seq</th><th>template</th><th>kind</th>"
+                "<th>trace</th></tr>"
+                + "".join(
+                    f"<tr><td>{event.get('seq', '')}</td>"
+                    f"<th>{_html.escape(str(event.get('template', '')))}</th>"
+                    f"<td>{_html.escape(str(event.get('kind', '')))}</td>"
+                    f"<td>{'' if event.get('trace') is None else event['trace']}"
+                    f"</td></tr>"
+                    for event in timeline[-16:]
+                )
+                + "</table>"
+            )
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"

@@ -20,6 +20,7 @@ all registered templates.
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from repro.resilience.breaker import BREAKER_STATES
 from repro.resilience.faults import FaultInjector
 from repro.tpch import build_catalog, build_statistics, query_template
 from repro.workload.template import QueryInstance, TemplateBinder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.lineage import LineageEngine
 
 
 class PlanCachingService:
@@ -207,6 +211,20 @@ class PlanCachingService:
         ``PPCConfig.profiling.enabled``)."""
         return self.framework.profile_report()
 
+    def lineage(self, query: str = "timeline") -> "LineageEngine | None":
+        """A lineage engine over the lifecycle journal (``None`` unless
+        ``PPCConfig.events.enabled``).
+
+        ``query`` labels the ``ppc_lineage_queries_total`` counter so
+        forensic traffic is itself observable.
+        """
+        engine = self.framework.lineage()
+        if engine is not None:
+            self.framework.metrics.counter(
+                metric_names.LINEAGE_QUERIES_TOTAL, query=query
+            ).inc()
+        return engine
+
     def instance_at(
         self, template_name: str, point: np.ndarray
     ) -> QueryInstance:
@@ -374,9 +392,11 @@ class PlanCachingService:
         # registry snapshot so scrape and snapshot agree.
         slo_block = self.slo() or None
         telemetry = self.framework.telemetry
+        events = self.framework.events
         return {
             "templates": templates,
             "governor": governor_summary,
+            "events": events.stats() if events is not None else None,
             "slo": slo_block,
             "telemetry": telemetry.stats() if telemetry else None,
             # The resilience machinery runs on an injectable clock, not
@@ -443,6 +463,13 @@ class PlanCachingService:
         worst = "ok"
         if self.framework.slo_engine is not None:
             worst = self.framework.slo_engine.worst_state(slo_block)
+        events = self.framework.events
+        lifecycle = None
+        if events is not None:
+            lifecycle = {
+                "stats": events.stats(),
+                "timeline": events.events()[-tail:],
+            }
         return {
             "clock": {
                 "source": self.framework.clock_source,
@@ -453,4 +480,5 @@ class PlanCachingService:
             "slo": slo_block,
             "worst_state": worst,
             "telemetry": telemetry.to_dict(tail) if telemetry else None,
+            "lifecycle": lifecycle,
         }

@@ -33,6 +33,7 @@ from dataclasses import asdict
 from typing import Any
 
 from repro.config import (
+    EventsConfig,
     PPCConfig,
     ProfileConfig,
     ResilienceConfig,
@@ -71,6 +72,8 @@ def config_from_dict(payload: "dict[str, Any]") -> PPCConfig:
     data["trace"] = TraceConfig(**data["trace"])
     if "profiling" in data:  # absent in traces recorded before schema v2
         data["profiling"] = ProfileConfig(**data["profiling"])
+    if "events" in data:  # absent in traces recorded before the journal
+        data["events"] = EventsConfig(**data["events"])
     telemetry = dict(data["telemetry"])
     telemetry["slos"] = tuple(
         SLODefinition(**slo) for slo in telemetry["slos"]
@@ -132,6 +135,12 @@ def event_from_dict(payload: "dict[str, Any]") -> Any:
 # ----------------------------------------------------------------------
 # Recording
 # ----------------------------------------------------------------------
+def _executor_events_digest(executor: WorkloadExecutor) -> "str | None":
+    """Digest of the run's lifecycle journal (None when disabled)."""
+    journal = executor.framework.events
+    return None if journal is None else journal.digest()
+
+
 def record_trace(
     scenario: Scenario,
     path: "str | pathlib.Path",
@@ -176,6 +185,10 @@ def record_trace(
             name: asdict(spec) for name, spec in scenario.manipulation
         },
         "config": config_to_dict(scenario.config),
+        # Running sha256 over the canonical lifecycle event stream
+        # (None when the journal is disabled): a replay must reproduce
+        # not just the decisions but the whole synopsis lifecycle.
+        "events_digest": _executor_events_digest(executor),
     }
     lines = [json.dumps(header, sort_keys=True)]
     lines.extend(
@@ -269,11 +282,17 @@ def verify_trace(path: "str | pathlib.Path") -> "dict[str, Any]":
 
     The comparison is exact dict equality per instance — floats
     round-trip losslessly through JSON, so any numeric deviation is a
-    real decision-flow divergence, not serialization noise.
+    real decision-flow divergence, not serialization noise.  When the
+    trace header carries an ``events_digest``, the replayed lifecycle
+    journal must hash to the same value: the synopsis event stream is
+    part of the determinism contract, not just the decisions.
     """
     header, events, recorded = load_trace(path)
     executor = executor_from_header(header)
     replayed = executor.drive(events)
+    recorded_digest = header.get("events_digest")
+    replayed_digest = _executor_events_digest(executor)
+    digest_match = recorded_digest == replayed_digest
     mismatches: "list[dict[str, Any]]" = []
     for index in range(max(len(recorded), len(replayed))):
         old = recorded[index] if index < len(recorded) else None
@@ -298,8 +317,13 @@ def verify_trace(path: "str | pathlib.Path") -> "dict[str, Any]":
         "scenario": header["scenario"],
         "instances": len(recorded),
         "replayed": len(replayed),
-        "identical": not mismatches,
+        "identical": not mismatches and digest_match,
         "mismatches": mismatches,
+        "events_digest": {
+            "recorded": recorded_digest,
+            "replayed": replayed_digest,
+            "match": digest_match,
+        },
     }
 
 

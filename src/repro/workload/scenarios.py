@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.config import PPCConfig
+from repro.config import EventsConfig, PPCConfig
 from repro.exceptions import ConfigurationError
 from repro.resilience.faults import FaultSpec
 from repro.workload.mixture import MixtureWorkload
@@ -451,7 +451,15 @@ def _step_drift_contracts(count: int) -> tuple:
 #: precision collapse is observable within a CI-sized fast tier (the
 #: window-100 default needs ~40 assessed-wrong predictions before the
 #: estimate can cross the threshold).
-_DRIFT_DETECTOR_CONFIG = PPCConfig(drift_threshold=0.6, monitor_window=50)
+_DRIFT_DETECTOR_CONFIG = PPCConfig(
+    drift_threshold=0.6,
+    monitor_window=50,
+    # The drift scenarios also journal the synopsis lifecycle: the
+    # recorded traces carry an event-stream digest in their header
+    # (events never change decisions — the lockstep parity tests pin
+    # that), and the CI scenario matrix exports the journal artifact.
+    events=EventsConfig(enabled=True),
+)
 
 
 def _slow_drift_events(

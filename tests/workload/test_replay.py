@@ -171,6 +171,46 @@ class TestReplayParity:
         fields = report["mismatches"][0]["fields"]
         assert "executed_plan" in fields
 
+    def test_events_digest_round_trips(self, tmp_path):
+        # step_drift journals the synopsis lifecycle; the recorded
+        # digest must reproduce on replay and gate "identical".
+        trace = tmp_path / "trace.jsonl"
+        record_trace(get_scenario("step_drift"), trace, fast=True)
+        header, __, __ = load_trace(trace)
+        assert header["events_digest"] is not None
+        report = verify_trace(trace)
+        assert report["identical"]
+        assert report["events_digest"]["match"]
+        assert (
+            report["events_digest"]["recorded"]
+            == report["events_digest"]["replayed"]
+        )
+
+    def test_tampered_events_digest_is_detected(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        record_trace(get_scenario("step_drift"), trace, fast=True)
+        lines = trace.read_text().splitlines()
+        payload = json.loads(lines[0])
+        payload["events_digest"] = "0" * 64
+        lines[0] = json.dumps(payload, sort_keys=True)
+        trace.write_text("\n".join(lines) + "\n")
+        report = verify_trace(trace)
+        assert not report["identical"]
+        assert not report["events_digest"]["match"]
+        # The decisions themselves still replay cleanly.
+        assert report["mismatches"] == []
+
+    def test_trace_without_digest_still_verifies(self, tmp_path):
+        # cache_pressure runs with the journal disabled: both sides of
+        # the digest comparison are None and verification passes.
+        trace = tmp_path / "trace.jsonl"
+        record_trace(get_scenario("cache_pressure"), trace, fast=True)
+        header, __, __ = load_trace(trace)
+        assert header["events_digest"] is None
+        report = verify_trace(trace)
+        assert report["identical"]
+        assert report["events_digest"]["match"]
+
     def test_missing_decisions_are_mismatches(self, tmp_path):
         trace = tmp_path / "trace.jsonl"
         record_trace(get_scenario("cache_pressure"), trace, fast=True)
@@ -197,3 +237,5 @@ class TestGoldenTrace:
         assert report["identical"], report["mismatches"]
         assert report["scenario"] == "step_drift"
         assert report["instances"] == 300
+        assert report["events_digest"]["match"]
+        assert report["events_digest"]["recorded"] is not None
